@@ -1,0 +1,57 @@
+"""Fig. 11: resource utilisation and frequency per pipeline combination.
+
+Regenerates the full-scale (U280, 65,536-vertex buffers) resource table
+for all fifteen combinations and checks the paper's observations: ~30%
+LUT at the performant mixed points, <50% BRAM, URAM pinned near 96%,
+LUT falling / BRAM rising with more Little pipelines, frequency always
+above 210 MHz.
+"""
+
+from repro.arch.config import AcceleratorConfig, PipelineConfig
+from repro.arch.platform import get_platform
+from repro.arch.resources import report
+from repro.reporting import format_table, write_report
+
+FULL_CONFIG = PipelineConfig(gather_buffer_vertices=65_536)
+U280 = get_platform("U280")
+
+
+def _reports():
+    out = {}
+    for m in range(15):
+        accel = AcceleratorConfig(m, 14 - m, FULL_CONFIG)
+        out[accel.label] = report(accel, U280)
+    return out
+
+
+def test_fig11_resource_utilization(benchmark):
+    reports = benchmark(_reports)
+    rows = [
+        (
+            label,
+            f"{r.lut_util:.1%}",
+            f"{r.ff_util:.1%}",
+            f"{r.bram_util:.1%}",
+            f"{r.uram_util:.1%}",
+            f"{r.frequency_mhz:.0f}",
+        )
+        for label, r in reports.items()
+    ]
+    text = format_table(
+        ["combo", "LUT", "FF", "BRAM", "URAM", "freq MHz"],
+        rows,
+        title="Fig. 11: PR implementations on U280 (full scale)",
+    )
+    write_report("fig11_resource_utilization", text)
+
+    r77 = reports["7L7B"]
+    assert 0.25 < r77.lut_util < 0.36          # "around 30% of LUTs"
+    assert r77.bram_util < 0.50                # "less than 50% of BRAMs"
+    assert 0.90 < r77.uram_util < 1.00         # "constantly 96%"
+
+    labels = list(reports)
+    luts = [reports[l].lut_util for l in labels]
+    brams = [reports[l].bram_util for l in labels]
+    assert all(a >= b for a, b in zip(luts, luts[1:]))    # LUT falls with M
+    assert all(a <= b for a, b in zip(brams, brams[1:]))  # BRAM rises with M
+    assert all(r.frequency_mhz > 210 for r in reports.values())

@@ -1,0 +1,83 @@
+"""Mechanistic baseline comparison: ReGraph vs a simulated monolithic
+accelerator through the *same* cycle-level machinery.
+
+Table V compares against the baselines' published numbers; this bench
+removes the cross-testbed apples-to-oranges by building the ThunderGP
+analogue inside our own simulator: homogeneous pipelines, capped at the
+resource-bound count Table I implies (~4 channels at 21.3% CLB each
+under the 80% cap), scheduled without dense/sparse awareness.  The
+speedup that remains is attributable purely to the heterogeneous
+architecture + model-guided scheduling — the paper's contribution.
+"""
+
+import pytest
+
+from repro.apps.pagerank import PageRank
+from repro.baselines.fpga import thundergp_like_plan
+from repro.core.framework import ReGraph
+from repro.core.system import SystemSimulator
+from repro.reporting import format_table, write_report
+
+from conftest import SWEEP_GRAPHS, bench_framework
+
+PR_ITERATIONS = 5
+
+#: Pipelines a monolithic design affords (Table I: ThunderGP at 21.3%
+#: CLB per channel caps out below 4 under the 80% rule).
+MONO_PIPELINES = 4
+
+#: Full port-budget pipelines for ReGraph.
+REGRAPH_PIPELINES = 14
+
+
+def _mteps(framework, pre):
+    sim = SystemSimulator(pre.plan, framework.platform, framework.channel)
+    run = sim.run(
+        PageRank(pre.graph), max_iterations=PR_ITERATIONS, functional=False
+    )
+    return run.mteps
+
+
+def test_mechanistic_thundergp_comparison(benchmark, datasets):
+    regraph = bench_framework("U280", num_pipelines=REGRAPH_PIPELINES)
+    results = {}
+
+    def run_all():
+        results.clear()
+        for key in SWEEP_GRAPHS:
+            graph = datasets[key]
+            pre = regraph.preprocess(graph)
+            ours = _mteps(regraph, pre)
+
+            mono_pre = thundergp_like_plan(
+                regraph, graph, num_pipelines=MONO_PIPELINES
+            )
+            mono_fw = ReGraph(
+                "U280",
+                pipeline=regraph.pipeline,
+                num_pipelines=MONO_PIPELINES,
+            )
+            mono = _mteps(mono_fw, mono_pre)
+            results[key] = (ours, mono, pre.plan.accelerator.label)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (key, label, f"{ours:.0f}", f"{mono:.0f}", f"{ours / mono:.1f}x")
+        for key, (ours, mono, label) in results.items()
+    ]
+    text = format_table(
+        ["graph", "ReGraph combo", "ReGraph MTEPS",
+         f"monolithic {MONO_PIPELINES}-pipe MTEPS", "speedup"],
+        rows,
+        title=(
+            "Mechanistic comparison: heterogeneous (14 pipes) vs "
+            "monolithic resource-bound (4 pipes), same simulator"
+        ),
+    )
+    write_report("mechanistic_thundergp_comparison", text)
+
+    # The architectural speedup sits in the Table V band (1.6-4.4x) or
+    # above — never below parity.
+    for key, (ours, mono, _label) in results.items():
+        assert ours > 1.3 * mono, key

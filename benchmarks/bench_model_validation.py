@@ -1,0 +1,64 @@
+"""Model-validation matrix: Fig. 9's error claim, generalised.
+
+Runs the analytic model against the cycle-level simulators over a matrix
+of synthetic graphs spanning skew classes (RMAT, power-law, uniform) and
+seeds, reporting pooled error statistics per pipeline kind.  The paper
+quotes 4% (Big) / 6% (Little) average error on its four graphs; the
+matrix shows the bands hold beyond the graphs the model was demonstrated
+on.
+"""
+
+from repro.model.validation import aggregate, validation_matrix
+from repro.reporting import format_table, write_report
+
+from conftest import bench_pipeline_config
+
+
+def test_model_error_matrix(benchmark):
+    config = bench_pipeline_config()
+
+    def run():
+        return validation_matrix(config, seeds=2)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            s.kind,
+            s.count,
+            f"{s.mean:.1%}",
+            f"{s.p95:.1%}",
+            f"{s.worst:.1%}",
+            f"{s.bias:+.1%}",
+        )
+        for s in stats
+    ]
+    pooled_rows = [
+        (
+            f"pooled {kind}",
+            agg.count,
+            f"{agg.mean:.1%}",
+            f"{agg.p95:.1%}",
+            f"{agg.worst:.1%}",
+            f"{agg.bias:+.1%}",
+        )
+        for kind, agg in (
+            ("little", aggregate(stats, "little")),
+            ("big", aggregate(stats, "big")),
+        )
+    ]
+    text = format_table(
+        ["kind", "samples", "mean err", "p95 err", "worst", "bias"],
+        rows + pooled_rows,
+        title=(
+            "Model validation matrix: per-graph and pooled error "
+            "(paper: Big 4%, Little 6% average)"
+        ),
+    )
+    write_report("model_validation_matrix", text)
+
+    little = aggregate(stats, "little")
+    big = aggregate(stats, "big")
+    assert little.mean < 0.12
+    assert big.mean < 0.12
+    assert little.worst < 0.5
+    assert big.worst < 0.5

@@ -1,0 +1,62 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run at 1/32 of the paper's scale: dataset stand-ins are
+instantiated with ``scale = 1/32`` and the Gather PE buffer shrinks from
+65,536 to 2,048 destination vertices, preserving the partition-count
+ratio (V / U) of the full-size experiments — which is what determines the
+dense/sparse structure the heterogeneous pipelines exploit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import PipelineConfig
+from repro.core.framework import ReGraph
+from repro.graph.datasets import load_dataset
+
+#: Scale factor applied to every dataset stand-in.
+BENCH_SCALE = 1.0 / 32.0
+
+#: Gather buffer scaled by the same factor (65,536 / 32).
+BENCH_BUFFER_U280 = 2048
+BENCH_BUFFER_U50 = 1024
+
+#: Graphs used by the throughput sweeps (kept small enough to simulate).
+SWEEP_GRAPHS = ("R21", "GG", "HD", "PK", "HW", "OR")
+
+
+def bench_pipeline_config(platform: str = "U280") -> PipelineConfig:
+    """The Sec. VI-A pipeline config at benchmark scale."""
+    buffer_vertices = (
+        BENCH_BUFFER_U280 if platform == "U280" else BENCH_BUFFER_U50
+    )
+    return PipelineConfig(gather_buffer_vertices=buffer_vertices)
+
+
+def bench_framework(platform: str = "U280", num_pipelines=None) -> ReGraph:
+    """A ReGraph instance at benchmark scale."""
+    return ReGraph(
+        platform,
+        pipeline=bench_pipeline_config(platform),
+        num_pipelines=num_pipelines,
+    )
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """Scaled stand-ins of the graphs used across benchmarks, by key."""
+    return {
+        key: load_dataset(key, scale=BENCH_SCALE, seed=1)
+        for key in SWEEP_GRAPHS
+    }
+
+
+@pytest.fixture(scope="session")
+def u280_framework():
+    return bench_framework("U280")
+
+
+@pytest.fixture(scope="session")
+def u50_framework():
+    return bench_framework("U50")

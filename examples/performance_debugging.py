@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Performance debugging: timelines, bottlenecks and tiering headroom.
+
+When a graph underperforms, ReGraph's analysis tooling answers three
+questions in order:
+
+1. *Is the schedule balanced?* — render the per-pipeline Gantt chart;
+2. *What binds each partition?* — attribute cycles to Eq. 1's terms
+   (edge supply vs vertex access vs gather vs fixed overheads);
+3. *Would the graph still fit if it grew 32x?* — check the HBM capacity
+   and estimate the SSD-tiering penalty (the paper's future work).
+
+Run:  python examples/performance_debugging.py
+"""
+
+from repro import ReGraph
+from repro.arch.config import PipelineConfig
+from repro.arch.trace import trace_plan
+from repro.graph.datasets import load_dataset
+from repro.hbm.tiered import (
+    SsdTierConfig,
+    estimate_tiered_plan,
+    graph_needs_tiering,
+)
+from repro.model.bottleneck import compare_pipeline_choice
+
+
+def main():
+    graph = load_dataset("HW", scale=1 / 64, seed=3)
+    print(f"graph: {graph.name}  V={graph.num_vertices:,} "
+          f"E={graph.num_edges:,}")
+
+    framework = ReGraph(
+        "U280",
+        pipeline=PipelineConfig(gather_buffer_vertices=1024),
+        num_pipelines=8,
+    )
+    pre = framework.preprocess(graph)
+    pre.plan.validate(expected_edges=graph.num_edges)
+    print(f"accelerator {pre.plan.accelerator.label}, plan validated, "
+          f"estimated balance {pre.plan.balance_ratio:.2f}\n")
+
+    # 1. Timeline ------------------------------------------------------
+    trace = trace_plan(pre.plan, framework.channel)
+    print("per-pipeline timeline (one iteration):")
+    print(trace.render_gantt(width=56))
+    utils = trace.utilization()
+    print(f"utilisation: min {min(utils.values()):.0%}, "
+          f"max {max(utils.values()):.0%}\n")
+
+    # 2. Bottleneck attribution ----------------------------------------
+    parts = pre.pset.nonempty()
+    print("bottleneck attribution (head / middle / tail partitions):")
+    for partition in (parts[0], parts[len(parts) // 2], parts[-1]):
+        analysis = compare_pipeline_choice(partition, framework.model)
+        chosen = analysis["preferred"]
+        breakdown = analysis[chosen]
+        fracs = breakdown.fractions()
+        print(f"  p{partition.index:<3} ({partition.num_edges:7,} edges) "
+              f"-> {chosen:6}: dominant={breakdown.dominant:13} "
+              f"[supply {fracs['edge_supply']:.0%}, "
+              f"vertex {fracs['vertex_access']:.0%}, "
+              f"gather {fracs['gather']:.0%}, "
+              f"fixed {fracs['fixed']:.0%}]")
+
+    # 3. Capacity headroom + tiering ------------------------------------
+    grown_edges = graph.num_edges * 64 * 32   # hypothetical full+32x graph
+    grown_vertices = graph.num_vertices * 64
+    needs = graph_needs_tiering(grown_edges, 8, grown_vertices)
+    print(f"\nif this graph grew to {grown_edges:,} edges: "
+          f"{'needs SSD tiering' if needs else 'still fits HBM'}")
+    if needs:
+        for drives in (1, 4):
+            config = SsdTierConfig(read_bytes_per_second=3.2e9 * drives)
+            estimates = estimate_tiered_plan(
+                pre.plan, pre.resources.frequency_mhz, config=config
+            )
+            worst = max(
+                (e.slowdown for e in estimates if e.execute_seconds > 0),
+                default=1.0,
+            )
+            print(f"  {drives} NVMe drive(s): worst pipeline slowdown "
+                  f"{worst:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

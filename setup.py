@@ -1,0 +1,6 @@
+"""Setup shim: the offline environment lacks the `wheel` package, so the
+PEP 517 editable build (bdist_wheel) cannot run; this enables the legacy
+`pip install -e . --no-use-pep517` path."""
+from setuptools import setup
+
+setup()

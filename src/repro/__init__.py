@@ -1,0 +1,24 @@
+"""ReGraph reproduction: heterogeneous Big/Little graph-processing
+pipelines on HBM-enabled FPGAs (Chen et al., MICRO 2022), as a pure-Python
+cycle-level simulator and framework.
+
+Public API highlights:
+
+* :class:`repro.core.ReGraph` — the push-button framework (Fig. 8);
+* :mod:`repro.apps` — the GAS programming interface and the benchmark
+  applications (PageRank, BFS, Closeness Centrality, WCC, SSSP);
+* :mod:`repro.graph` — COO graphs, generators, DBG, partitioning;
+* :mod:`repro.arch` — platform, resource model and cycle-level pipeline
+  simulators;
+* :mod:`repro.model` — the Eq. 1-4 analytic performance model;
+* :mod:`repro.sched` — model-guided inter/intra-cluster scheduling;
+* :mod:`repro.baselines` — calibrated models of the systems the paper
+  compares against (ThunderGP, GraphLily, Asiatici et al., Ligra, Gunrock).
+"""
+
+from repro.core import ReGraph, RunReport, SystemSimulator
+from repro.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = ["ReGraph", "RunReport", "SystemSimulator", "Graph", "__version__"]

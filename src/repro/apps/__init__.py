@@ -1,0 +1,46 @@
+"""Graph applications on the GAS programming interface (Sec. V-B).
+
+Users implement ``accScatter`` / ``accGather`` / ``accApply``; the three
+benchmark applications of the paper (PageRank, BFS, Closeness Centrality)
+are provided, plus extension apps demonstrating the interface's range:
+WCC, SSSP, SpMV (GraphLily's primitive), multi-source-BFS radii
+estimation and incremental (delta) PageRank.  Reference implementations
+validate functional results; ``repro.apps.registry`` maps names to
+factories for the CLI and host runtime.
+"""
+
+from repro.apps.gas import GasApp
+from repro.apps.pagerank import PageRank
+from repro.apps.delta_pagerank import DeltaPageRank
+from repro.apps.bfs import BreadthFirstSearch
+from repro.apps.closeness import ClosenessCentrality
+from repro.apps.wcc import WeaklyConnectedComponents
+from repro.apps.sssp import SingleSourceShortestPaths
+from repro.apps.spmv import SpMV, spmv_reference
+from repro.apps.radii import RadiiEstimation, radii_reference
+from repro.apps.reference import (
+    bfs_reference,
+    closeness_reference,
+    pagerank_reference,
+    sssp_reference,
+    wcc_reference,
+)
+
+__all__ = [
+    "GasApp",
+    "PageRank",
+    "DeltaPageRank",
+    "BreadthFirstSearch",
+    "ClosenessCentrality",
+    "WeaklyConnectedComponents",
+    "SingleSourceShortestPaths",
+    "SpMV",
+    "spmv_reference",
+    "RadiiEstimation",
+    "radii_reference",
+    "bfs_reference",
+    "closeness_reference",
+    "pagerank_reference",
+    "sssp_reference",
+    "wcc_reference",
+]

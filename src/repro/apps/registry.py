@@ -1,0 +1,100 @@
+"""Application registry: name -> factory.
+
+One place mapping user-facing application names to GAS app constructors,
+shared by the CLI and the host runtime so both expose the same surface.
+Root-taking apps receive the root in *relabelled* (post-DBG) vertex IDs;
+the framework's convenience wrappers handle the mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.apps.bfs import BreadthFirstSearch
+from repro.apps.closeness import ClosenessCentrality
+from repro.apps.delta_pagerank import DeltaPageRank
+from repro.apps.pagerank import PageRank
+from repro.apps.radii import RadiiEstimation
+from repro.apps.sssp import SingleSourceShortestPaths
+from repro.apps.wcc import WeaklyConnectedComponents
+from repro.graph.coo import Graph
+
+
+class AppSpec:
+    """Metadata + factory for one registered application."""
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable,
+        takes_root: bool,
+        needs_weights: bool,
+        description: str,
+    ):
+        self.name = name
+        self.factory = factory
+        self.takes_root = takes_root
+        self.needs_weights = needs_weights
+        self.description = description
+
+    def build(self, graph: Graph, root: Optional[int] = None):
+        """Instantiate the app for a (relabelled) graph."""
+        if self.needs_weights and graph.weights is None:
+            raise ValueError(f"{self.name} needs a weighted graph")
+        if self.takes_root:
+            return self.factory(graph, root=root or 0)
+        return self.factory(graph)
+
+
+_REGISTRY: Dict[str, AppSpec] = {
+    spec.name: spec
+    for spec in [
+        AppSpec(
+            "pagerank", PageRank, takes_root=False, needs_weights=False,
+            description="fixed-point PageRank (Listing 1)",
+        ),
+        AppSpec(
+            "delta-pagerank", DeltaPageRank, takes_root=False,
+            needs_weights=False,
+            description="incremental PageRank propagating only deltas",
+        ),
+        AppSpec(
+            "bfs", BreadthFirstSearch, takes_root=True, needs_weights=False,
+            description="level-synchronous breadth-first search",
+        ),
+        AppSpec(
+            "closeness", ClosenessCentrality, takes_root=True,
+            needs_weights=False,
+            description="closeness centrality of one vertex (BFS-based)",
+        ),
+        AppSpec(
+            "wcc", WeaklyConnectedComponents, takes_root=False,
+            needs_weights=False,
+            description="min-label connected components",
+        ),
+        AppSpec(
+            "sssp", SingleSourceShortestPaths, takes_root=True,
+            needs_weights=True,
+            description="single-source shortest paths (weighted)",
+        ),
+        AppSpec(
+            "radii", RadiiEstimation, takes_root=False, needs_weights=False,
+            description="graph radii estimation (64-way multi-source BFS)",
+        ),
+    ]
+}
+
+
+def available_apps() -> List[str]:
+    """Registered application names."""
+    return sorted(_REGISTRY)
+
+
+def get_app_spec(name: str) -> AppSpec:
+    """Look up an application by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown app {name!r}; available: {available_apps()}"
+        )
+    return _REGISTRY[key]

@@ -1,0 +1,67 @@
+"""Micro-architecture: platforms, pipeline configs, cycle-level simulators.
+
+Implements the hardware side of the paper: the Alveo platform models
+(Table II), the per-module resource/frequency cost model (Fig. 11), and
+cycle-level simulators for every module of Fig. 3 — the Vertex Loader
+(Fig. 5), the Ping-Pong Buffer (Fig. 6), the butterfly Data Router, the
+Scatter/Gather PEs, Big and Little pipelines, the Mergers, the Apply module
+and the Writer.
+"""
+
+from repro.arch.platform import PLATFORMS, FpgaPlatform, get_platform
+from repro.arch.config import (
+    AcceleratorConfig,
+    PipelineConfig,
+    default_pipeline_config,
+)
+from repro.arch.resources import (
+    ResourceVector,
+    ResourceReport,
+    accelerator_resources,
+    big_pipeline_resources,
+    frequency_mhz,
+    little_pipeline_resources,
+)
+from repro.arch.vertex_loader import VertexLoaderSim, VertexLoaderStats
+from repro.arch.pingpong import PingPongBufferSim, PingPongStats
+from repro.arch.router import ButterflyRouter
+from repro.arch.pe import GatherPeArray, ScatterPeArray
+from repro.arch.big_pipeline import BigPipelineSim
+from repro.arch.little_pipeline import LittlePipelineSim
+from repro.arch.timing import PartitionTiming
+from repro.arch.merger import merger_cycles, merge_buffers
+from repro.arch.apply import ApplySim
+from repro.arch.writer import WriterSim
+from repro.arch.trace import ExecutionTrace, TraceEvent, trace_plan
+
+__all__ = [
+    "PLATFORMS",
+    "FpgaPlatform",
+    "get_platform",
+    "AcceleratorConfig",
+    "PipelineConfig",
+    "default_pipeline_config",
+    "ResourceVector",
+    "ResourceReport",
+    "accelerator_resources",
+    "big_pipeline_resources",
+    "frequency_mhz",
+    "little_pipeline_resources",
+    "VertexLoaderSim",
+    "VertexLoaderStats",
+    "PingPongBufferSim",
+    "PingPongStats",
+    "ButterflyRouter",
+    "GatherPeArray",
+    "ScatterPeArray",
+    "BigPipelineSim",
+    "LittlePipelineSim",
+    "PartitionTiming",
+    "merger_cycles",
+    "merge_buffers",
+    "ApplySim",
+    "WriterSim",
+    "ExecutionTrace",
+    "TraceEvent",
+    "trace_plan",
+]

@@ -1,0 +1,39 @@
+"""Apply module simulator (Fig. 3c).
+
+The Apply module receives accumulated temporary properties from both
+pipeline clusters, combines them with the old vertex properties (and
+auxiliary data such as out-degrees for PageRank) and produces the new
+property of every vertex with multiple PEs.  Functionally it evaluates the
+app's ``accApply`` UDF; its cycle cost is bandwidth-bound on the reserved
+memory ports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.coo import VERTEX_WORD_BYTES
+from repro.hbm.channel import BLOCK_BYTES, HbmChannelModel
+
+#: Vertices the Apply PEs consume per cycle (one block per reserved port).
+APPLY_VERTICES_PER_CYCLE = 2 * BLOCK_BYTES // VERTEX_WORD_BYTES
+
+
+class ApplySim:
+    """Timing + functional model of the Apply stage."""
+
+    def __init__(self, channel: HbmChannelModel):
+        self.channel = channel
+
+    def cycles(self, num_vertices: int) -> float:
+        """Cycles to apply all vertices, streaming on the reserved ports."""
+        if num_vertices <= 0:
+            return 0.0
+        return (
+            self.channel.params.min_latency
+            + num_vertices / APPLY_VERTICES_PER_CYCLE
+        )
+
+    def run(self, app, old_props: np.ndarray, accumulated: np.ndarray):
+        """Evaluate the apply UDF over every vertex."""
+        return app.apply(old_props, accumulated)

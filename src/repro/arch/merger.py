@@ -1,0 +1,50 @@
+"""Little/Big Mergers (Sec. III-C and V-C).
+
+In the Little pipeline all Gather PEs buffer the *same* destination
+interval, so after a partition completes a merge tree combines the per-PE
+accumulations.  ReGraph implements the merger as a tree of small
+free-running kernels that merge within an SLR before crossing to another —
+for timing purposes its drain is overlapped with ``C_store`` (Eq. 2) and
+only the tree's fill latency remains visible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+#: Pipeline depth of one 2-to-1 merge kernel (register stages).
+MERGE_STAGE_LATENCY = 4.0
+
+
+def merger_cycles(n_gpe: int) -> float:
+    """Visible latency of the merge tree: ``log2(N_gpe)`` stages deep.
+
+    The sustained merge rate matches the URAM drain rate, so only the tree
+    fill shows up on top of ``C_store``.
+    """
+    if n_gpe < 1:
+        raise ValueError("n_gpe must be >= 1")
+    depth = int(np.ceil(np.log2(max(n_gpe, 2))))
+    return depth * MERGE_STAGE_LATENCY
+
+
+def merge_buffers(app, buffers: List[np.ndarray]) -> np.ndarray:
+    """Functionally merge replicated Gather PE buffers with the app UDF.
+
+    A pairwise (tree-shaped) reduction mirrors the hardware merge order;
+    for the commutative, associative gather UDFs of the GAS model the
+    result equals a flat reduction.
+    """
+    if not buffers:
+        raise ValueError("no buffers to merge")
+    level = list(buffers)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(app.gather(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

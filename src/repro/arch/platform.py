@@ -1,0 +1,85 @@
+"""HBM-enabled FPGA platform models (Table II).
+
+Encodes the two evaluation boards, Alveo U280 and Alveo U50, with the
+resource capacities, HBM channel/port counts and power figures the paper
+uses, plus the per-application parameters of Sec. VI-A (buffered vertices,
+pipeline counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hbm.ports import max_pipelines
+
+
+@dataclass(frozen=True)
+class FpgaPlatform:
+    """Static description of one HBM-enabled FPGA card."""
+
+    name: str
+    luts: int
+    ffs: int
+    bram36: int
+    urams: int
+    slrs: int
+    bandwidth_gbs: float
+    num_channels: int
+    num_ports: int
+    tdp_watts: float
+    #: measured power during execution (Table VI gives 35 W for U280)
+    active_watts: float
+    #: destination vertices each Gather PE buffers (Sec. VI-A)
+    gather_buffer_vertices: int
+
+    @property
+    def max_total_pipelines(self) -> int:
+        """Pipelines the port budget allows (14 on U280, 12 on U50)."""
+        return max_pipelines(self.num_channels, self.num_ports)
+
+    @property
+    def channel_bandwidth_gbs(self) -> float:
+        """Peak bandwidth of a single HBM channel."""
+        return self.bandwidth_gbs / self.num_channels
+
+
+#: Registry of the evaluation platforms, keyed by short name.
+PLATFORMS: Dict[str, FpgaPlatform] = {
+    "U280": FpgaPlatform(
+        name="Alveo U280",
+        luts=1_304_000,
+        ffs=2_607_000,
+        bram36=2_016,
+        urams=960,
+        slrs=3,
+        bandwidth_gbs=460.0,
+        num_channels=32,
+        num_ports=32,
+        tdp_watts=225.0,
+        active_watts=35.0,
+        gather_buffer_vertices=65_536,
+    ),
+    "U50": FpgaPlatform(
+        name="Alveo U50",
+        luts=872_000,
+        ffs=1_743_000,
+        bram36=1_344,
+        urams=640,
+        slrs=2,
+        bandwidth_gbs=316.0,
+        num_channels=32,
+        num_ports=28,
+        tdp_watts=70.0,
+        active_watts=30.0,
+        gather_buffer_vertices=32_768,
+    ),
+}
+
+
+def get_platform(name: str) -> FpgaPlatform:
+    """Look up a platform by short name ("U280" or "U50")."""
+    key = name.upper()
+    if key not in PLATFORMS:
+        raise KeyError(f"unknown platform {name!r}; available: {sorted(PLATFORMS)}")
+    return PLATFORMS[key]

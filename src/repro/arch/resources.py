@@ -1,0 +1,184 @@
+"""Resource and frequency model (reproduces Fig. 11 and Table I context).
+
+Per-module FPGA resource costs, calibrated against the utilisation numbers
+the paper reports on U280:
+
+* the best-performing mixed configs (e.g. 7L7B) use ~30% of LUTs and <50%
+  of BRAMs;
+* URAM sits constantly at ~96% (it holds the Gather PE vertex buffers and
+  fixes the partition size);
+* more Little pipelines -> more BRAM (Ping-Pong Buffers), fewer LUTs;
+  more Big pipelines -> more LUTs/registers (Vertex Loader + Data Router);
+* implementation frequency stays above 210 MHz thanks to the SLR-crossing
+  optimisations.
+
+The numbers are per-module estimates, not synthesis results, but they are
+constrained to reproduce every qualitative statement of Sec. VI-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import AcceleratorConfig, PipelineConfig
+from repro.arch.platform import FpgaPlatform
+from repro.graph.coo import VERTEX_WORD_BYTES
+
+#: Bytes of storage per URAM block (4K x 72b, data portion used as 64-bit).
+URAM_BYTES = 32 * 1024
+
+#: Bytes of storage per BRAM36 block.
+BRAM36_BYTES = 4 * 1024
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Resource usage of a module or design (absolute counts)."""
+
+    lut: float = 0.0
+    ff: float = 0.0
+    bram36: float = 0.0
+    uram: float = 0.0
+    dsp: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            bram36=self.bram36 + other.bram36,
+            uram=self.uram + other.uram,
+            dsp=self.dsp + other.dsp,
+        )
+
+    def scale(self, factor: float) -> "ResourceVector":
+        """Multiply every resource by ``factor`` (e.g. instance count)."""
+        return ResourceVector(
+            lut=self.lut * factor,
+            ff=self.ff * factor,
+            bram36=self.bram36 * factor,
+            uram=self.uram * factor,
+            dsp=self.dsp * factor,
+        )
+
+
+# Per-module base costs (one instance, Sec. VI-A parameters).
+BURST_READ = ResourceVector(lut=1_800, ff=2_600, bram36=4)
+VERTEX_LOADER = ResourceVector(lut=9_500, ff=14_000, bram36=4)
+DATA_ROUTER_PER_SWITCH = ResourceVector(lut=450, ff=700)
+SCATTER_PE = ResourceVector(lut=650, ff=900, dsp=2)
+GATHER_PE = ResourceVector(lut=800, ff=1_100, dsp=1)
+MERGER_TREE = ResourceVector(lut=2_400, ff=3_400, bram36=6)
+APPLY_MODULE = ResourceVector(lut=14_000, ff=20_000, bram36=16, dsp=16, uram=32)
+WRITER_MODULE = ResourceVector(lut=6_000, ff=9_000, bram36=8)
+PORT_WRAPPER = ResourceVector(lut=1_200, ff=1_800, bram36=2)
+PLATFORM_SHELL = ResourceVector(lut=18_000, ff=26_000, bram36=24)
+
+
+def _gather_buffer_urams(config: PipelineConfig) -> float:
+    """URAM blocks needed by one Gather PE's destination buffer."""
+    buffer_bytes = config.gather_buffer_vertices * VERTEX_WORD_BYTES
+    return -(-buffer_bytes // URAM_BYTES)
+
+
+def _pingpong_brams(config: PipelineConfig) -> float:
+    """BRAM36 blocks of the Ping-Pong Buffer, duplicated per Scatter PE.
+
+    Each side needs a cascade of BRAMs for the 512-bit port (Fig. 6), and
+    ping + pong sides are allocated for every Scatter PE.
+    """
+    per_side = max(-(-config.pingpong_bytes // 2 // BRAM36_BYTES), 8)
+    return 2 * per_side * config.n_spe / 2  # paired PEs share a cascade
+
+
+def little_pipeline_resources(config: PipelineConfig) -> ResourceVector:
+    """Resources of one Little pipeline."""
+    pes = SCATTER_PE.scale(config.n_spe) + GATHER_PE.scale(config.n_gpe)
+    pingpong = ResourceVector(
+        lut=3_200, ff=4_600, bram36=_pingpong_brams(config)
+    )
+    uram = ResourceVector(uram=_gather_buffer_urams(config) * config.n_gpe)
+    return (
+        BURST_READ
+        + pingpong
+        + pes
+        + MERGER_TREE
+        + PORT_WRAPPER
+        + uram
+    )
+
+
+def big_pipeline_resources(config: PipelineConfig) -> ResourceVector:
+    """Resources of one Big pipeline."""
+    pes = SCATTER_PE.scale(config.n_spe) + GATHER_PE.scale(config.n_gpe)
+    switches = (config.n_gpe // 2) * max(int(np.log2(config.n_gpe)), 1)
+    router = DATA_ROUTER_PER_SWITCH.scale(switches) + ResourceVector(
+        lut=1_500, ff=2_200, bram36=8
+    )
+    uram = ResourceVector(uram=_gather_buffer_urams(config) * config.n_gpe)
+    return (
+        BURST_READ
+        + VERTEX_LOADER
+        + router
+        + pes
+        + PORT_WRAPPER
+        + uram
+    )
+
+
+def accelerator_resources(accel: AcceleratorConfig) -> ResourceVector:
+    """Total resources of an ``M`` Little + ``N`` Big accelerator."""
+    little = little_pipeline_resources(accel.pipeline).scale(accel.num_little)
+    big = big_pipeline_resources(accel.pipeline).scale(accel.num_big)
+    return little + big + APPLY_MODULE + WRITER_MODULE + PLATFORM_SHELL
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Utilisation fractions of a design on a platform, plus frequency."""
+
+    lut_util: float
+    ff_util: float
+    bram_util: float
+    uram_util: float
+    frequency_mhz: float
+
+    def feasible(self, max_lut: float = 0.8) -> bool:
+        """Whether the design places/routes: LUTs under the practical cap
+        (Table I footnote: "maximal LUT usage in practice is less than
+        80%") and memories within capacity."""
+        return (
+            self.lut_util <= max_lut
+            and self.bram_util <= 1.0
+            and self.uram_util <= 1.0
+        )
+
+
+def frequency_mhz(
+    lut_util: float,
+    num_slrs: int,
+    base_mhz: float = 287.0,
+) -> float:
+    """Deterministic implementation-frequency estimate.
+
+    Congestion degrades timing roughly linearly once utilisation passes
+    ~25%, and every SLR crossing costs a few MHz; the SLR-aware merge-tree
+    optimisations keep ReGraph designs above 210 MHz (Sec. VI-D).
+    """
+    congestion = max(lut_util - 0.25, 0.0) * 90.0
+    slr_penalty = 6.0 * max(num_slrs - 1, 0)
+    return float(np.clip(base_mhz - congestion - slr_penalty, 180.0, 300.0))
+
+
+def report(accel: AcceleratorConfig, platform: FpgaPlatform) -> ResourceReport:
+    """Utilisation + frequency of an accelerator on a platform."""
+    total = accelerator_resources(accel)
+    lut_util = total.lut / platform.luts
+    return ResourceReport(
+        lut_util=lut_util,
+        ff_util=total.ff / platform.ffs,
+        bram_util=total.bram36 / platform.bram36,
+        uram_util=total.uram / platform.urams,
+        frequency_mhz=frequency_mhz(lut_util, platform.slrs),
+    )

@@ -1,0 +1,122 @@
+"""Execution tracing: per-pipeline timelines and utilisation reports.
+
+Turns a scheduling plan plus the pipeline simulators into a task-level
+timeline (which pipeline ran which partition slice, when) and renders a
+text Gantt chart — the tooling one uses to see *why* a pipeline
+combination balances or does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.arch.big_pipeline import BigPipelineSim
+from repro.arch.little_pipeline import LittlePipelineSim
+from repro.hbm.channel import HbmChannelModel
+from repro.sched.plan import SchedulingPlan
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One task execution on one pipeline."""
+
+    pipeline: str
+    task_label: str
+    start_cycle: float
+    end_cycle: float
+
+    @property
+    def duration(self) -> float:
+        """Busy cycles of this task."""
+        return self.end_cycle - self.start_cycle
+
+
+@dataclass
+class ExecutionTrace:
+    """A full iteration's timeline across all pipelines."""
+
+    events: List[TraceEvent]
+
+    @property
+    def makespan(self) -> float:
+        """Cycle at which the last pipeline finishes."""
+        return max((e.end_cycle for e in self.events), default=0.0)
+
+    def pipeline_busy(self) -> dict:
+        """Total busy cycles per pipeline."""
+        busy: dict = {}
+        for event in self.events:
+            busy[event.pipeline] = busy.get(event.pipeline, 0.0) + event.duration
+        return busy
+
+    def utilization(self) -> dict:
+        """Busy fraction of the makespan per pipeline."""
+        span = self.makespan
+        if span == 0:
+            return {}
+        return {k: v / span for k, v in self.pipeline_busy().items()}
+
+    def render_gantt(self, width: int = 72) -> str:
+        """ASCII Gantt chart: one row per pipeline, '#' = busy."""
+        span = self.makespan
+        if span == 0:
+            return "(empty trace)"
+        rows = []
+        pipelines = sorted({e.pipeline for e in self.events})
+        for pipe in pipelines:
+            cells = [" "] * width
+            for event in self.events:
+                if event.pipeline != pipe:
+                    continue
+                lo = int(event.start_cycle / span * (width - 1))
+                hi = max(int(event.end_cycle / span * (width - 1)), lo + 1)
+                for i in range(lo, min(hi, width)):
+                    cells[i] = "#"
+            busy = self.pipeline_busy().get(pipe, 0.0)
+            rows.append(f"{pipe:>10} |{''.join(cells)}| {busy:9.0f} cyc")
+        rows.append(f"{'':>10}  makespan = {span:.0f} cycles")
+        return "\n".join(rows)
+
+
+def trace_plan(
+    plan: SchedulingPlan,
+    channel: Optional[HbmChannelModel] = None,
+) -> ExecutionTrace:
+    """Simulate one iteration of a plan and record every task's window."""
+    channel = channel or HbmChannelModel()
+    config = plan.accelerator.pipeline
+    little = LittlePipelineSim(config, channel)
+    big = BigPipelineSim(config, channel)
+    events: List[TraceEvent] = []
+
+    for pipe_idx, tasks in enumerate(plan.little_tasks):
+        clock = 0.0
+        for task_idx, task in enumerate(tasks):
+            timing, _ = little.execute(task.partition)
+            events.append(
+                TraceEvent(
+                    pipeline=f"little[{pipe_idx}]",
+                    task_label=f"p{task.partition.index}.{task_idx}",
+                    start_cycle=clock,
+                    end_cycle=clock + timing.total_cycles,
+                )
+            )
+            clock += timing.total_cycles
+    for pipe_idx, tasks in enumerate(plan.big_tasks):
+        clock = 0.0
+        for task_idx, task in enumerate(tasks):
+            timing, _ = big.execute(task.partitions)
+            label = "+".join(f"p{p.index}" for p in task.partitions[:3])
+            if len(task.partitions) > 3:
+                label += f"+{len(task.partitions) - 3}"
+            events.append(
+                TraceEvent(
+                    pipeline=f"big[{pipe_idx}]",
+                    task_label=f"{label}.{task_idx}",
+                    start_cycle=clock,
+                    end_cycle=clock + timing.total_cycles,
+                )
+            )
+            clock += timing.total_cycles
+    return ExecutionTrace(events=events)

@@ -1,0 +1,30 @@
+"""Writer module simulator (Sec. III-A).
+
+The Writer broadcasts the new vertex properties produced by Apply to every
+memory channel so each pipeline reads source properties locally in the next
+iteration.  Channels are written in parallel, so the visible cost is one
+channel's worth of sequential writes overlapping the Apply stream.
+"""
+
+from __future__ import annotations
+
+from repro.graph.coo import VERTEX_WORD_BYTES
+from repro.hbm.channel import BLOCK_BYTES, HbmChannelModel
+
+
+class WriterSim:
+    """Timing model of the property broadcast between iterations."""
+
+    def __init__(self, channel: HbmChannelModel):
+        self.channel = channel
+
+    def cycles(self, num_vertices: int) -> float:
+        """Cycles to stream ``num_vertices`` properties to the channels.
+
+        The broadcast proceeds block-by-block in parallel across channels;
+        only the stream-open latency and one channel's block count show.
+        """
+        if num_vertices <= 0:
+            return 0.0
+        blocks = -(-num_vertices * VERTEX_WORD_BYTES // BLOCK_BYTES)
+        return self.channel.params.min_latency + float(blocks)

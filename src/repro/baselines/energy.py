@@ -1,0 +1,38 @@
+"""Energy model (Table VI and the GTEPS/Watt comparisons of Figs. 14-15).
+
+Execution power is measured, not TDP: the paper reads 35 W on the U280
+via xbutil, 208 W on the Xeon via CPU Energy Meter, and 176/187 W on the
+GPUs via nvidia-smi.  Energy efficiency is throughput per watt; the
+improvement factor is the ratio of two designs' GTEPS/W.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Measured execution power (Table VI), watts.
+PLATFORM_POWER_WATTS: Dict[str, float] = {
+    "U280": 35.0,
+    "U50": 30.0,
+    "Xeon-6248R": 208.0,
+    "P100": 176.0,
+    "A100": 187.0,
+}
+
+
+def energy_efficiency_gteps_per_watt(gteps: float, watts: float) -> float:
+    """Throughput per watt — the energy metric of Sec. VI-H."""
+    if watts <= 0:
+        raise ValueError(f"watts must be > 0, got {watts}")
+    return gteps / watts
+
+
+def efficiency_ratio(
+    gteps_a: float, watts_a: float, gteps_b: float, watts_b: float
+) -> float:
+    """Energy-efficiency improvement of design A over design B."""
+    eff_a = energy_efficiency_gteps_per_watt(gteps_a, watts_a)
+    eff_b = energy_efficiency_gteps_per_watt(gteps_b, watts_b)
+    if eff_b == 0:
+        raise ValueError("design B has zero efficiency")
+    return eff_a / eff_b

@@ -1,0 +1,191 @@
+"""FPGA baseline models: ThunderGP, GraphLily, Asiatici et al.
+
+Each baseline carries (a) the throughput numbers its paper / Table V
+reports, used verbatim in comparison printouts, and (b) a mechanistic
+bandwidth-and-resource-bound throughput model for graphs the papers never
+measured.  The model's structure follows each system's architecture:
+
+* **ThunderGP** — monolithic pipelines; resource cost of ~21.3% CLB per
+  memory channel (Table I) caps it at 3-4 channels on U280, each channel
+  moving edges at near-burst efficiency but sharing bandwidth with the
+  cached vertex traffic.
+* **Asiatici et al.** — non-blocking cache with thousands of outstanding
+  misses on a DRAM (UltraScale+) platform: high per-miss efficiency but
+  only 4 DDR channels of bandwidth.
+* **GraphLily** — an SpMV/SpMSpV overlay on U280 HBM: uses many channels
+  but its fixed bitstream cannot specialise, losing efficiency to format
+  conversion and balanced-but-generic SpMV lanes.
+
+``thundergp_like_plan`` additionally builds a *simulated* monolithic
+baseline through our own framework (homogeneous pipelines, even edge
+cuts, resource-bound pipeline count) for mechanistic A/B studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.graph.coo import Graph
+
+#: (app, dataset-key) -> MTEPS reported in Table V for each baseline.
+_THUNDERGP_REPORTED: Dict[Tuple[str, str], float] = {
+    ("PR", "R21"): 5920.0,
+    ("PR", "HW"): 6147.0,
+    ("PR", "PK"): 3832.0,
+    ("PR", "OR"): 5661.0,
+    ("PR", "HD"): 1760.0,
+    ("BFS", "R21"): 6978.0,
+    ("BFS", "HW"): 7743.0,
+    ("BFS", "PK"): 4105.0,
+    ("BFS", "OR"): 7629.0,
+    ("BFS", "HD"): 1868.0,
+    ("CC", "R21"): 6182.0,
+    ("CC", "HW"): 6076.0,
+    ("CC", "PK"): 3790.0,
+    ("CC", "OR"): 5872.0,
+    ("CC", "HD"): 1737.0,
+}
+
+_GRAPHLILY_REPORTED: Dict[Tuple[str, str], float] = {
+    ("PR", "R21"): 4653.0,
+    ("PR", "HW"): 7471.0,
+    ("PR", "PK"): 2933.0,
+    ("PR", "OR"): 5940.0,
+    ("BFS", "PK"): 1965.0,
+    ("BFS", "OR"): 4937.0,
+    ("BFS", "HW"): 6863.0,
+}
+
+_ASIATICI_REPORTED: Dict[Tuple[str, str], float] = {
+    ("PR", "DB"): 920.0,
+    ("PR", "R24"): 1800.0,
+}
+
+#: Our speedups over each baseline as Table V reports them, used by the
+#: bench to print the expected bands: (app, graph) -> (U50, U280).
+TABLE5_PAPER_SPEEDUPS: Dict[Tuple[str, str, str], Tuple[float, float]] = {
+    ("Asiatici", "PR", "DB"): (4.2, 5.9),
+    ("Asiatici", "PR", "R24"): (4.1, 5.5),
+    ("GraphLily", "PR", "R21"): (2.8, 3.3),
+    ("GraphLily", "PR", "HW"): (2.0, 2.1),
+    ("GraphLily", "PR", "PK"): (2.3, 2.8),
+    ("GraphLily", "PR", "OR"): (1.7, 2.1),
+    ("GraphLily", "BFS", "PK"): (3.3, 3.7),
+    ("GraphLily", "BFS", "OR"): (2.3, 2.5),
+    ("GraphLily", "BFS", "HW"): (2.1, 2.2),
+    ("ThunderGP", "PR", "R21"): (2.1, 2.6),
+    ("ThunderGP", "PR", "HW"): (2.4, 2.5),
+    ("ThunderGP", "PR", "PK"): (1.8, 2.1),
+    ("ThunderGP", "PR", "OR"): (2.1, 2.2),
+    ("ThunderGP", "PR", "HD"): (4.0, 4.4),
+    ("ThunderGP", "BFS", "R21"): (1.9, 2.0),
+    ("ThunderGP", "BFS", "HW"): (1.9, 1.9),
+    ("ThunderGP", "BFS", "PK"): (1.6, 1.8),
+    ("ThunderGP", "BFS", "OR"): (1.5, 1.6),
+    ("ThunderGP", "BFS", "HD"): (3.3, 3.7),
+    ("ThunderGP", "CC", "R21"): (2.1, 2.8),
+    ("ThunderGP", "CC", "HW"): (2.5, 3.1),
+    ("ThunderGP", "CC", "PK"): (1.7, 2.0),
+    ("ThunderGP", "CC", "OR"): (2.0, 2.5),
+    ("ThunderGP", "CC", "HD"): (3.7, 4.4),
+}
+
+
+@dataclass(frozen=True)
+class FpgaBaseline:
+    """Throughput model + reported numbers for one FPGA comparator."""
+
+    name: str
+    platform: str
+    #: effective memory channels the design can drive (resource/arch bound)
+    effective_channels: int
+    #: per-channel bandwidth in GB/s on its platform
+    channel_bandwidth_gbs: float
+    #: fraction of peak channel bandwidth converted into edge traversal
+    edge_efficiency: float
+    #: LUT fraction of the best-performing implementation (for Fig. 13)
+    lut_fraction: float
+    reported_mteps: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def modeled_mteps(self, graph: Graph, app: str = "PR") -> float:
+        """Mechanistic throughput estimate on an arbitrary graph.
+
+        Edge records cost 8 bytes; irregular graphs (low average degree)
+        waste vertex-access bandwidth, captured by a locality factor that
+        saturates for degree >= 32.
+        """
+        locality = min(graph.average_degree / 32.0, 1.0) * 0.5 + 0.5
+        bytes_per_edge = 8.0
+        gbs = self.effective_channels * self.channel_bandwidth_gbs
+        return gbs * self.edge_efficiency * locality / bytes_per_edge * 1e3
+
+    def throughput_mteps(
+        self, app: str, dataset_key: str, graph: Optional[Graph] = None
+    ) -> float:
+        """Reported MTEPS when available, otherwise the model estimate."""
+        key = (app, dataset_key)
+        if key in self.reported_mteps:
+            return self.reported_mteps[key]
+        if graph is None:
+            raise KeyError(
+                f"{self.name} has no reported number for {key} and no "
+                "graph was supplied for the model"
+            )
+        return self.modeled_mteps(graph, app)
+
+
+#: ThunderGP ported to U280 (Sec. VI-G: 1.3x the original paper's design);
+#: resource-bound to ~4 channel groups (Table I: 21.3% CLB per channel).
+THUNDERGP = FpgaBaseline(
+    name="ThunderGP",
+    platform="U280",
+    effective_channels=4,
+    channel_bandwidth_gbs=14.4,
+    edge_efficiency=0.85,
+    lut_fraction=0.853,
+    reported_mteps=_THUNDERGP_REPORTED,
+)
+
+#: GraphLily overlay on U280 HBM: many channels, generic SpMV lanes.
+GRAPHLILY = FpgaBaseline(
+    name="GraphLily",
+    platform="U280",
+    effective_channels=16,
+    channel_bandwidth_gbs=14.4,
+    edge_efficiency=0.25,
+    lut_fraction=0.45,
+    reported_mteps=_GRAPHLILY_REPORTED,
+)
+
+#: Asiatici et al. on a DRAM (UltraScale+) platform: 4 DDR4 channels.
+ASIATICI = FpgaBaseline(
+    name="Asiatici",
+    platform="UltraScale+",
+    effective_channels=4,
+    channel_bandwidth_gbs=19.2,
+    edge_efficiency=0.2,
+    lut_fraction=0.742,
+    reported_mteps=_ASIATICI_REPORTED,
+)
+
+ALL_FPGA_BASELINES = (THUNDERGP, GRAPHLILY, ASIATICI)
+
+
+def thundergp_like_plan(framework, graph: Graph, num_pipelines: int = 4):
+    """Simulate a monolithic (ThunderGP-style) accelerator with our own
+    machinery: homogeneous Little-style pipelines at the resource-bound
+    count, scheduled without dense/sparse awareness.
+
+    Returns the framework preprocess result with a forced homogeneous
+    combo, so callers can run apps on it exactly like on ReGraph.
+    """
+    from repro.core.framework import ReGraph
+
+    mono = ReGraph(
+        platform=framework.platform,
+        pipeline=framework.pipeline,
+        channel=framework.channel,
+        num_pipelines=num_pipelines,
+    )
+    return mono.preprocess(graph, forced_combo=(num_pipelines, 0))

@@ -1,0 +1,72 @@
+"""Gunrock GPU baseline (Sec. VI-H, Fig. 15).
+
+Modelled as a bandwidth roofline on the two evaluation GPUs.  PR on GPUs
+is a near-streaming workload and converts a large fraction of the huge
+HBM2(e) bandwidth into traversal — which is why both GPUs beat ReGraph on
+PR throughput.  BFS is frontier-driven with kernel-launch overheads and
+poor utilisation on small frontiers, so its efficiency is much lower —
+which is why ReGraph beats the P100 on BFS.  Energy efficiency divides by
+the measured execution power of Table VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.coo import Graph
+
+
+@dataclass(frozen=True)
+class GunrockModel:
+    """Throughput/energy model of Gunrock on one GPU."""
+
+    name: str
+    peak_bandwidth_gbs: float
+    power_watts: float
+    #: fraction of peak bandwidth PR converts into edge traversal
+    pr_efficiency: float
+    #: fraction for frontier-based BFS (launch + load-balance losses)
+    bfs_efficiency: float
+
+    def _locality(self, graph: Graph) -> float:
+        """Coalescing factor: denser graphs coalesce vertex loads better."""
+        return min(0.25 + graph.average_degree / 64.0, 1.0)
+
+    def pagerank_mteps(self, graph: Graph) -> float:
+        """Modelled PR throughput (MTEPS)."""
+        bytes_per_edge = 8.0 + 4.0 / self._locality(graph)
+        gbs = self.peak_bandwidth_gbs * self.pr_efficiency
+        return gbs / bytes_per_edge * 1e3
+
+    def bfs_mteps(self, graph: Graph) -> float:
+        """Modelled BFS throughput (MTEPS)."""
+        bytes_per_edge = 8.0 + 4.0 / self._locality(graph)
+        gbs = self.peak_bandwidth_gbs * self.bfs_efficiency
+        return gbs / bytes_per_edge * 1e3
+
+    def throughput_mteps(self, app: str, graph: Graph) -> float:
+        """Dispatch on application name ('PR' or 'BFS')."""
+        if app.upper() == "PR":
+            return self.pagerank_mteps(graph)
+        if app.upper() in ("BFS", "CC"):
+            return self.bfs_mteps(graph)
+        raise ValueError(f"unknown app {app!r}")
+
+
+#: Tesla P100: 732 GB/s, measured 176 W (Table VI).
+GUNROCK_P100 = GunrockModel(
+    name="Gunrock-P100",
+    peak_bandwidth_gbs=732.0,
+    power_watts=176.0,
+    pr_efficiency=0.55,
+    bfs_efficiency=0.10,
+)
+
+#: Tesla A100: 2039 GB/s, measured 187 W (Table VI).
+GUNROCK_A100 = GunrockModel(
+    name="Gunrock-A100",
+    peak_bandwidth_gbs=2039.0,
+    power_watts=187.0,
+    pr_efficiency=0.60,
+    bfs_efficiency=0.18,
+)

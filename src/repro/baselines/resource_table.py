@@ -1,0 +1,115 @@
+"""Table I: resource projections of existing designs vs HBM channel count.
+
+The paper takes each design's published resource utilisation (starred
+cells, normalised to U280), derives a per-channel cost, and scales it
+linearly with the number of memory channels — showing every prior design
+blows past the device at or before 8 of the 32 channels, the motivation
+for heterogeneous pipelines.
+
+We store both the exact published cells (for the comparison printout) and
+the per-channel fraction (for the projection mechanism and the downstream
+resource-bound baseline models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Channel counts of Table I's columns with their bandwidth labels (GB/s).
+TABLE1_CHANNELS: Tuple[Tuple[int, float], ...] = (
+    (1, 14.0),
+    (4, 58.0),
+    (8, 115.0),
+    (16, 230.0),
+    (32, 460.0),
+)
+
+#: Practical LUT ceiling (Table I footnote).
+PRACTICAL_LUT_CAP = 0.80
+
+
+@dataclass(frozen=True)
+class ExistingDesign:
+    """One row of Table I."""
+
+    name: str
+    resource_type: str
+    #: utilisation fraction per memory channel (derived from the starred,
+    #: i.e. measured, anchor cell)
+    per_channel_fraction: float
+    #: the exact published utilisation percentages per column
+    paper_cells: Tuple[float, ...]
+    #: which columns were measured in the original papers (channel counts)
+    measured_at: Tuple[int, ...]
+
+    def utilization(self, num_channels: int) -> float:
+        """Projected utilisation fraction at ``num_channels`` channels."""
+        if num_channels < 0:
+            raise ValueError("num_channels must be >= 0")
+        return self.per_channel_fraction * num_channels
+
+    def max_feasible_channels(self, cap: float = PRACTICAL_LUT_CAP) -> int:
+        """Channels usable before exceeding the practical resource cap."""
+        return int(cap / self.per_channel_fraction)
+
+
+#: The four designs of Table I.  Fractions anchor on the starred cells:
+#: HitGraph 68.1%@4CH, FabGraph 25.5%@1CH (projections use 102.1/4),
+#: Asiatici 74.2%@4CH, ThunderGP 85.3%@4CH.
+TABLE1_DESIGNS: Tuple[ExistingDesign, ...] = (
+    ExistingDesign(
+        "HitGraph",
+        "LUT",
+        0.681 / 4,
+        (16.9, 68.1, 136.2, 272.4, 544.8),
+        (1, 4),
+    ),
+    ExistingDesign(
+        "FabGraph",
+        "LUT",
+        1.021 / 4,
+        (25.5, 102.1, 204.2, 408.5, 817.0),
+        (1,),
+    ),
+    ExistingDesign(
+        "Asiatici et al. (ISCA'21)",
+        "LUT",
+        0.742 / 4,
+        (18.6, 74.2, 148.4, 296.8, 593.6),
+        (4,),
+    ),
+    ExistingDesign(
+        "ThunderGP",
+        "CLB",
+        0.853 / 4,
+        (21.3, 85.3, 170.6, 341.2, 682.4),
+        (4,),
+    ),
+)
+
+
+def project_utilization(design: ExistingDesign) -> List[float]:
+    """Utilisation fractions projected at every Table I channel count."""
+    return [design.utilization(ch) for ch, _bw in TABLE1_CHANNELS]
+
+
+def table1_rows() -> List[Tuple]:
+    """Rows for regeneration: (name, resource, projected %, paper %)."""
+    return [
+        (
+            design.name,
+            design.resource_type,
+            [round(100 * u, 1) for u in project_utilization(design)],
+            list(design.paper_cells),
+        )
+        for design in TABLE1_DESIGNS
+    ]
+
+
+def feasible_channel_summary() -> Dict[str, int]:
+    """How many channels each prior design can actually drive (<80% LUT)."""
+    return {
+        design.name: design.max_feasible_channels()
+        for design in TABLE1_DESIGNS
+    }

@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the framework for shell use, mirroring the push-button workflow of
+Fig. 8:
+
+* ``datasets``  — list the Table III registry;
+* ``preprocess``— DBG + partition + schedule a graph, print the plan;
+* ``run``       — execute an application and report throughput;
+* ``sweep``     — throughput across all pipeline combinations;
+* ``codegen``   — emit the accelerator artifact bundles;
+* ``shuhai``    — characterise the HBM channel model;
+* ``selfcheck`` — run the post-install correctness matrix.
+
+Graphs come either from ``--dataset KEY`` (synthetic Table III stand-ins,
+with ``--scale``) or ``--edge-list FILE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.arch.config import PipelineConfig
+from repro.core.framework import ReGraph
+from repro.graph.datasets import DATASETS, load_dataset, table3_rows
+from repro.graph.io import read_edge_list
+from repro.hbm.channel import HbmChannelModel
+from repro.reporting import format_table
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", help="Table III key, e.g. HD")
+    parser.add_argument("--edge-list", help="path to an edge-list file")
+    parser.add_argument(
+        "--scale", type=float, default=1 / 32,
+        help="dataset scale factor (default 1/32)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--platform", default="U280", choices=["U280", "U50"])
+    parser.add_argument(
+        "--buffer-vertices", type=int, default=2048,
+        help="destination vertices per Gather PE (scaled default: 2048)",
+    )
+    parser.add_argument("--pipelines", type=int, default=None)
+
+
+def _load_graph(args):
+    if args.edge_list:
+        return read_edge_list(args.edge_list)
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    raise SystemExit("provide --dataset or --edge-list")
+
+
+def _framework(args) -> ReGraph:
+    return ReGraph(
+        args.platform,
+        pipeline=PipelineConfig(gather_buffer_vertices=args.buffer_vertices),
+        num_pipelines=args.pipelines,
+    )
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_datasets(_args) -> int:
+    rows = table3_rows()
+    print(format_table(
+        ["key", "name", "V", "E", "D", "type", "category"],
+        rows,
+        title=f"Table III registry ({len(DATASETS)} datasets)",
+    ))
+    return 0
+
+
+def cmd_preprocess(args) -> int:
+    graph = _load_graph(args)
+    framework = _framework(args)
+    pre = framework.preprocess(graph)
+    plan = pre.plan
+    print(f"graph: V={graph.num_vertices:,} E={graph.num_edges:,}")
+    print(f"partitions: {pre.pset.num_partitions} "
+          f"({len(plan.dense_indices)} dense, "
+          f"{len(plan.sparse_indices)} sparse)")
+    print(f"accelerator: {plan.accelerator.label}")
+    print(f"resources: LUT {pre.resources.lut_util:.1%} "
+          f"BRAM {pre.resources.bram_util:.1%} "
+          f"URAM {pre.resources.uram_util:.1%} "
+          f"@ {pre.resources.frequency_mhz:.0f} MHz")
+    print(f"estimated iteration makespan: {plan.estimated_makespan:,.0f} "
+          f"cycles (balance {plan.balance_ratio:.2f})")
+    print(f"preprocessing: DBG {pre.dbg_seconds * 1e3:.1f} ms, "
+          f"partition+schedule {pre.schedule_seconds * 1e3:.1f} ms")
+    return 0
+
+
+def cmd_run(args) -> int:
+    graph = _load_graph(args)
+    framework = _framework(args)
+    pre = framework.preprocess(graph)
+    app = args.app.lower()
+    if app == "pagerank":
+        run = framework.run_pagerank(pre, max_iterations=args.iterations)
+    elif app == "bfs":
+        run = framework.run_bfs(
+            pre, root=args.root, max_iterations=args.iterations
+        )
+    elif app == "closeness":
+        run = framework.run_closeness(
+            pre, root=args.root, max_iterations=args.iterations
+        )
+    else:
+        raise SystemExit(f"unknown app {args.app!r}")
+    print(f"{run.app_name} on {run.graph_name} "
+          f"[{run.accel_label} @ {run.frequency_mhz:.0f} MHz]")
+    print(f"iterations: {run.iterations} "
+          f"({'converged' if run.converged else 'cap reached'})")
+    print(f"simulated time: {run.total_seconds * 1e3:.3f} ms")
+    print(f"throughput: {run.mteps:,.0f} MTEPS")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.apps.pagerank import PageRank
+    from repro.core.system import SystemSimulator
+    from repro.sched.scheduler import build_schedule
+
+    graph = _load_graph(args)
+    framework = _framework(args)
+    pre = framework.preprocess(graph)
+    n_pip = framework.num_pipelines
+    rows = []
+    for m in range(n_pip + 1):
+        plan = build_schedule(
+            pre.pset, framework.model, n_pip, forced_combo=(m, n_pip - m)
+        )
+        sim = SystemSimulator(plan, framework.platform, framework.channel)
+        run = sim.run(
+            PageRank(pre.graph), max_iterations=5, functional=False
+        )
+        marker = "<- selected" if (
+            plan.accelerator.label == pre.plan.accelerator.label
+        ) else ""
+        rows.append((plan.accelerator.label, f"{run.mteps:,.0f}", marker))
+    print(format_table(
+        ["combo", "PR MTEPS", ""],
+        rows,
+        title=f"pipeline-combination sweep on {graph.name}",
+    ))
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    from repro.arch.platform import get_platform
+    from repro.codegen.generator import generate_all_combinations, write_bundle
+
+    platform = get_platform(args.platform)
+    bundles = generate_all_combinations(platform)
+    for bundle in bundles:
+        path = write_bundle(bundle, args.output)
+        print(f"wrote {bundle.label:>6} -> {path}")
+    return 0
+
+
+def cmd_selfcheck(args) -> int:
+    from repro.verify import all_passed, verify_installation
+
+    results = verify_installation(verbose=True)
+    ok = all_passed(results)
+    print(f"{sum(r.passed for r in results)}/{len(results)} checks passed")
+    return 0 if ok else 1
+
+
+def cmd_shuhai(_args) -> int:
+    from repro.hbm.shuhai import run_shuhai_suite
+
+    report = run_shuhai_suite(HbmChannelModel())
+    rows = [
+        (r.pattern, r.stride_bytes, f"{r.cycles_per_block:.2f}",
+         f"{r.effective_bandwidth_fraction:.1%}", f"{r.latency_cycles:.1f}")
+        for r in report.results
+    ]
+    print(format_table(
+        ["pattern", "stride B", "cyc/block", "bandwidth", "latency cyc"],
+        rows,
+        title="HBM channel characterisation (Shuhai-style)",
+    ))
+    print(f"latency knee at stride {report.knee_stride_bytes} B")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ReGraph reproduction: heterogeneous graph pipelines "
+                    "on simulated HBM FPGAs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table III registry")
+
+    p = sub.add_parser("preprocess", help="partition + schedule a graph")
+    _add_graph_arguments(p)
+    _add_platform_arguments(p)
+
+    p = sub.add_parser("run", help="execute an application")
+    _add_graph_arguments(p)
+    _add_platform_arguments(p)
+    p.add_argument("--app", default="pagerank",
+                   choices=["pagerank", "bfs", "closeness"])
+    p.add_argument("--root", type=int, default=0)
+    p.add_argument("--iterations", type=int, default=None)
+
+    p = sub.add_parser("sweep", help="sweep pipeline combinations")
+    _add_graph_arguments(p)
+    _add_platform_arguments(p)
+
+    p = sub.add_parser("codegen", help="emit accelerator bundles")
+    p.add_argument("--platform", default="U280", choices=["U280", "U50"])
+    p.add_argument("--output", default="generated")
+
+    sub.add_parser("shuhai", help="characterise the HBM channel model")
+    sub.add_parser(
+        "selfcheck",
+        help="run the post-install correctness matrix",
+    )
+    return parser
+
+
+_COMMANDS = {
+    "datasets": cmd_datasets,
+    "preprocess": cmd_preprocess,
+    "run": cmd_run,
+    "sweep": cmd_sweep,
+    "codegen": cmd_codegen,
+    "shuhai": cmd_shuhai,
+    "selfcheck": cmd_selfcheck,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

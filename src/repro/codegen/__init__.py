@@ -1,0 +1,31 @@
+"""Accelerator code generation (Sec. V-D, Fig. 8 step 2).
+
+Reproduces ReGraph's python-based generation flow up to the vendor
+toolchain boundary: for every pipeline combination it emits the kernel
+instance list, the kernel-to-SLR placement, the AXI port connectivity in
+Vitis ``--connectivity.sp`` style, and HLS-like stub sources carrying the
+user's UDFs.  (The real framework would hand these to Vitis; we stop at
+the synthesizable-artifact boundary since no toolchain exists offline.)
+"""
+
+from repro.codegen.generator import (
+    AcceleratorBundle,
+    KernelInstance,
+    generate_accelerator,
+    generate_all_combinations,
+    write_bundle,
+)
+from repro.codegen.slr import DEFAULT_SLR_TABLE, assign_slrs
+from repro.codegen.templates import render_kernel_stub, render_udf_header
+
+__all__ = [
+    "AcceleratorBundle",
+    "KernelInstance",
+    "generate_accelerator",
+    "generate_all_combinations",
+    "write_bundle",
+    "DEFAULT_SLR_TABLE",
+    "assign_slrs",
+    "render_kernel_stub",
+    "render_udf_header",
+]

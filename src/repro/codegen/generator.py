@@ -1,0 +1,175 @@
+"""Accelerator bundle generation (Sec. V-D).
+
+For a pipeline combination (M Little, N Big) the generator produces:
+
+* the kernel instance list (pipelines, mergers, apply, writer);
+* an SLR assignment from the preset mapping table;
+* memory-port bindings with the HBM port wrapper (2 ports per pipeline);
+* a Vitis-style connectivity config (``--connectivity.sp`` / ``.slr``);
+* HLS stub sources and the rendered UDF header.
+
+``generate_all_combinations`` enumerates every (M, N) with
+``M + N = N_pip``, mirroring the framework's pre-built accelerator set.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.arch.config import AcceleratorConfig, PipelineConfig
+from repro.arch.platform import FpgaPlatform
+from repro.hbm.ports import bind_ports
+from repro.codegen.slr import assign_slrs
+from repro.codegen.templates import (
+    render_host_stub,
+    render_kernel_stub,
+    render_makefile,
+    render_udf_header,
+)
+
+
+@dataclass(frozen=True)
+class KernelInstance:
+    """One kernel in the generated design."""
+
+    name: str
+    kind: str  # little | big | apply | writer
+    slr: int
+    ports: List[int]
+
+
+@dataclass
+class AcceleratorBundle:
+    """Everything generated for one pipeline combination."""
+
+    label: str
+    platform: str
+    kernels: List[KernelInstance] = field(default_factory=list)
+    connectivity_cfg: str = ""
+    udf_header: str = ""
+    host_source: str = ""
+    makefile: str = ""
+    stub_sources: Dict[str, str] = field(default_factory=dict)
+
+    def to_manifest(self) -> dict:
+        """JSON-serialisable summary of the bundle."""
+        return {
+            "label": self.label,
+            "platform": self.platform,
+            "kernels": [
+                {
+                    "name": k.name,
+                    "kind": k.kind,
+                    "slr": k.slr,
+                    "ports": k.ports,
+                }
+                for k in self.kernels
+            ],
+        }
+
+
+def _connectivity_lines(kernels: List[KernelInstance]) -> str:
+    """Vitis-style connectivity: sp (port) and slr (placement) lines."""
+    lines = ["[connectivity]"]
+    for kernel in kernels:
+        for i, port in enumerate(kernel.ports):
+            lines.append(
+                f"sp={kernel.name}.gmem{i}:HBM[{port}]"
+            )
+        lines.append(f"slr={kernel.name}:SLR{kernel.slr}")
+    return "\n".join(lines) + "\n"
+
+
+def generate_accelerator(
+    accel: AcceleratorConfig,
+    platform: FpgaPlatform,
+    udf_exprs: Optional[dict] = None,
+) -> AcceleratorBundle:
+    """Generate the full artifact bundle for one pipeline combination."""
+    names: List[str] = []
+    kinds: Dict[str, str] = {}
+    for i in range(accel.num_little):
+        name = f"little_pipeline_{i}"
+        names.append(name)
+        kinds[name] = "little"
+    for i in range(accel.num_big):
+        name = f"big_pipeline_{i}"
+        names.append(name)
+        kinds[name] = "big"
+    names += ["apply_0", "writer_0"]
+    kinds["apply_0"] = "apply"
+    kinds["writer_0"] = "writer"
+
+    slr_map = assign_slrs(names, platform.slrs)
+    binding = bind_ports(accel.total_pipelines, platform.num_ports)
+
+    kernels: List[KernelInstance] = []
+    pipe_idx = 0
+    for name in names:
+        kind = kinds[name]
+        if kind in ("little", "big"):
+            ports = binding.pipeline_ports[pipe_idx]
+            pipe_idx += 1
+        elif kind == "apply":
+            ports = binding.apply_ports[:2]
+        else:
+            ports = binding.apply_ports[2:]
+        kernels.append(
+            KernelInstance(
+                name=name, kind=kind, slr=slr_map[name], ports=list(ports)
+            )
+        )
+
+    udf_exprs = udf_exprs or {}
+    header = render_udf_header(**udf_exprs)
+    stubs = {
+        f"{k.name}.cpp": render_kernel_stub(k.name, k.kind, k.slr, k.ports)
+        for k in kernels
+    }
+    return AcceleratorBundle(
+        label=accel.label,
+        platform=platform.name,
+        kernels=kernels,
+        connectivity_cfg=_connectivity_lines(kernels),
+        udf_header=header,
+        host_source=render_host_stub(
+            accel.label, platform.name, accel.total_pipelines
+        ),
+        makefile=render_makefile(accel.label, platform.name),
+        stub_sources=stubs,
+    )
+
+
+def generate_all_combinations(
+    platform: FpgaPlatform,
+    pipeline: Optional[PipelineConfig] = None,
+    udf_exprs: Optional[dict] = None,
+) -> List[AcceleratorBundle]:
+    """One bundle per (M, N) combination, M from 0 to N_pip."""
+    from repro.core.accelerator import enumerate_accelerators
+
+    return [
+        generate_accelerator(accel, platform, udf_exprs)
+        for accel in enumerate_accelerators(platform, pipeline)
+    ]
+
+
+def write_bundle(bundle: AcceleratorBundle, out_dir) -> Path:
+    """Write a bundle's artifacts to disk; returns the bundle directory."""
+    root = Path(out_dir) / bundle.label
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "manifest.json").write_text(
+        json.dumps(bundle.to_manifest(), indent=2)
+    )
+    (root / "connectivity.cfg").write_text(bundle.connectivity_cfg)
+    (root / "regraph_udf.h").write_text(bundle.udf_header)
+    (root / "host.cpp").write_text(bundle.host_source)
+    (root / "Makefile").write_text(bundle.makefile)
+    src = root / "src"
+    src.mkdir(exist_ok=True)
+    for filename, content in bundle.stub_sources.items():
+        (src / filename).write_text(content)
+    return root

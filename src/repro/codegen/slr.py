@@ -1,0 +1,61 @@
+"""Kernel-to-SLR placement (Sec. V-C/V-D).
+
+Modern Alveo cards have multiple super logic regions; ReGraph spreads
+kernels evenly across SLRs from a preset mapping table and merges data
+within an SLR before crossing (the merge-tree optimisation).  We reproduce
+the placement policy: pipelines round-robin over SLRs, the Apply/Writer
+pair sits on the SLR adjacent to the HBM stacks (SLR0 on U280).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Preset kernel-role -> preferred SLR (U280 has SLR0 next to HBM).
+DEFAULT_SLR_TABLE: Dict[str, int] = {
+    "apply": 0,
+    "writer": 0,
+    "little_merger": 1,
+    "big_merger": 1,
+}
+
+
+def assign_slrs(
+    kernel_names: List[str],
+    num_slrs: int,
+    table: Dict[str, int] = None,
+) -> Dict[str, int]:
+    """Assign every kernel instance an SLR.
+
+    Named roles follow the preset table (clamped to the SLR count);
+    pipeline kernels round-robin so no SLR concentrates the heavy logic.
+    """
+    if num_slrs < 1:
+        raise ValueError("num_slrs must be >= 1")
+    table = {**DEFAULT_SLR_TABLE, **(table or {})}
+    assignment: Dict[str, int] = {}
+    rr = 0
+    for name in kernel_names:
+        role = name.rsplit("_", 1)[0]
+        if role in table:
+            assignment[name] = min(table[role], num_slrs - 1)
+        elif name in table:
+            assignment[name] = min(table[name], num_slrs - 1)
+        else:
+            assignment[name] = rr % num_slrs
+            rr += 1
+    return assignment
+
+
+def crossing_count(
+    assignment: Dict[str, int],
+    edges: List[tuple],
+) -> int:
+    """Number of stream connections that cross an SLR boundary.
+
+    ``edges`` are (producer, consumer) kernel-name pairs; the SLR-aware
+    merge-tree design exists to minimise this count.
+    """
+    return sum(
+        1 for a, b in edges if assignment.get(a, 0) != assignment.get(b, 0)
+    )

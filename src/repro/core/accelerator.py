@@ -1,0 +1,52 @@
+"""Accelerator generation (Sec. V-D).
+
+ReGraph generates one accelerator per pipeline combination: with
+``N_pip = min(N_ch, (N_port - N_res) / 2)`` total pipelines, it enumerates
+``M`` from 0 to ``N_pip`` Little pipelines (and ``N = N_pip - M`` Big
+ones).  The resource model then filters combinations that would not place
+on the device — with the heterogeneous designs of the paper, all of them
+fit, which is precisely the scalability claim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.arch.config import AcceleratorConfig, PipelineConfig
+from repro.arch.platform import FpgaPlatform
+from repro.arch.resources import report
+
+
+def enumerate_accelerators(
+    platform: FpgaPlatform,
+    pipeline: Optional[PipelineConfig] = None,
+    total_pipelines: Optional[int] = None,
+) -> List[AcceleratorConfig]:
+    """All (M Little, N Big) combinations for the platform.
+
+    ``total_pipelines`` overrides the platform's port-derived maximum,
+    which the scalability study (Fig. 12) uses to sweep pipeline counts.
+    """
+    if pipeline is None:
+        pipeline = PipelineConfig().for_platform(platform)
+    n_pip = total_pipelines or platform.max_total_pipelines
+    if n_pip < 1:
+        raise ValueError("platform supports no pipelines")
+    return [
+        AcceleratorConfig(num_little=m, num_big=n_pip - m, pipeline=pipeline)
+        for m in range(n_pip + 1)
+    ]
+
+
+def feasible_accelerators(
+    platform: FpgaPlatform,
+    pipeline: Optional[PipelineConfig] = None,
+    total_pipelines: Optional[int] = None,
+    max_lut: float = 0.8,
+) -> List[AcceleratorConfig]:
+    """The combinations whose resource report passes the placement check."""
+    return [
+        accel
+        for accel in enumerate_accelerators(platform, pipeline, total_pipelines)
+        if report(accel, platform).feasible(max_lut=max_lut)
+    ]

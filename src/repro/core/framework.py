@@ -1,0 +1,190 @@
+"""The ReGraph framework facade (Fig. 8).
+
+One object drives the whole flow a user of the open-source framework
+would run: hand it a platform and a graph, and it performs DBG grouping,
+destination-interval partitioning, model calibration, model-guided
+scheduling (choosing the best pipeline combination) and execution on the
+simulated heterogeneous accelerator — push-button, as Sec. V promises.
+
+Vertex IDs: preprocessing relabels the graph (DBG), so the framework maps
+roots into, and results out of, the relabelled space transparently.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.arch.config import PipelineConfig, default_pipeline_config
+from repro.arch.platform import FpgaPlatform, get_platform
+from repro.arch.resources import ResourceReport, report as resource_report
+from repro.core.system import RunReport, SystemSimulator
+from repro.graph.coo import Graph
+from repro.graph.partition import PartitionSet, partition_graph
+from repro.graph.reorder import DbgResult, degree_based_grouping, identity_ordering
+from repro.hbm.channel import HbmChannelModel
+from repro.model.calibrate import calibrate_performance_model
+from repro.model.perf import PerformanceModel
+from repro.sched.plan import SchedulingPlan
+from repro.sched.scheduler import build_schedule
+
+
+@dataclass
+class PreprocessResult:
+    """Everything the offline phase produces for one graph."""
+
+    dbg: DbgResult
+    pset: PartitionSet
+    model: PerformanceModel
+    plan: SchedulingPlan
+    resources: ResourceReport
+    #: wall-clock seconds of DBG and of partitioning+scheduling
+    dbg_seconds: float
+    schedule_seconds: float
+
+    @property
+    def graph(self) -> Graph:
+        """The relabelled graph the accelerator executes."""
+        return self.dbg.graph
+
+    def to_original_order(self, props: np.ndarray) -> np.ndarray:
+        """Map per-vertex results back to the input graph's vertex IDs."""
+        return self.dbg.restore(props)
+
+    def to_internal_vertex(self, vertex: int) -> int:
+        """Map an input-graph vertex ID into the relabelled space."""
+        return int(self.dbg.mapping[vertex])
+
+
+class ReGraph:
+    """End-to-end framework: preprocess once, run apps push-button."""
+
+    def __init__(
+        self,
+        platform: Union[str, FpgaPlatform] = "U280",
+        pipeline: Optional[PipelineConfig] = None,
+        channel: Optional[HbmChannelModel] = None,
+        num_pipelines: Optional[int] = None,
+    ):
+        self.platform = (
+            get_platform(platform) if isinstance(platform, str) else platform
+        )
+        self.pipeline = pipeline or default_pipeline_config(self.platform)
+        self.channel = channel or HbmChannelModel()
+        self.num_pipelines = num_pipelines or self.platform.max_total_pipelines
+        self._model: Optional[PerformanceModel] = None
+
+    @property
+    def model(self) -> PerformanceModel:
+        """The calibrated analytic performance model (lazy)."""
+        if self._model is None:
+            self._model = calibrate_performance_model(
+                self.pipeline, self.channel
+            )
+        return self._model
+
+    # ------------------------------------------------------------------
+    def preprocess(
+        self,
+        graph: Graph,
+        use_dbg: bool = True,
+        forced_combo: Optional[Tuple[int, int]] = None,
+    ) -> PreprocessResult:
+        """Offline phase: DBG, partition, schedule (Fig. 8 steps 3-4)."""
+        t0 = time.perf_counter()
+        dbg = (
+            degree_based_grouping(graph) if use_dbg else identity_ordering(graph)
+        )
+        t1 = time.perf_counter()
+        pset = partition_graph(dbg.graph, self.pipeline.partition_vertices)
+        plan = build_schedule(
+            pset, self.model, self.num_pipelines, forced_combo=forced_combo
+        )
+        t2 = time.perf_counter()
+        return PreprocessResult(
+            dbg=dbg,
+            pset=pset,
+            model=self.model,
+            plan=plan,
+            resources=resource_report(plan.accelerator, self.platform),
+            dbg_seconds=t1 - t0,
+            schedule_seconds=t2 - t1,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph_or_pre: Union[Graph, PreprocessResult],
+        app_builder: Callable[[Graph], object],
+        max_iterations: Optional[int] = None,
+        functional: bool = True,
+    ) -> RunReport:
+        """Deploy and execute an app (Fig. 8 step 5).
+
+        ``app_builder`` receives the *relabelled* graph; per-vertex
+        results in the returned report are mapped back to input-graph
+        order.
+        """
+        pre = (
+            graph_or_pre
+            if isinstance(graph_or_pre, PreprocessResult)
+            else self.preprocess(graph_or_pre)
+        )
+        app = app_builder(pre.graph)
+        sim = SystemSimulator(pre.plan, self.platform, self.channel)
+        run = sim.run(app, max_iterations=max_iterations, functional=functional)
+        if run.props is not None and run.props.size == pre.graph.num_vertices:
+            run.props = pre.to_original_order(run.props)
+            if (
+                isinstance(run.result, np.ndarray)
+                and run.result.size == pre.graph.num_vertices
+            ):
+                run.result = pre.to_original_order(run.result)
+        return run
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers for the three paper benchmarks
+    # ------------------------------------------------------------------
+    def run_pagerank(self, graph_or_pre, **kwargs) -> RunReport:
+        """PageRank with the Listing 1 UDFs."""
+        from repro.apps.pagerank import PageRank
+
+        max_iterations = kwargs.pop("max_iterations", None)
+        functional = kwargs.pop("functional", True)
+        return self.run(
+            graph_or_pre,
+            lambda g: PageRank(g, **kwargs),
+            max_iterations=max_iterations,
+            functional=functional,
+        )
+
+    def run_bfs(self, graph_or_pre, root: int = 0, **kwargs) -> RunReport:
+        """BFS from ``root`` (an input-graph vertex ID)."""
+        from repro.apps.bfs import BreadthFirstSearch
+
+        pre = (
+            graph_or_pre
+            if isinstance(graph_or_pre, PreprocessResult)
+            else self.preprocess(graph_or_pre)
+        )
+        internal_root = pre.to_internal_vertex(root)
+        return self.run(
+            pre, lambda g: BreadthFirstSearch(g, root=internal_root), **kwargs
+        )
+
+    def run_closeness(self, graph_or_pre, root: int = 0, **kwargs) -> RunReport:
+        """Closeness centrality of ``root`` (an input-graph vertex ID)."""
+        from repro.apps.closeness import ClosenessCentrality
+
+        pre = (
+            graph_or_pre
+            if isinstance(graph_or_pre, PreprocessResult)
+            else self.preprocess(graph_or_pre)
+        )
+        internal_root = pre.to_internal_vertex(root)
+        return self.run(
+            pre, lambda g: ClosenessCentrality(g, root=internal_root), **kwargs
+        )

@@ -1,0 +1,202 @@
+"""Full-system simulator: heterogeneous clusters + Apply + Writer.
+
+Executes a static :class:`~repro.sched.plan.SchedulingPlan` iteration by
+iteration.  Within an iteration every pipeline runs its task list; the two
+clusters proceed concurrently and the Apply module streams the merged
+accumulations against the old properties (Fig. 3c), so the iteration's
+cycle count is the slowest pipeline's busy time overlapped with the
+Apply/Writer stream.
+
+Task timings are invariant across iterations (the edge lists never
+change), so they are simulated once and cached; the *functional* pass —
+running the app's UDFs through the modelled PEs — repeats every iteration
+because properties evolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.apply import ApplySim
+from repro.arch.big_pipeline import BigPipelineSim
+from repro.arch.little_pipeline import LittlePipelineSim
+from repro.arch.platform import FpgaPlatform
+from repro.arch.resources import report as resource_report
+from repro.arch.writer import WriterSim
+from repro.hbm.channel import HbmChannelModel
+from repro.sched.plan import SchedulingPlan
+
+
+@dataclass(frozen=True)
+class IterationReport:
+    """Cycle accounting of one iteration."""
+
+    little_cycles: List[float]
+    big_cycles: List[float]
+    apply_cycles: float
+    writer_cycles: float
+
+    @property
+    def cluster_cycles(self) -> float:
+        """Busy time of the slowest pipeline across both clusters."""
+        busiest = 0.0
+        for cycles in (self.little_cycles, self.big_cycles):
+            if cycles:
+                busiest = max(busiest, max(cycles))
+        return busiest
+
+    @property
+    def total_cycles(self) -> float:
+        """Iteration cycles: clusters overlapped with the Apply stream,
+        plus the Writer's broadcast tail."""
+        return max(self.cluster_cycles, self.apply_cycles) + self.writer_cycles
+
+
+@dataclass
+class RunReport:
+    """Outcome of a full application run on the simulated system."""
+
+    app_name: str
+    graph_name: str
+    accel_label: str
+    frequency_mhz: float
+    iterations: int = 0
+    total_cycles: float = 0.0
+    edges_per_iteration: int = 0
+    converged: bool = False
+    iteration_reports: List[IterationReport] = field(default_factory=list)
+    props: Optional[np.ndarray] = None
+    result: Optional[object] = None
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock execution time at the modelled frequency."""
+        return self.total_cycles / (self.frequency_mhz * 1e6)
+
+    @property
+    def processed_edges(self) -> int:
+        """Edge traversals across all iterations."""
+        return self.edges_per_iteration * self.iterations
+
+    @property
+    def mteps(self) -> float:
+        """Millions of traversed edges per second."""
+        if self.total_seconds == 0:
+            return 0.0
+        return self.processed_edges / self.total_seconds / 1e6
+
+    @property
+    def gteps(self) -> float:
+        """Billions of traversed edges per second."""
+        return self.mteps / 1e3
+
+
+class SystemSimulator:
+    """Executes a scheduling plan on the modelled heterogeneous system."""
+
+    def __init__(
+        self,
+        plan: SchedulingPlan,
+        platform: FpgaPlatform,
+        channel: Optional[HbmChannelModel] = None,
+    ):
+        self.plan = plan
+        self.platform = platform
+        self.channel = channel or HbmChannelModel()
+        config = plan.accelerator.pipeline
+        self._little = LittlePipelineSim(config, self.channel)
+        self._big = BigPipelineSim(config, self.channel)
+        self._apply = ApplySim(self.channel)
+        self._writer = WriterSim(self.channel)
+        self._resource_report = resource_report(plan.accelerator, platform)
+        self._cached_iteration: Optional[IterationReport] = None
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Implementation frequency from the resource model."""
+        return self._resource_report.frequency_mhz
+
+    # ------------------------------------------------------------------
+    def _timing_pass(self, num_vertices: int) -> IterationReport:
+        """Simulate one iteration's timing (cached across iterations)."""
+        if self._cached_iteration is not None:
+            return self._cached_iteration
+        little = []
+        for tasks in self.plan.little_tasks:
+            busy = 0.0
+            for task in tasks:
+                timing, _ = self._little.execute(task.partition)
+                busy += timing.total_cycles
+            little.append(busy)
+        big = []
+        for tasks in self.plan.big_tasks:
+            busy = 0.0
+            for task in tasks:
+                timing, _ = self._big.execute(task.partitions)
+                busy += timing.total_cycles
+            big.append(busy)
+        self._cached_iteration = IterationReport(
+            little_cycles=little,
+            big_cycles=big,
+            apply_cycles=self._apply.cycles(num_vertices),
+            writer_cycles=self._writer.cycles(num_vertices),
+        )
+        return self._cached_iteration
+
+    def _functional_pass(self, app, props: np.ndarray) -> np.ndarray:
+        """Run every task's UDFs and merge accumulations globally."""
+        acc = np.full(props.size, app.gather_identity, dtype=app.prop_dtype)
+        for tasks in self.plan.little_tasks:
+            for task in tasks:
+                _, output = self._little.execute(task.partition, app, props)
+                lo, hi, buffer = output
+                acc[lo:hi] = app.gather(acc[lo:hi], buffer)
+        for tasks in self.plan.big_tasks:
+            for task in tasks:
+                _, outputs = self._big.execute(task.partitions, app, props)
+                for lo, hi, buffer in outputs:
+                    acc[lo:hi] = app.gather(acc[lo:hi], buffer)
+        return self._apply.run(app, props, acc)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        app,
+        max_iterations: Optional[int] = None,
+        functional: bool = True,
+    ) -> RunReport:
+        """Execute the app until convergence or the iteration cap.
+
+        With ``functional=False`` only timing is simulated (properties are
+        not evolved) and exactly ``max_iterations`` iterations are
+        charged — the mode used by pure-throughput sweeps.
+        """
+        limit = max_iterations if max_iterations is not None else app.max_iterations
+        graph = app.graph
+        run = RunReport(
+            app_name=app.name,
+            graph_name=graph.name,
+            accel_label=self.plan.accelerator.label,
+            frequency_mhz=self.frequency_mhz,
+            edges_per_iteration=self.plan.total_edges(),
+        )
+        props = app.init_props() if functional else None
+        for _ in range(limit):
+            iteration = self._timing_pass(graph.num_vertices)
+            run.iteration_reports.append(iteration)
+            run.total_cycles += iteration.total_cycles
+            run.iterations += 1
+            if functional:
+                new_props = self._functional_pass(app, props)
+                if app.has_converged(props, new_props, run.iterations):
+                    props = new_props
+                    run.converged = True
+                    break
+                props = new_props
+        if functional:
+            run.props = props
+            run.result = app.finalize(props)
+        return run

@@ -1,0 +1,75 @@
+"""Graph substrate: structures, generators, reordering and partitioning.
+
+This package implements everything ReGraph's preprocessing pipeline needs
+(Fig. 8, steps 3-4 of the paper): the COO graph representation with source
+vertices in ascending order, a CSR view for CPU baselines, synthetic dataset
+generators standing in for Table III, degree-based grouping (DBG), the
+destination-interval partitioner of Fig. 1 and the per-partition workload
+statistics profiled in Fig. 2.
+"""
+
+from repro.graph.coo import Graph
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    power_law_graph,
+    rmat_graph,
+)
+from repro.graph.datasets import (
+    DATASETS,
+    DatasetSpec,
+    load_dataset,
+    table3_rows,
+)
+from repro.graph.reorder import (
+    DbgResult,
+    degree_based_grouping,
+    identity_ordering,
+)
+from repro.graph.partition import (
+    Partition,
+    PartitionSet,
+    partition_graph,
+)
+from repro.graph.stats import (
+    PartitionProfile,
+    diversity_summary,
+    estimate_skew_exponent,
+    profile_partitions,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.formats import load_npz, save_npz
+from repro.graph.subgraph import (
+    induced_subgraph,
+    sample_edges,
+    top_degree_core,
+)
+
+__all__ = [
+    "Graph",
+    "CsrGraph",
+    "erdos_renyi_graph",
+    "power_law_graph",
+    "rmat_graph",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "table3_rows",
+    "DbgResult",
+    "degree_based_grouping",
+    "identity_ordering",
+    "Partition",
+    "PartitionSet",
+    "partition_graph",
+    "PartitionProfile",
+    "diversity_summary",
+    "estimate_skew_exponent",
+    "profile_partitions",
+    "read_edge_list",
+    "write_edge_list",
+    "load_npz",
+    "save_npz",
+    "induced_subgraph",
+    "sample_edges",
+    "top_degree_core",
+]

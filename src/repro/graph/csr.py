@@ -1,0 +1,93 @@
+"""CSR (compressed sparse row) view of a graph.
+
+The FPGA pipelines consume COO edge lists, but the CPU baselines (Ligra-style
+push/pull traversal, Sec. VI-H) and the reference algorithm implementations
+used to validate functional results want CSR adjacency.  This module converts
+between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.coo import Graph
+
+
+class CsrGraph:
+    """Adjacency in CSR form: ``indptr``/``indices`` (+ optional weights)."""
+
+    def __init__(
+        self,
+        num_vertices: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        name: str = "graph",
+    ):
+        if indptr.size != num_vertices + 1:
+            raise ValueError(
+                f"indptr must have V+1={num_vertices + 1} entries, "
+                f"got {indptr.size}"
+            )
+        if indptr[-1] != indices.size:
+            raise ValueError("indptr[-1] must equal the number of edges")
+        self.num_vertices = int(num_vertices)
+        self.indptr = indptr.astype(np.int64)
+        self.indices = indices.astype(np.int64)
+        self.weights = weights
+        self.name = name
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(self.indices.size)
+
+    @classmethod
+    def from_coo(cls, graph: Graph, transpose: bool = False) -> "CsrGraph":
+        """Build CSR adjacency from a COO graph.
+
+        With ``transpose=True`` the rows are destination vertices (in-CSR),
+        which is what pull-style traversal needs.
+        """
+        rows = graph.dst if transpose else graph.src
+        cols = graph.src if transpose else graph.dst
+        order = np.argsort(rows, kind="stable")
+        rows_sorted = rows[order]
+        cols_sorted = cols[order]
+        weights = None
+        if graph.weights is not None:
+            weights = graph.weights[order]
+        counts = np.bincount(rows_sorted, minlength=graph.num_vertices)
+        indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        return cls(
+            graph.num_vertices,
+            indptr,
+            cols_sorted,
+            weights=weights,
+            name=graph.name,
+        )
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Neighbor IDs of ``vertex``."""
+        lo, hi = self.indptr[vertex], self.indptr[vertex + 1]
+        return self.indices[lo:hi]
+
+    def degree(self, vertex: int) -> int:
+        """Out-degree of ``vertex`` in this CSR orientation."""
+        return int(self.indptr[vertex + 1] - self.indptr[vertex])
+
+    def to_coo(self) -> Graph:
+        """Convert back to a COO :class:`~repro.graph.coo.Graph`."""
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64),
+            np.diff(self.indptr),
+        )
+        return Graph(
+            self.num_vertices,
+            src,
+            self.indices,
+            weights=self.weights,
+            name=self.name,
+        )

@@ -1,0 +1,155 @@
+"""Dataset registry reproducing Table III of the paper.
+
+The paper evaluates on four synthetic Kronecker graphs and twelve real-world
+graphs from SNAP / network-repository.  The real datasets cannot be fetched
+offline, so each entry here records the published (V, E, D, type, category)
+signature together with generator parameters that produce a synthetic
+stand-in with the same size and degree-skew character (see DESIGN.md,
+substitution table).
+
+Because the cycle-level simulator is pure Python/NumPy, loading a dataset at
+``scale=1.0`` (full published size, up to 268 M edges) is supported but slow;
+benchmarks default to a reduced ``scale`` that divides V and E while keeping
+the degree distribution shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.coo import Graph
+from repro.graph.generators import power_law_graph, rmat_graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Published signature + generator recipe for one Table III dataset."""
+
+    key: str
+    full_name: str
+    num_vertices: int
+    num_edges: int
+    avg_degree: int
+    directed: bool
+    category: str
+    generator: str  # "rmat" or "powerlaw"
+    rmat_scale: int = 0
+    rmat_edge_factor: int = 0
+    skew_exponent: float = 0.0
+
+    def instantiate(self, scale: float = 1.0, seed: int = 0) -> Graph:
+        """Build the synthetic stand-in, optionally scaled down.
+
+        ``scale`` divides both V and E (RMAT graphs reduce their scale
+        parameter by ``log2(1/scale)`` levels), preserving average degree.
+        """
+        if not 0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        if self.generator == "rmat":
+            levels_off = 0
+            remaining = scale
+            while remaining < 1.0 - 1e-9:
+                levels_off += 1
+                remaining *= 2.0
+            eff_scale = max(self.rmat_scale - levels_off, 6)
+            return rmat_graph(
+                eff_scale,
+                edge_factor=self.rmat_edge_factor,
+                seed=seed,
+                name=self.key,
+            )
+        num_v = max(int(self.num_vertices * scale), 64)
+        num_e = max(int(self.num_edges * scale), 256)
+        return power_law_graph(
+            num_v,
+            num_e,
+            exponent=self.skew_exponent,
+            seed=seed,
+            name=self.key,
+            undirected=not self.directed,
+        )
+
+
+def _rmat(key, full_name, scale, edge_factor, category="Synthetic"):
+    num_v = 1 << scale
+    return DatasetSpec(
+        key=key,
+        full_name=full_name,
+        num_vertices=num_v,
+        num_edges=num_v * edge_factor,
+        avg_degree=edge_factor,
+        directed=True,
+        category=category,
+        generator="rmat",
+        rmat_scale=scale,
+        rmat_edge_factor=edge_factor,
+    )
+
+
+def _pl(key, full_name, num_v, num_e, avg_deg, directed, category, exponent):
+    return DatasetSpec(
+        key=key,
+        full_name=full_name,
+        num_vertices=num_v,
+        num_edges=num_e,
+        avg_degree=avg_deg,
+        directed=directed,
+        category=category,
+        generator="powerlaw",
+        skew_exponent=exponent,
+    )
+
+
+#: All sixteen datasets of Table III, keyed by their paper abbreviation.
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.key: spec
+    for spec in [
+        _rmat("R19", "rmat-19-32", 19, 32),
+        _rmat("R21", "rmat-21-32", 21, 32),
+        _rmat("R24", "rmat-24-16", 24, 16),
+        # graph500-scale23 is Kronecker as well (same family, D=56).
+        _rmat("G23", "graph500-scale23", 23, 56),
+        _pl("GG", "web-google", 916_428, 5_105_039, 6, True, "Web", 1.7),
+        _pl("AM", "amazon-2008", 735_323, 5_158_388, 7, True, "Social", 1.3),
+        _pl("HD", "web-hudong", 1_984_484, 14_869_484, 7, True, "Web", 2.2),
+        _pl("BB", "web-baidu-baike", 2_141_300, 17_794_839, 8, True, "Web", 2.1),
+        _pl("TC", "wiki-topcats", 1_791_489, 28_511_807, 16, True, "Web", 1.8),
+        _pl("PK", "pokec-relationships", 1_632_803, 30_622_564, 19, True, "Social", 1.4),
+        _pl("FU", "soc-flickr-und", 1_715_255, 15_555_041, 9, False, "Social", 1.9),
+        _pl("WP", "wikipedia-20070206", 3_566_907, 45_030_389, 13, True, "Web", 1.9),
+        _pl("LJ", "liveJournal", 4_847_571, 68_993_773, 14, False, "Social", 1.7),
+        _pl("HW", "ca-hollywood-2009", 1_139_905, 56_375_711, 53, False, "Collabo.", 1.6),
+        _pl("DB", "dbpedia-link", 18_268_992, 172_183_984, 9, True, "Social", 2.0),
+        _pl("OR", "orkut", 3_072_441, 117_184_899, 38, False, "Social", 1.4),
+    ]
+}
+
+
+def load_dataset(key: str, scale: float = 1.0, seed: int = 0) -> Graph:
+    """Instantiate the synthetic stand-in for a Table III dataset by key."""
+    if key not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {key!r}; available: {sorted(DATASETS)}"
+        )
+    return DATASETS[key].instantiate(scale=scale, seed=seed)
+
+
+def table3_rows(keys: Optional[List[str]] = None) -> List[Tuple]:
+    """Rows of Table III: (key, full name, V, E, D, type, category)."""
+    selected = keys if keys is not None else list(DATASETS)
+    rows = []
+    for key in selected:
+        spec = DATASETS[key]
+        rows.append(
+            (
+                spec.key,
+                spec.full_name,
+                spec.num_vertices,
+                spec.num_edges,
+                spec.avg_degree,
+                "Directed" if spec.directed else "Undirected",
+                spec.category,
+            )
+        )
+    return rows

@@ -1,0 +1,113 @@
+"""Per-partition workload statistics (the Fig. 2 profile).
+
+For every partition the paper profiles two quantities on a log scale:
+the percentage of the graph's edges it owns and the percentage of source
+vertices it dereferences.  Dense partitions score high on both; sparse
+partitions are low on both.  These statistics also feed the analytic
+performance model and the dataset characterisation tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.graph.partition import Partition, PartitionSet
+
+
+@dataclass(frozen=True)
+class PartitionProfile:
+    """Workload profile of a single partition."""
+
+    index: int
+    num_edges: int
+    edge_fraction: float
+    unique_src: int
+    src_fraction: float
+    src_span_blocks: int
+
+    @property
+    def edge_percent(self) -> float:
+        """Percentage of the graph's edges in this partition (Fig. 2 y1)."""
+        return 100.0 * self.edge_fraction
+
+    @property
+    def src_percent(self) -> float:
+        """Percentage of source vertices accessed (Fig. 2 y2)."""
+        return 100.0 * self.src_fraction
+
+
+def profile_partition(
+    partition: Partition,
+    total_edges: int,
+    num_vertices: int,
+    vertices_per_block: int = 16,
+) -> PartitionProfile:
+    """Profile one partition against whole-graph totals."""
+    unique_src = partition.unique_src_count()
+    return PartitionProfile(
+        index=partition.index,
+        num_edges=partition.num_edges,
+        edge_fraction=partition.num_edges / max(total_edges, 1),
+        unique_src=unique_src,
+        src_fraction=unique_src / max(num_vertices, 1),
+        src_span_blocks=partition.src_span_blocks(vertices_per_block),
+    )
+
+
+def profile_partitions(
+    pset: PartitionSet,
+    include_empty: bool = False,
+    vertices_per_block: int = 16,
+) -> List[PartitionProfile]:
+    """Profile all partitions; empties are dropped by default as in Fig. 2."""
+    total_edges = pset.graph.num_edges
+    num_vertices = pset.graph.num_vertices
+    parts = pset.partitions if include_empty else pset.nonempty()
+    return [
+        profile_partition(p, total_edges, num_vertices, vertices_per_block)
+        for p in parts
+    ]
+
+
+def estimate_skew_exponent(degrees: np.ndarray, tail_fraction: float = 0.2):
+    """MLE power-law exponent of a degree distribution (Hill estimator).
+
+    Fit over the top ``tail_fraction`` of nonzero degrees:
+    ``alpha = 1 + n / sum(ln(d / d_min))``.  Used to check that dataset
+    stand-ins carry the same skew class as their published originals;
+    returns ``nan`` when the tail is too small to fit.
+    """
+    degrees = np.asarray(degrees, dtype=np.float64)
+    nonzero = np.sort(degrees[degrees > 0])[::-1]
+    count = max(int(nonzero.size * tail_fraction), 2)
+    if nonzero.size < 2:
+        return float("nan")
+    tail = nonzero[:count]
+    d_min = tail[-1]
+    logs = np.log(tail / d_min)
+    total = logs.sum()
+    if total <= 0:
+        return float("inf")
+    return float(1.0 + tail.size / total)
+
+
+def diversity_summary(profiles: List[PartitionProfile]) -> dict:
+    """Aggregate diversity indicators used by tests and the Fig. 2 bench.
+
+    Returns the edge share of the heaviest partition, the median edge
+    share, and the ratio between them — a direct measure of the workload
+    imbalance that motivates heterogeneous pipelines.
+    """
+    if not profiles:
+        return {"max_edge_pct": 0.0, "median_edge_pct": 0.0, "imbalance": 0.0}
+    shares = np.array([p.edge_percent for p in profiles])
+    max_share = float(shares.max())
+    median_share = float(np.median(shares))
+    return {
+        "max_edge_pct": max_share,
+        "median_edge_pct": median_share,
+        "imbalance": max_share / max(median_share, 1e-12),
+    }

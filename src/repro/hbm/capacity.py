@@ -1,0 +1,34 @@
+"""HBM capacity accounting.
+
+"As one HBM channel only provides 256 MB capacity, when the number of HBM
+channels is small, some graphs are out of memory" (Sec. VI-E).  The Fig. 12
+scalability bench uses these helpers to mark OoM points, and Sec. VIII notes
+the overall 8 GB device limit.
+"""
+
+from __future__ import annotations
+
+from repro.graph.coo import Graph
+
+#: Capacity of one HBM pseudo-channel on U280/U50.
+CHANNEL_CAPACITY_BYTES = 256 * 1024 * 1024
+
+
+def channel_capacity_bytes(num_channels: int) -> int:
+    """Aggregate capacity of ``num_channels`` HBM channels."""
+    if num_channels < 0:
+        raise ValueError(f"num_channels must be >= 0, got {num_channels}")
+    return num_channels * CHANNEL_CAPACITY_BYTES
+
+
+def fits_in_channels(graph: Graph, num_channels: int) -> bool:
+    """Whether the graph's working set fits the given channel count.
+
+    The working set is the replicated vertex-property arrays (one copy per
+    channel so each pipeline reads locally, as in Fig. 4) plus the edge
+    lists striped across channels.
+    """
+    per_channel_props = 2 * graph.num_vertices * 4
+    striped_edges = graph.num_edges * graph.edge_bytes / max(num_channels, 1)
+    per_channel = per_channel_props + striped_edges
+    return per_channel <= CHANNEL_CAPACITY_BYTES

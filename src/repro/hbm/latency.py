@@ -1,0 +1,90 @@
+"""Shuhai-style latency benchmark and the Eq. 4 linear fit.
+
+The paper "benchmark[s] the memory access latency with varying access
+distance (stride) on the test FPGAs [18]" and fits a bounded linear function
+``latency = a * stride + b`` for the Big pipeline's vertex-access model.
+We reproduce the procedure against the simulated channel: sweep strides,
+sample latencies (with deterministic measurement jitter standing in for
+refresh interference), then least-squares fit the unsaturated region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.hbm.channel import HbmChannelModel
+
+
+@dataclass(frozen=True)
+class LatencyFit:
+    """Fitted bounded-linear latency model: ``clip(a*stride + b, lo, hi)``."""
+
+    a: float
+    b: float
+    lower_bound: float
+    upper_bound: float
+
+    def latency(self, stride_bytes) -> np.ndarray:
+        """Predicted latency (cycles) for the given stride in bytes."""
+        stride = np.abs(np.asarray(stride_bytes, dtype=np.float64))
+        return np.clip(
+            self.a * stride + self.b, self.lower_bound, self.upper_bound
+        )
+
+
+def run_latency_benchmark(
+    channel: HbmChannelModel,
+    strides: np.ndarray = None,
+    repeats: int = 8,
+    jitter_cycles: float = 1.5,
+    seed: int = 7,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample (stride, mean latency) pairs from the channel model.
+
+    Deterministic Gaussian jitter emulates run-to-run variance (refresh,
+    arbitration) that a real Shuhai run would observe; the fit must be
+    robust to it.
+    """
+    if strides is None:
+        strides = np.array(
+            [0, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384],
+            dtype=np.float64,
+        )
+    rng = np.random.default_rng(seed)
+    truth = channel.request_latency(strides)
+    samples = truth[None, :] + rng.normal(0, jitter_cycles, (repeats, strides.size))
+    return strides, samples.mean(axis=0)
+
+
+def fit_linear_latency(
+    strides: np.ndarray,
+    latencies: np.ndarray,
+) -> LatencyFit:
+    """Least-squares fit of the unsaturated region of the latency curve.
+
+    Points at the saturation plateau (within jitter of the max observed
+    latency) are excluded from the slope fit, then re-imposed as the upper
+    bound — mirroring how one reads a real latency-vs-stride plot.
+    """
+    strides = np.asarray(strides, dtype=np.float64)
+    latencies = np.asarray(latencies, dtype=np.float64)
+    if strides.size < 2:
+        raise ValueError("need at least two benchmark points to fit")
+    lower = float(latencies.min())
+    upper = float(latencies.max())
+    # Keep points below ~97% of the plateau for the linear fit.
+    mask = latencies < lower + 0.97 * (upper - lower)
+    if mask.sum() < 2:
+        mask = np.ones_like(latencies, dtype=bool)
+    coeffs = np.polyfit(strides[mask], latencies[mask], deg=1)
+    a, b = float(coeffs[0]), float(coeffs[1])
+    return LatencyFit(a=max(a, 0.0), b=b, lower_bound=lower, upper_bound=upper)
+
+
+def calibrate_channel(channel: HbmChannelModel, seed: int = 7) -> LatencyFit:
+    """End-to-end calibration: benchmark the channel, fit Eq. 4's (a, b)."""
+    strides, latencies = run_latency_benchmark(channel, seed=seed)
+    return fit_linear_latency(strides, latencies)

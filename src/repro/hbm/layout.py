@@ -1,0 +1,76 @@
+"""Data layout inside one HBM channel (Fig. 4).
+
+Each pipeline's channel holds, in order: the partition edge lists assigned
+to that pipeline, the source-vertex property array, and the temporary
+destination property region the Writer refreshes between iterations.
+Offsets are block-aligned (512-bit) because every access is block-granular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.coo import VERTEX_WORD_BYTES
+from repro.hbm.channel import BLOCK_BYTES
+
+
+def _align_block(offset: int) -> int:
+    """Round ``offset`` up to the next 512-bit block boundary."""
+    return -(-offset // BLOCK_BYTES) * BLOCK_BYTES
+
+
+@dataclass(frozen=True)
+class ChannelLayout:
+    """Byte offsets of the regions stored in one channel."""
+
+    edges_offset: int
+    edges_bytes: int
+    src_prop_offset: int
+    src_prop_bytes: int
+    dst_prop_offset: int
+    dst_prop_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Total footprint of the channel's contents."""
+        return self.dst_prop_offset + self.dst_prop_bytes
+
+    def fits(self, capacity_bytes: int) -> bool:
+        """Whether the layout fits in a channel of the given capacity."""
+        return self.total_bytes <= capacity_bytes
+
+    def vertex_block_index(self, vertex_id: int) -> int:
+        """Block index holding ``vertex_id``'s property (Fig. 5, step 1).
+
+        With 32-bit properties this is ``floor(vid * 32 / 512)`` offset by
+        the property region's base block.
+        """
+        byte = self.src_prop_offset + vertex_id * VERTEX_WORD_BYTES
+        return byte // BLOCK_BYTES
+
+    def vertex_block_offset(self, vertex_id: int) -> int:
+        """Byte offset of the property within its block (Fig. 5, step 1)."""
+        return (vertex_id * VERTEX_WORD_BYTES) % BLOCK_BYTES
+
+
+def build_channel_layout(
+    num_edges: int,
+    num_vertices: int,
+    edge_bytes: int = 8,
+    prop_bytes: int = VERTEX_WORD_BYTES,
+) -> ChannelLayout:
+    """Lay out the given edge count and vertex arrays in one channel."""
+    edges_offset = 0
+    edges_bytes = num_edges * edge_bytes
+    src_off = _align_block(edges_offset + edges_bytes)
+    src_bytes = num_vertices * prop_bytes
+    dst_off = _align_block(src_off + src_bytes)
+    dst_bytes = num_vertices * prop_bytes
+    return ChannelLayout(
+        edges_offset=edges_offset,
+        edges_bytes=edges_bytes,
+        src_prop_offset=src_off,
+        src_prop_bytes=src_bytes,
+        dst_prop_offset=dst_off,
+        dst_prop_bytes=dst_bytes,
+    )

@@ -1,0 +1,83 @@
+"""Memory-port management (Sec. V-C).
+
+HBM-enabled Xilinx platforms expose a limited number of AXI memory ports
+(32 on U280, 28 on U50) which — not logic — bounds how many pipelines fit.
+ReGraph's port wrappers bundle the Apply module's write port with a
+pipeline's vertex-property read port, cutting each pipeline's cost from
+three ports to two, so ``N_pip = min(N_ch, (N_port - N_res) / 2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: Memory ports reserved for the Apply/Writer datapath.
+DEFAULT_RESERVED_PORTS = 4
+
+#: Ports one pipeline consumes with the HBM port wrapper applied.
+PORTS_PER_PIPELINE_WRAPPED = 2
+
+#: Ports one pipeline would consume without the wrapper optimisation.
+PORTS_PER_PIPELINE_UNWRAPPED = 3
+
+
+def max_pipelines(
+    num_channels: int,
+    num_ports: int,
+    reserved_ports: int = DEFAULT_RESERVED_PORTS,
+    use_port_wrapper: bool = True,
+) -> int:
+    """Maximum pipeline count a platform supports (Sec. V-D).
+
+    With the wrapper on U280 (32 ports, 4 reserved) this gives 14 pipelines
+    and on U50 (28 ports) 12 pipelines — the counts of Sec. VI-A.
+    """
+    per_pipe = (
+        PORTS_PER_PIPELINE_WRAPPED
+        if use_port_wrapper
+        else PORTS_PER_PIPELINE_UNWRAPPED
+    )
+    by_ports = (num_ports - reserved_ports) // per_pipe
+    return max(min(num_channels, by_ports), 0)
+
+
+@dataclass
+class PortBinding:
+    """Assignment of physical ports to pipeline roles."""
+
+    #: pipeline index -> [edge-read port, wrapped vertex-read/write port]
+    pipeline_ports: Dict[int, List[int]] = field(default_factory=dict)
+    #: ports reserved for the Apply module's vertex-property traffic
+    apply_ports: List[int] = field(default_factory=list)
+
+    @property
+    def total_ports_used(self) -> int:
+        """Ports consumed by the binding."""
+        used = sum(len(v) for v in self.pipeline_ports.values())
+        return used + len(self.apply_ports)
+
+
+def bind_ports(
+    num_pipelines: int,
+    num_ports: int,
+    reserved_ports: int = DEFAULT_RESERVED_PORTS,
+) -> PortBinding:
+    """Produce a concrete port assignment for ``num_pipelines`` pipelines.
+
+    Raises ``ValueError`` when the platform cannot host that many pipelines
+    — the constraint ReGraph's generator enumerates around.
+    """
+    needed = num_pipelines * PORTS_PER_PIPELINE_WRAPPED + reserved_ports
+    if needed > num_ports:
+        raise ValueError(
+            f"{num_pipelines} pipelines need {needed} ports but only "
+            f"{num_ports} are available"
+        )
+    binding = PortBinding()
+    port = 0
+    for pipe in range(num_pipelines):
+        binding.pipeline_ports[pipe] = [port, port + 1]
+        port += 2
+    binding.apply_ports = list(range(port, port + reserved_ports))
+    return binding

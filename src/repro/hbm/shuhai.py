@@ -1,0 +1,124 @@
+"""Extended Shuhai-style HBM microbenchmark suite.
+
+Shuhai [18] characterises FPGA HBM with sequential, strided and random
+access sweeps; the paper consumes only the latency-vs-stride fit (Eq. 4),
+but the fuller characterisation is useful for validating the channel
+model and for users porting the simulator to other memory parts.  This
+module sweeps the simulated channel the way Shuhai sweeps silicon and
+produces a structured report: effective bandwidth per pattern, latency
+percentiles, and the stride knee where the row-buffer stops helping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.hbm.channel import BLOCK_BYTES, HbmChannelModel
+
+
+@dataclass(frozen=True)
+class PatternResult:
+    """One access pattern's measured characteristics."""
+
+    pattern: str
+    stride_bytes: int
+    cycles_per_block: float
+    effective_bandwidth_fraction: float
+    latency_cycles: float
+
+
+@dataclass(frozen=True)
+class ShuhaiReport:
+    """Full characterisation of one channel."""
+
+    results: List[PatternResult]
+    knee_stride_bytes: int
+
+    def by_pattern(self) -> Dict[str, List[PatternResult]]:
+        """Results grouped by pattern name."""
+        out: Dict[str, List[PatternResult]] = {}
+        for r in self.results:
+            out.setdefault(r.pattern, []).append(r)
+        return out
+
+    def sequential_bandwidth_fraction(self) -> float:
+        """Fraction of peak achieved by the pure sequential sweep."""
+        seq = [r for r in self.results if r.pattern == "sequential"]
+        return seq[0].effective_bandwidth_fraction if seq else 0.0
+
+
+def _strided_cycles_per_block(
+    channel: HbmChannelModel, stride_bytes: int, num_requests: int = 4096
+) -> float:
+    """Average service cycles per block for a fixed-stride stream."""
+    strides = np.full(num_requests, float(stride_bytes))
+    eff = channel.effective_request_cycles(strides)
+    return float(eff.mean())
+
+
+def run_shuhai_suite(
+    channel: HbmChannelModel,
+    strides: List[int] = None,
+    seed: int = 3,
+) -> ShuhaiReport:
+    """Characterise a channel across sequential/strided/random patterns."""
+    if strides is None:
+        strides = [64, 128, 256, 512, 1024, 4096, 16384]
+    results = []
+
+    # Sequential burst: the channel's native streaming rate.
+    seq_cycles = 1.0 / channel.params.burst_blocks_per_cycle
+    results.append(
+        PatternResult(
+            pattern="sequential",
+            stride_bytes=BLOCK_BYTES,
+            cycles_per_block=seq_cycles,
+            effective_bandwidth_fraction=1.0 / seq_cycles,
+            latency_cycles=channel.params.min_latency,
+        )
+    )
+
+    # Fixed-stride sweeps.
+    for stride in strides:
+        cycles = _strided_cycles_per_block(channel, stride)
+        results.append(
+            PatternResult(
+                pattern="strided",
+                stride_bytes=stride,
+                cycles_per_block=cycles,
+                effective_bandwidth_fraction=1.0 / cycles,
+                latency_cycles=float(channel.request_latency(stride)),
+            )
+        )
+
+    # Random access: strides drawn uniformly over a 64 MB window.
+    rng = np.random.default_rng(seed)
+    random_strides = rng.integers(0, 64 * 1024 * 1024, 4096).astype(float)
+    eff = channel.effective_request_cycles(random_strides)
+    results.append(
+        PatternResult(
+            pattern="random",
+            stride_bytes=0,
+            cycles_per_block=float(eff.mean()),
+            effective_bandwidth_fraction=float(1.0 / eff.mean()),
+            latency_cycles=float(
+                channel.request_latency(random_strides).mean()
+            ),
+        )
+    )
+
+    knee = _find_knee(channel, strides)
+    return ShuhaiReport(results=results, knee_stride_bytes=knee)
+
+
+def _find_knee(channel: HbmChannelModel, strides: List[int]) -> int:
+    """First stride whose latency reaches 95% of the worst case."""
+    p = channel.params
+    threshold = p.min_latency + 0.95 * (p.max_latency - p.min_latency)
+    for stride in sorted(strides):
+        if channel.request_latency(stride) >= threshold:
+            return stride
+    return sorted(strides)[-1]

@@ -1,0 +1,31 @@
+"""Analytic performance model (Sec. IV-A) and the roofline of Fig. 13.
+
+The model estimates per-partition execution cycles of Big and Little
+pipelines by enumerating edges (Eq. 1-4).  It is deliberately *independent
+code* from the cycle-level simulators in :mod:`repro.arch`; the Fig. 9
+bench cross-validates the two, reproducing the paper's 4%/6% average error
+claim.
+"""
+
+from repro.model.perf import PerformanceModel
+from repro.model.calibrate import calibrate_performance_model
+from repro.model.roofline import RooflinePoint, resource_roofline_bounds
+from repro.model.bottleneck import (
+    BottleneckBreakdown,
+    attribute_partition,
+    compare_pipeline_choice,
+)
+from repro.model.sweep import SweepPoint, sensitivity_report, sweep_parameter
+
+__all__ = [
+    "PerformanceModel",
+    "calibrate_performance_model",
+    "RooflinePoint",
+    "resource_roofline_bounds",
+    "BottleneckBreakdown",
+    "attribute_partition",
+    "compare_pipeline_choice",
+    "SweepPoint",
+    "sensitivity_report",
+    "sweep_parameter",
+]

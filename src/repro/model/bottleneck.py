@@ -1,0 +1,123 @@
+"""Bottleneck attribution for pipeline executions.
+
+Decomposes a partition's modelled time into which Eq. 1 term binds each
+edge — edge supply, vertex access, gather serialisation — plus the fixed
+store/switch overheads, answering "why is this partition slow on this
+pipeline type?".  Used by the analysis bench and by users tuning pipeline
+parameters (PE counts, buffer sizes) for their graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.coo import EDGE_BYTES
+from repro.graph.partition import Partition
+from repro.hbm.channel import BLOCK_BYTES
+from repro.model.perf import PerformanceModel
+
+
+@dataclass(frozen=True)
+class BottleneckBreakdown:
+    """Cycle attribution of one partition on one pipeline type."""
+
+    kind: str
+    edge_supply_cycles: float
+    vertex_access_cycles: float
+    gather_cycles: float
+    fixed_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        """Sum of all attributed cycles (== the model's estimate)."""
+        return (
+            self.edge_supply_cycles
+            + self.vertex_access_cycles
+            + self.gather_cycles
+            + self.fixed_cycles
+        )
+
+    @property
+    def dominant(self) -> str:
+        """Name of the largest component."""
+        parts = {
+            "edge_supply": self.edge_supply_cycles,
+            "vertex_access": self.vertex_access_cycles,
+            "gather": self.gather_cycles,
+            "fixed": self.fixed_cycles,
+        }
+        return max(parts, key=parts.get)
+
+    def fractions(self) -> dict:
+        """Each component as a fraction of the total."""
+        total = max(self.total_cycles, 1e-12)
+        return {
+            "edge_supply": self.edge_supply_cycles / total,
+            "vertex_access": self.vertex_access_cycles / total,
+            "gather": self.gather_cycles / total,
+            "fixed": self.fixed_cycles / total,
+        }
+
+
+def attribute_partition(
+    partition: Partition,
+    model: PerformanceModel,
+    kind: str,
+) -> BottleneckBreakdown:
+    """Attribute a partition's modelled cycles to Eq. 1's terms.
+
+    The per-edge ``max`` is split by which term wins it: edges bound by
+    ``C_acs_e``/``C_proc`` count as edge supply; edges whose vertex
+    access exceeds the floor count their excess as vertex access.  For
+    the Big pipeline, the gather bound's excess over the supply total is
+    attributed to gather serialisation.
+    """
+    if kind not in ("big", "little"):
+        raise ValueError(f"kind must be 'big' or 'little', got {kind!r}")
+    src = partition.src
+    floor = max(
+        EDGE_BYTES / BLOCK_BYTES, model.config.proc_cycles_per_edge
+    )
+    if kind == "big":
+        costs = model.edge_costs_big(src)
+        fixed = model.const_big / model.config.n_gpe
+    else:
+        costs = model.edge_costs_little(src)
+        fixed = model.const_little
+    edge_supply = float(np.minimum(costs, floor).sum())
+    vertex_access = float(np.maximum(costs - floor, 0.0).sum())
+
+    gather = 0.0
+    if kind == "big":
+        supply_total = edge_supply + vertex_access
+        gather_bound = (
+            partition.num_edges
+            * model.config.ii_gpe
+            / model.config.n_gpe
+        )
+        gather = max(gather_bound - supply_total, 0.0)
+    return BottleneckBreakdown(
+        kind=kind,
+        edge_supply_cycles=edge_supply,
+        vertex_access_cycles=vertex_access,
+        gather_cycles=gather,
+        fixed_cycles=fixed,
+    )
+
+
+def compare_pipeline_choice(
+    partition: Partition, model: PerformanceModel
+) -> dict:
+    """Side-by-side attribution explaining the dense/sparse decision."""
+    little = attribute_partition(partition, model, "little")
+    big = attribute_partition(partition, model, "big")
+    return {
+        "partition": partition.index,
+        "edges": partition.num_edges,
+        "little": little,
+        "big": big,
+        "preferred": "little" if little.total_cycles <= big.total_cycles
+        else "big",
+    }

@@ -1,0 +1,91 @@
+"""Resource-centric roofline model (Fig. 13).
+
+Classic rooflines plot performance against operational intensity; the
+paper's variant plots absolute performance (GTEPS, y) against *resource
+efficiency* (GTEPS per unit of logic, x).  Horizontal lines are memory
+bandwidth bounds, diagonals are resource bounds: a design consuming a
+fraction ``r`` of the device's LUTs with efficiency ``e`` can reach at most
+``e * r * total_resource``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.graph.coo import EDGE_BYTES
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One design plotted on the resource-centric roofline."""
+
+    name: str
+    gteps: float
+    lut_fraction: float
+    platform: str
+
+    @property
+    def resource_efficiency(self) -> float:
+        """GTEPS per fraction-of-device-LUTs — the x axis of Fig. 13."""
+        return self.gteps / max(self.lut_fraction, 1e-9)
+
+    def speedup_over(self, other: "RooflinePoint") -> float:
+        """Throughput ratio vs another design."""
+        return self.gteps / max(other.gteps, 1e-12)
+
+    def efficiency_over(self, other: "RooflinePoint") -> float:
+        """Resource-efficiency ratio vs another design (the 12x claim)."""
+        return self.resource_efficiency / max(
+            other.resource_efficiency, 1e-12
+        )
+
+
+def bandwidth_bound_gteps(bandwidth_gbs: float) -> float:
+    """Horizontal roofline: edge throughput if bandwidth were the only
+    limit (every edge moves at least one 8-byte record)."""
+    return bandwidth_gbs / EDGE_BYTES
+
+
+def resource_bound_gteps(
+    efficiency: float, lut_fraction_available: float = 0.8
+) -> float:
+    """Diagonal roofline: performance reachable at a given efficiency
+    before hitting the practical 80% LUT ceiling."""
+    return efficiency * lut_fraction_available
+
+
+def resource_roofline_bounds(
+    points: List[RooflinePoint],
+    platform_bandwidths: Dict[str, float],
+    port_bounds: Dict[str, float] = None,
+) -> Dict[str, dict]:
+    """Classify each design as bandwidth-, resource- or port-bounded.
+
+    ``port_bounds`` optionally caps named designs at the throughput their
+    memory-port budget allows.  Existing works are resource bounded on
+    U280, while ReGraph — whose pipelines fit comfortably — runs into the
+    memory-port limit first (Sec. VI-G: "ReGraph is currently bounded by
+    memory ports").
+    """
+    port_bounds = port_bounds or {}
+    out = {}
+    for point in points:
+        bounds = {
+            "bandwidth": bandwidth_bound_gteps(
+                platform_bandwidths.get(point.platform, 460.0)
+            ),
+            "resource": resource_bound_gteps(point.resource_efficiency),
+        }
+        if point.name in port_bounds:
+            bounds["port"] = port_bounds[point.name]
+        binding = min(bounds, key=bounds.get)
+        out[point.name] = {
+            "gteps": point.gteps,
+            "efficiency": point.resource_efficiency,
+            "bandwidth_bound": bounds["bandwidth"],
+            "resource_bound": bounds["resource"],
+            "port_bound": bounds.get("port"),
+            "binding": binding,
+        }
+    return out

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for benchmark reports.
+
+Every benchmark regenerates its paper table/figure as an aligned text
+table, printed to stdout and persisted under ``benchmarks/results/`` so
+the artifacts survive a captured pytest run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def write_report(name: str, text: str, directory=None) -> Path:
+    """Print the report and persist it under ``benchmarks/results``."""
+    print()
+    print(text)
+    base = Path(directory) if directory else Path(__file__).resolve()
+    if directory is None:
+        # Repo layout: src/repro/reporting.py -> <repo>/benchmarks/results
+        base = base.parent.parent.parent / "benchmarks" / "results"
+    base.mkdir(parents=True, exist_ok=True)
+    path = base / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

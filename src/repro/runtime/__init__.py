@@ -1,0 +1,23 @@
+"""Host runtime emulation (Sec. V-B).
+
+ReGraph wraps the Xilinx OpenCL host flow in a handful of encapsulated
+APIs (``initAccelerator()`` etc.).  This package reproduces that host
+surface against the simulator: device discovery, accelerator program
+loading, buffer management at HBM-channel granularity, kernel argument
+binding and blocking execution — so host-side application code ports
+over with the same call structure.
+"""
+
+from repro.runtime.host import (
+    AcceleratorHandle,
+    DeviceBuffer,
+    init_accelerator,
+    list_devices,
+)
+
+__all__ = [
+    "AcceleratorHandle",
+    "DeviceBuffer",
+    "init_accelerator",
+    "list_devices",
+]

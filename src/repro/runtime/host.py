@@ -1,0 +1,152 @@
+"""OpenCL-style host API over the simulated accelerator.
+
+The call sequence mirrors a Vitis host program:
+
+    devices = list_devices()
+    handle = init_accelerator("U280")          # context + xclbin load
+    handle.load_graph(graph)                   # preprocess + buffers
+    result = handle.execute("pagerank")        # enqueue + wait
+    handle.release()
+
+Under the hood, ``load_graph`` runs the offline phase (DBG, partitioning,
+scheduling) and ``execute`` drives the full-system simulator, charging a
+modelled bitstream-programming and buffer-migration overhead so host-side
+timing accounting resembles the real flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+from repro.arch.platform import PLATFORMS, FpgaPlatform, get_platform
+from repro.core.framework import PreprocessResult, ReGraph
+from repro.core.system import RunReport
+from repro.graph.coo import Graph
+from repro.hbm.capacity import CHANNEL_CAPACITY_BYTES
+
+#: Modelled one-time xclbin programming latency (seconds).
+PROGRAMMING_SECONDS = 2.5
+
+#: Modelled host->HBM transfer bandwidth over PCIe Gen3 x16 (bytes/s).
+PCIE_BYTES_PER_SECOND = 12e9
+
+
+def list_devices() -> List[str]:
+    """Names of the available (simulated) accelerator cards."""
+    return sorted(PLATFORMS)
+
+
+@dataclass
+class DeviceBuffer:
+    """A host-visible handle to a region resident in HBM channels."""
+
+    name: str
+    num_bytes: int
+    channels: List[int]
+
+    @property
+    def per_channel_bytes(self) -> int:
+        """Bytes striped to each backing channel."""
+        return -(-self.num_bytes // max(len(self.channels), 1))
+
+    def fits(self) -> bool:
+        """Whether the striping respects per-channel capacity."""
+        return self.per_channel_bytes <= CHANNEL_CAPACITY_BYTES
+
+
+@dataclass
+class AcceleratorHandle:
+    """An initialised accelerator context (device + programmed design)."""
+
+    platform: FpgaPlatform
+    framework: ReGraph
+    programmed: bool = True
+    migration_seconds: float = 0.0
+    buffers: Dict[str, DeviceBuffer] = field(default_factory=dict)
+    _pre: Optional[PreprocessResult] = None
+
+    # -- buffer management --------------------------------------------
+    def allocate(self, name: str, num_bytes: int, channels: List[int]):
+        """Allocate a named buffer striped over the given channels."""
+        if not self.programmed:
+            raise RuntimeError("accelerator released")
+        buffer = DeviceBuffer(name=name, num_bytes=num_bytes, channels=channels)
+        if not buffer.fits():
+            raise MemoryError(
+                f"buffer {name!r} needs {buffer.per_channel_bytes} B per "
+                f"channel, capacity is {CHANNEL_CAPACITY_BYTES}"
+            )
+        self.buffers[name] = buffer
+        return buffer
+
+    def _migrate(self, num_bytes: int) -> None:
+        """Charge host->device transfer time for ``num_bytes``."""
+        self.migration_seconds += num_bytes / PCIE_BYTES_PER_SECOND
+
+    # -- graph loading --------------------------------------------------
+    def load_graph(self, graph: Graph) -> PreprocessResult:
+        """Preprocess and 'migrate' a graph onto the device."""
+        if not self.programmed:
+            raise RuntimeError("accelerator released")
+        self._pre = self.framework.preprocess(graph)
+        num_pipes = self._pre.plan.accelerator.total_pipelines
+        self.allocate(
+            "edges", graph.num_edges * graph.edge_bytes,
+            channels=list(range(0, 2 * num_pipes, 2)),
+        )
+        self.allocate(
+            "props", graph.num_vertices * 4 * num_pipes,
+            channels=list(range(1, 2 * num_pipes, 2)),
+        )
+        self._migrate(graph.num_edges * graph.edge_bytes)
+        self._migrate(graph.num_vertices * 4)
+        return self._pre
+
+    # -- execution -------------------------------------------------------
+    def execute(
+        self, app: str, root: int = 0, max_iterations: Optional[int] = None
+    ) -> RunReport:
+        """Enqueue an application and block until completion.
+
+        ``app`` is any registry name (pagerank, bfs, closeness, wcc,
+        sssp, radii); ``root`` is an input-graph vertex ID for the apps
+        that take one.
+        """
+        from repro.apps.registry import get_app_spec
+
+        if self._pre is None:
+            raise RuntimeError("no graph loaded; call load_graph() first")
+        try:
+            spec = get_app_spec(app)
+        except KeyError as exc:
+            raise ValueError(str(exc)) from exc
+        internal_root = (
+            self._pre.to_internal_vertex(root) if spec.takes_root else None
+        )
+        return self.framework.run(
+            self._pre,
+            lambda g: spec.build(g, root=internal_root),
+            max_iterations=max_iterations,
+        )
+
+    def total_offload_seconds(self, run: RunReport) -> float:
+        """End-to-end host view: programming + migration + execution."""
+        return PROGRAMMING_SECONDS + self.migration_seconds + run.total_seconds
+
+    def release(self) -> None:
+        """Free the context; further calls raise."""
+        self.programmed = False
+        self.buffers.clear()
+        self._pre = None
+
+
+def init_accelerator(
+    platform: str = "U280",
+    pipeline=None,
+    num_pipelines: Optional[int] = None,
+) -> AcceleratorHandle:
+    """``initAccelerator()``: create a programmed accelerator context."""
+    fw = ReGraph(platform, pipeline=pipeline, num_pipelines=num_pipelines)
+    return AcceleratorHandle(platform=get_platform(platform), framework=fw)

@@ -1,0 +1,122 @@
+"""Dynamic (work-stealing) scheduling — an ablation of the static plan.
+
+ReGraph's plan is *static*: the model assigns every task to a pipeline
+offline.  A natural question is how much a dynamic runtime — pipelines
+pulling the next task from a shared queue when they go idle — would gain
+or lose.  This module simulates exactly that, using the same cycle-level
+task timings, so the comparison isolates the scheduling policy:
+
+* static = zero runtime coordination, quality depends on the model;
+* dynamic = perfect load information, but each pull still pays the
+  partition-switch handshake and tasks cannot be split further online.
+
+The paper's implicit claim is that model-guided static cuts make dynamic
+scheduling unnecessary; the comparison bench quantifies the gap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arch.big_pipeline import BigPipelineSim
+from repro.arch.little_pipeline import LittlePipelineSim
+from repro.hbm.channel import HbmChannelModel
+from repro.sched.plan import SchedulingPlan
+
+#: Extra cycles per dynamic task pull (host/queue handshake).
+DYNAMIC_PULL_OVERHEAD = 500.0
+
+
+@dataclass(frozen=True)
+class ClusterSchedule:
+    """Outcome of scheduling one cluster's tasks over its pipelines."""
+
+    pipeline_finish: Tuple[float, ...]
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the slowest pipeline."""
+        return max(self.pipeline_finish) if self.pipeline_finish else 0.0
+
+
+def _simulate_queue(
+    durations: Sequence[float],
+    num_pipelines: int,
+    pull_overhead: float,
+) -> ClusterSchedule:
+    """Greedy list scheduling: idle pipeline pulls the next queued task."""
+    if num_pipelines < 1:
+        return ClusterSchedule(pipeline_finish=())
+    finish = [0.0] * num_pipelines
+    heap = [(0.0, i) for i in range(num_pipelines)]
+    heapq.heapify(heap)
+    for duration in durations:
+        t, i = heapq.heappop(heap)
+        t += duration + pull_overhead
+        finish[i] = t
+        heapq.heappush(heap, (t, i))
+    return ClusterSchedule(pipeline_finish=tuple(finish))
+
+
+def dynamic_makespan(
+    plan: SchedulingPlan,
+    channel: Optional[HbmChannelModel] = None,
+    longest_first: bool = True,
+    pull_overhead: float = DYNAMIC_PULL_OVERHEAD,
+) -> float:
+    """Iteration makespan if the plan's tasks were scheduled dynamically.
+
+    Tasks keep the static plan's granularity (sub-partition cuts are an
+    offline product); only the task-to-pipeline mapping becomes online.
+    ``longest_first`` sorts the queue by measured duration — the classic
+    LPT heuristic an informed runtime would use.
+    """
+    channel = channel or HbmChannelModel()
+    config = plan.accelerator.pipeline
+    little = LittlePipelineSim(config, channel)
+    big = BigPipelineSim(config, channel)
+
+    little_durations: List[float] = [
+        little.execute(task.partition)[0].total_cycles
+        for tasks in plan.little_tasks
+        for task in tasks
+    ]
+    big_durations: List[float] = [
+        big.execute(task.partitions)[0].total_cycles
+        for tasks in plan.big_tasks
+        for task in tasks
+    ]
+    if longest_first:
+        little_durations.sort(reverse=True)
+        big_durations.sort(reverse=True)
+
+    little_sched = _simulate_queue(
+        little_durations, plan.accelerator.num_little, pull_overhead
+    )
+    big_sched = _simulate_queue(
+        big_durations, plan.accelerator.num_big, pull_overhead
+    )
+    return max(little_sched.makespan, big_sched.makespan)
+
+
+def static_makespan(
+    plan: SchedulingPlan,
+    channel: Optional[HbmChannelModel] = None,
+) -> float:
+    """Measured (cycle-simulated) makespan of the static plan itself."""
+    channel = channel or HbmChannelModel()
+    config = plan.accelerator.pipeline
+    little = LittlePipelineSim(config, channel)
+    big = BigPipelineSim(config, channel)
+    finish = []
+    for tasks in plan.little_tasks:
+        finish.append(
+            sum(little.execute(t.partition)[0].total_cycles for t in tasks)
+        )
+    for tasks in plan.big_tasks:
+        finish.append(
+            sum(big.execute(t.partitions)[0].total_cycles for t in tasks)
+        )
+    return max(finish) if finish else 0.0

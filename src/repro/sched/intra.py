@@ -1,0 +1,182 @@
+"""Intra-cluster task scheduling (Sec. IV-B, Fig. 7b).
+
+Pipelines within a cluster process partitions cooperatively, so partitions
+are cut into sub-partitions of near-equal *estimated execution time* — not
+equal edge counts, which the paper shows leaves pipelines unbalanced on
+irregular graphs.  Cuts are found at window granularity (a fixed number of
+edges) so boundaries come out of one prefix-sum scan.
+
+For the Big cluster, every ``N_gpe`` sparse partitions are first merged
+into a large sparse partition (one execution's worth); cutting a merged
+group hands each Big pipeline a *source-range slice* of the same
+destination intervals, and the Big merger combines their buffers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.graph.partition import Partition
+from repro.model.perf import PerformanceModel
+from repro.sched.plan import BigTask, LittleTask
+from repro.utils.prefix import balanced_chunk_bounds
+
+#: Edges per scheduling window (Sec. IV-B estimates time per window).
+DEFAULT_WINDOW_EDGES = 1024
+
+
+def split_dense_for_little(
+    dense: Sequence[Partition],
+    num_pipelines: int,
+    model: PerformanceModel,
+    window_edges: int = DEFAULT_WINDOW_EDGES,
+) -> List[List[LittleTask]]:
+    """Cut dense partitions into per-pipeline task lists of ~equal time.
+
+    Windows of all dense partitions form one weighted sequence which is
+    split into ``num_pipelines`` contiguous chunks; chunk boundaries
+    falling inside a partition produce sub-partition slices.
+    """
+    if num_pipelines < 1:
+        return []
+    assignments: List[List[LittleTask]] = [[] for _ in range(num_pipelines)]
+    if not dense:
+        return assignments
+
+    # Per-window weights, tagged with (partition ordinal, local edge lo).
+    weights, owner, local_lo = [], [], []
+    for ordinal, partition in enumerate(dense):
+        w = model.window_weights(partition.src, "little", window_edges)
+        for win_idx, weight in enumerate(w):
+            weights.append(weight)
+            owner.append(ordinal)
+            local_lo.append(win_idx * window_edges)
+    weights = np.asarray(weights)
+    bounds = balanced_chunk_bounds(weights, num_pipelines)
+
+    for pipe in range(num_pipelines):
+        lo_w, hi_w = int(bounds[pipe]), int(bounds[pipe + 1])
+        if hi_w <= lo_w:
+            continue
+        # Group this chunk's windows by owning partition and slice once
+        # per (partition, contiguous window run).
+        w = lo_w
+        while w < hi_w:
+            ordinal = owner[w]
+            run_end = w
+            while run_end < hi_w and owner[run_end] == ordinal:
+                run_end += 1
+            partition = dense[ordinal]
+            edge_lo = local_lo[w]
+            edge_hi = (
+                partition.num_edges
+                if run_end == len(owner) or owner[run_end] != ordinal
+                else local_lo[run_end]
+            )
+            edge_hi = min(edge_hi, partition.num_edges)
+            sub = partition.slice(edge_lo, edge_hi)
+            est = model.estimate_little_execution(sub.src)
+            assignments[pipe].append(LittleTask(sub, est))
+            w = run_end
+    return assignments
+
+
+def merge_sparse_groups(
+    sparse: Sequence[Partition],
+    group_size: int,
+) -> List[List[Partition]]:
+    """Merge every ``group_size`` sparse partitions into one group.
+
+    Groups preserve ascending destination-interval order, which the Big
+    pipeline's Gather PE base lookup requires.
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    ordered = sorted(sparse, key=lambda p: p.vertex_lo)
+    return [
+        ordered[i : i + group_size]
+        for i in range(0, len(ordered), group_size)
+    ]
+
+
+def _slice_group_by_src(
+    group: Sequence[Partition],
+    src_lo: int,
+    src_hi: int,
+) -> List[Partition]:
+    """Slice every partition of a group to edges with src in [lo, hi)."""
+    out = []
+    for partition in group:
+        lo = int(np.searchsorted(partition.src, src_lo, side="left"))
+        hi = int(np.searchsorted(partition.src, src_hi, side="left"))
+        out.append(partition.slice(lo, hi))
+    return out
+
+
+def split_groups_for_big(
+    groups: Sequence[Sequence[Partition]],
+    num_pipelines: int,
+    model: PerformanceModel,
+    window_edges: int = DEFAULT_WINDOW_EDGES,
+) -> List[List[BigTask]]:
+    """Distribute merged sparse groups over Big pipelines by modelled time.
+
+    The window sequence of all groups (in merged ascending-source order)
+    is split into ``num_pipelines`` chunks.  A chunk boundary inside a
+    group becomes a source-range cut: each pipeline executes the same
+    destination intervals over disjoint source ranges.
+    """
+    if num_pipelines < 1:
+        return []
+    assignments: List[List[BigTask]] = [[] for _ in range(num_pipelines)]
+    if not groups:
+        return assignments
+
+    merged_srcs = []
+    group_weights = []
+    for group in groups:
+        src = np.sort(np.concatenate([p.src for p in group]))
+        merged_srcs.append(src)
+        group_weights.append(
+            model.window_weights(src, "big", window_edges)
+        )
+
+    # Global window sequence across groups.
+    weights = (
+        np.concatenate(group_weights)
+        if group_weights
+        else np.zeros(0)
+    )
+    group_of_window = np.concatenate(
+        [np.full(w.size, gi) for gi, w in enumerate(group_weights)]
+    )
+    first_window = np.concatenate(
+        ([0], np.cumsum([w.size for w in group_weights])[:-1])
+    )
+    bounds = balanced_chunk_bounds(weights, num_pipelines)
+
+    for pipe in range(num_pipelines):
+        lo_w, hi_w = int(bounds[pipe]), int(bounds[pipe + 1])
+        w = lo_w
+        while w < hi_w:
+            gi = int(group_of_window[w])
+            run_end = w
+            while run_end < hi_w and group_of_window[run_end] == gi:
+                run_end += 1
+            src = merged_srcs[gi]
+            edge_lo = (w - first_window[gi]) * window_edges
+            if run_end < len(group_of_window) and group_of_window[run_end] == gi:
+                edge_hi = (run_end - first_window[gi]) * window_edges
+            else:
+                edge_hi = src.size
+            edge_hi = min(edge_hi, src.size)
+            src_lo = int(src[edge_lo]) if edge_lo < src.size else int(src[-1]) + 1
+            src_hi = int(src[edge_hi]) if edge_hi < src.size else int(src[-1]) + 1
+            sliced = _slice_group_by_src(groups[gi], src_lo, src_hi)
+            if sum(p.num_edges for p in sliced):
+                est = model.estimate_big_group([p.src for p in sliced])
+                assignments[pipe].append(BigTask(list(sliced), est))
+            w = run_end
+    return assignments

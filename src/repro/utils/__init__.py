@@ -1,0 +1,30 @@
+"""Shared utilities: fixed-point arithmetic, validation helpers, prefix math."""
+
+from repro.utils.fixed_point import (
+    FIXED_FRAC_BITS,
+    FIXED_ONE,
+    FixedPointFormat,
+    fixed_to_float,
+    float_to_fixed,
+)
+from repro.utils.validation import (
+    check_array_1d,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+from repro.utils.prefix import balanced_chunk_bounds, running_release_times
+
+__all__ = [
+    "FIXED_FRAC_BITS",
+    "FIXED_ONE",
+    "FixedPointFormat",
+    "fixed_to_float",
+    "float_to_fixed",
+    "check_array_1d",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "balanced_chunk_bounds",
+    "running_release_times",
+]

@@ -1,0 +1,80 @@
+"""Fixed-point arithmetic helpers.
+
+ReGraph (like ThunderGP and GraphLily, see Sec. VI-A of the paper) computes
+PageRank with a fixed-point datatype on the FPGA, because floating-point
+accumulation cannot reach an initiation interval of one on the Gather PEs.
+This module reproduces that datatype in NumPy: properties are stored as
+``int64`` raw words interpreted as Q-format numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Fractional bits of the default Q-format used by the PageRank kernels.
+FIXED_FRAC_BITS = 30
+
+#: The raw representation of 1.0 in the default format.
+FIXED_ONE = 1 << FIXED_FRAC_BITS
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format with ``frac_bits`` fractional bits.
+
+    The hardware uses a 32-bit word; we compute in ``int64`` so that the
+    Scatter-stage multiply cannot overflow before the right-shift, exactly
+    like the DSP48 datapath that widens intermediates.
+    """
+
+    frac_bits: int = FIXED_FRAC_BITS
+
+    @property
+    def one(self) -> int:
+        """Raw integer representation of 1.0."""
+        return 1 << self.frac_bits
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable positive increment."""
+        return 1.0 / self.one
+
+    def from_float(self, values):
+        """Convert floats (scalar or array) to raw fixed-point words."""
+        arr = np.asarray(values, dtype=np.float64)
+        return np.round(arr * self.one).astype(np.int64)
+
+    def to_float(self, raw):
+        """Convert raw fixed-point words back to floats."""
+        arr = np.asarray(raw, dtype=np.int64)
+        return arr.astype(np.float64) / self.one
+
+    def multiply(self, a, b):
+        """Fixed-point multiply: (a * b) >> frac_bits with int64 widening."""
+        prod = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+        return prod >> self.frac_bits
+
+    def divide(self, a, b):
+        """Fixed-point divide: (a << frac_bits) // b, truncating like HLS."""
+        num = np.asarray(a, dtype=np.int64) << self.frac_bits
+        den = np.asarray(b, dtype=np.int64)
+        return num // np.where(den == 0, 1, den)
+
+
+_DEFAULT = FixedPointFormat()
+
+
+def float_to_fixed(values, frac_bits: int = FIXED_FRAC_BITS):
+    """Convert floats to raw fixed-point words in the default format."""
+    if frac_bits == FIXED_FRAC_BITS:
+        return _DEFAULT.from_float(values)
+    return FixedPointFormat(frac_bits).from_float(values)
+
+
+def fixed_to_float(raw, frac_bits: int = FIXED_FRAC_BITS):
+    """Convert raw fixed-point words to floats in the default format."""
+    if frac_bits == FIXED_FRAC_BITS:
+        return _DEFAULT.to_float(raw)
+    return FixedPointFormat(frac_bits).to_float(raw)

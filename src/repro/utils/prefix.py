@@ -1,0 +1,63 @@
+"""Prefix-sum math shared by the schedulers and the cycle simulators.
+
+Two recurring problems are solved here in vectorised form:
+
+* splitting a weighted sequence into contiguous chunks of near-equal weight
+  (the intra-cluster scheduler's window cuts, Sec. IV-B), and
+* resolving the recurrence ``t[i] = max(t[i-1] + c[i], r[i])`` that describes
+  an in-order pipeline stage which takes ``c[i]`` cycles per item but cannot
+  start item ``i`` before its operands are released at time ``r[i]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def balanced_chunk_bounds(weights: np.ndarray, num_chunks: int) -> np.ndarray:
+    """Split ``weights`` into ``num_chunks`` contiguous chunks of ~equal sum.
+
+    Returns an array of ``num_chunks + 1`` boundary indices suitable for
+    slicing: chunk ``k`` covers ``weights[bounds[k]:bounds[k + 1]]``.
+    Boundaries are placed at the ideal prefix-sum quantiles, which is the
+    one-scan strategy the paper uses for its window-granularity cuts.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if num_chunks <= 0:
+        raise ValueError(f"num_chunks must be > 0, got {num_chunks}")
+    n = weights.size
+    if n == 0:
+        return np.zeros(num_chunks + 1, dtype=np.int64)
+    prefix = np.concatenate(([0.0], np.cumsum(weights)))
+    total = prefix[-1]
+    targets = total * np.arange(1, num_chunks) / num_chunks
+    cuts = np.searchsorted(prefix[1:-1], targets, side="left") + 1
+    bounds = np.concatenate(([0], cuts, [n])).astype(np.int64)
+    return np.maximum.accumulate(bounds)
+
+
+def running_release_times(ready: np.ndarray, cost: np.ndarray) -> np.ndarray:
+    """Resolve ``t[i] = max(t[i-1] + cost[i], ready[i]) `` without a loop.
+
+    ``t[i]`` is the completion time of item ``i`` in an in-order unit where
+    item ``i`` needs ``cost[i]`` cycles of service and its inputs only become
+    available at time ``ready[i]``.  Expanding the recurrence gives
+    ``t[i] = max_{j <= i} (ready[j] + sum(cost[j+1..i]))`` when service of the
+    releasing item is already folded into ``ready``, which reduces to a
+    running maximum over ``ready - cumsum(cost)``.
+    """
+    ready = np.asarray(ready, dtype=np.float64)
+    cost = np.asarray(cost, dtype=np.float64)
+    if ready.shape != cost.shape:
+        raise ValueError(
+            f"ready and cost must have the same shape, "
+            f"got {ready.shape} vs {cost.shape}"
+        )
+    if ready.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    csum = np.cumsum(cost)
+    # Expanding the recurrence: t[i] = max(csum[i],
+    #   max_{j<=i}(ready[j] + csum[i] - csum[j])), a running max over
+    # the slack (ready[j] - csum[j]) floored at the pure-service path.
+    slack = np.maximum.accumulate(ready - csum)
+    return csum + np.maximum(slack, 0.0)

@@ -1,0 +1,82 @@
+"""Shared fixtures: small graphs, channel/config instances, models.
+
+Fixtures are session-scoped where construction is deterministic and
+read-only, keeping the few-hundred-test suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import PipelineConfig
+from repro.graph.coo import Graph
+from repro.graph.generators import erdos_renyi_graph, power_law_graph, rmat_graph
+from repro.graph.partition import partition_graph
+from repro.graph.reorder import degree_based_grouping
+from repro.hbm.channel import HbmChannelModel
+from repro.model.calibrate import calibrate_performance_model
+
+#: Buffer size small enough that test graphs produce many partitions.
+TEST_BUFFER_VERTICES = 512
+
+
+@pytest.fixture(scope="session")
+def channel():
+    """Default HBM channel timing model."""
+    return HbmChannelModel()
+
+@pytest.fixture(scope="session")
+def config():
+    """Pipeline configuration with a test-sized gather buffer."""
+    return PipelineConfig(gather_buffer_vertices=TEST_BUFFER_VERTICES)
+
+
+@pytest.fixture(scope="session")
+def perf_model(config, channel):
+    """Calibrated analytic performance model."""
+    return calibrate_performance_model(config, channel)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    """The Fig. 1 example graph: 6 vertices, 8 edges, hand-built."""
+    src = [0, 0, 1, 2, 3, 4, 4, 5]
+    dst = [1, 3, 2, 0, 4, 2, 5, 0]
+    return Graph(6, src, dst, name="fig1")
+
+
+@pytest.fixture(scope="session")
+def small_rmat():
+    """An 8K-vertex RMAT graph with strong skew (16 test partitions)."""
+    return rmat_graph(13, 16, seed=7, name="rmat13")
+
+
+@pytest.fixture(scope="session")
+def small_powerlaw():
+    """A power-law graph resembling a web crawl."""
+    return power_law_graph(4000, 40_000, exponent=1.8, seed=11, name="pl4k")
+
+
+@pytest.fixture(scope="session")
+def small_uniform():
+    """A uniform random graph (no skew) as control."""
+    return erdos_renyi_graph(2000, 20_000, seed=5, name="er2k")
+
+
+@pytest.fixture(scope="session")
+def dbg_rmat(small_rmat):
+    """DBG-reordered RMAT graph."""
+    return degree_based_grouping(small_rmat)
+
+
+@pytest.fixture(scope="session")
+def rmat_partitions(dbg_rmat, config):
+    """Partition set of the reordered RMAT graph at test buffer size."""
+    return partition_graph(dbg_rmat.graph, config.partition_vertices)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,93 @@
+"""Tests for the PageRank GAS app."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import PageRank
+from repro.apps.reference import pagerank_reference
+from repro.graph.generators import erdos_renyi_graph
+
+
+@pytest.fixture()
+def app(small_rmat):
+    return PageRank(small_rmat)
+
+
+class TestUdfs:
+    def test_scatter_is_identity(self, app):
+        props = np.array([1, 2, 3], dtype=np.int64)
+        np.testing.assert_array_equal(app.scatter(props, None), props)
+
+    def test_gather_adds(self, app):
+        out = app.gather(np.array([1, 2]), np.array([10, 20]))
+        np.testing.assert_array_equal(out, [11, 22])
+
+    def test_gather_at_accumulates_duplicates(self, app):
+        buf = np.zeros(3, dtype=np.int64)
+        app.gather_at(buf, np.array([1, 1, 2]), np.array([5, 6, 7]))
+        np.testing.assert_array_equal(buf, [0, 11, 7])
+
+    def test_apply_adds_base_and_damps(self, small_rmat):
+        app = PageRank(small_rmat, damping=0.85)
+        acc = np.zeros(small_rmat.num_vertices, dtype=np.int64)
+        out = app.apply(app.init_props(), acc)
+        # With zero accumulation the new rank is just the base term.
+        expected = app.base_fx // app.divisor
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestRunSemantics:
+    def _gas_iterate(self, app, iterations):
+        graph = app.graph
+        props = app.init_props()
+        for _ in range(iterations):
+            acc = np.zeros(graph.num_vertices, dtype=np.int64)
+            updates = app.scatter(props[graph.src], None)
+            app.gather_at(acc, graph.dst, updates)
+            props = app.apply(props, acc)
+        return props
+
+    def test_matches_float_reference(self, small_rmat):
+        app = PageRank(small_rmat)
+        props = self._gas_iterate(app, 10)
+        ranks = app.finalize(props)
+        ref = pagerank_reference(small_rmat, iterations=10)
+        assert np.max(np.abs(ranks - ref)) < 1e-5
+
+    def test_ranks_sum_near_one_minus_dangling(self, small_rmat):
+        app = PageRank(small_rmat)
+        ranks = app.finalize(self._gas_iterate(app, 10))
+        assert 0.3 < ranks.sum() <= 1.01
+
+    def test_convergence_detection(self):
+        g = erdos_renyi_graph(50, 500, seed=1)
+        app = PageRank(g, tolerance=1e-4)
+        a = self._gas_iterate(app, 30)
+        b = self._gas_iterate(app, 31)
+        assert app.has_converged(a, b, 31)
+
+    def test_zero_out_degree_handled(self):
+        # Vertex 2 has no out-edges; divisor falls back to 1.
+        from repro.graph.coo import Graph
+
+        g = Graph(3, [0, 1], [1, 2])
+        app = PageRank(g)
+        assert app.divisor[2] == 1
+
+    def test_init_props_uniform(self, small_rmat):
+        app = PageRank(small_rmat)
+        props = app.init_props()
+        ranks = app.finalize(props)
+        # The pre-divide floors at fixed-point resolution, so the error
+        # bound scales with the out-degree divisor.
+        atol = float(app.divisor.max()) * app.fmt.resolution
+        np.testing.assert_allclose(
+            ranks, 1.0 / small_rmat.num_vertices, atol=atol
+        )
+
+    def test_finalize_restores_rank_scale(self, small_rmat):
+        app = PageRank(small_rmat)
+        props = app.init_props()
+        # finalize multiplies the pre-divided score back by out-degree
+        manual = app.fmt.to_float(props * app.divisor)
+        np.testing.assert_array_equal(app.finalize(props), manual)

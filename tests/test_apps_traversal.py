@@ -1,0 +1,135 @@
+"""Tests for BFS, Closeness Centrality, WCC and SSSP apps."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bfs import UNVISITED, BreadthFirstSearch
+from repro.apps.closeness import ClosenessCentrality
+from repro.apps.reference import (
+    bfs_reference,
+    closeness_reference,
+    sssp_reference,
+    wcc_reference,
+)
+from repro.apps.sssp import SingleSourceShortestPaths
+from repro.apps.wcc import WeaklyConnectedComponents, symmetrized
+from repro.graph.coo import Graph
+from repro.graph.generators import erdos_renyi_graph
+
+
+def _gas_run(app, max_iterations=200):
+    """Plain edge-centric GAS loop (no simulator) for app-level tests."""
+    graph = app.graph
+    props = app.init_props()
+    for i in range(max_iterations):
+        acc = np.full(
+            graph.num_vertices, app.gather_identity, dtype=app.prop_dtype
+        )
+        weights = graph.weights if app.uses_weights else None
+        updates = app.scatter(props[graph.src], weights)
+        app.gather_at(acc, graph.dst, updates)
+        new_props = app.apply(props, acc)
+        if app.has_converged(props, new_props, i):
+            return new_props
+        props = new_props
+    return props
+
+
+class TestBfs:
+    def test_matches_reference(self, small_rmat):
+        app = BreadthFirstSearch(small_rmat, root=0)
+        levels = _gas_run(app)
+        np.testing.assert_array_equal(levels, bfs_reference(small_rmat, 0))
+
+    def test_root_level_zero(self, tiny_graph):
+        app = BreadthFirstSearch(tiny_graph, root=2)
+        levels = _gas_run(app)
+        assert levels[2] == 0
+
+    def test_fig1_graph_levels(self, tiny_graph):
+        # 0->1->2->0, 0->3->4->{2,5}, 5->0
+        levels = _gas_run(BreadthFirstSearch(tiny_graph, root=0))
+        np.testing.assert_array_equal(levels, [0, 1, 2, 1, 2, 3])
+
+    def test_unreachable_stays_unvisited(self):
+        g = Graph(4, [0], [1])
+        levels = _gas_run(BreadthFirstSearch(g, root=0))
+        assert levels[2] == UNVISITED and levels[3] == UNVISITED
+
+    def test_invalid_root_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            BreadthFirstSearch(tiny_graph, root=99)
+
+    def test_scatter_keeps_unvisited_sentinel(self, tiny_graph):
+        app = BreadthFirstSearch(tiny_graph)
+        out = app.scatter(np.array([UNVISITED, 3], dtype=np.int64), None)
+        assert out[0] == UNVISITED and out[1] == 4
+
+
+class TestCloseness:
+    def test_matches_reference(self, small_rmat):
+        app = ClosenessCentrality(small_rmat, root=1)
+        levels = _gas_run(app)
+        assert app.finalize(levels) == pytest.approx(
+            closeness_reference(small_rmat, 1)
+        )
+
+    def test_isolated_root_zero(self):
+        g = Graph(3, [1], [2])
+        app = ClosenessCentrality(g, root=0)
+        assert app.finalize(_gas_run(app)) == 0.0
+
+    def test_star_graph_closeness_one(self):
+        # Root connected to all others at distance 1.
+        g = Graph(5, [0, 0, 0, 0], [1, 2, 3, 4])
+        app = ClosenessCentrality(g, root=0)
+        assert app.finalize(_gas_run(app)) == pytest.approx(1.0)
+
+
+class TestWcc:
+    def test_matches_reference_on_symmetrized(self, small_uniform):
+        g = symmetrized(small_uniform)
+        app = WeaklyConnectedComponents(g)
+        labels = _gas_run(app, max_iterations=500)
+        ref = wcc_reference(g)
+        # Same partition into components (labels are both min-IDs).
+        np.testing.assert_array_equal(labels, ref)
+
+    def test_two_components(self):
+        g = symmetrized(Graph(6, [0, 1, 3, 4], [1, 2, 4, 5]))
+        labels = _gas_run(WeaklyConnectedComponents(g))
+        assert set(labels[:3]) == {0}
+        assert set(labels[3:]) == {3}
+
+    def test_symmetrized_doubles_edges(self, tiny_graph):
+        assert symmetrized(tiny_graph).num_edges == 2 * tiny_graph.num_edges
+
+
+class TestSssp:
+    def _weighted(self, seed=0):
+        g = erdos_renyi_graph(200, 2000, seed=seed)
+        rng = np.random.default_rng(seed)
+        return g.with_weights(rng.integers(1, 20, g.num_edges))
+
+    def test_matches_reference(self):
+        g = self._weighted()
+        app = SingleSourceShortestPaths(g, root=0)
+        dist = _gas_run(app, max_iterations=500)
+        np.testing.assert_array_equal(dist, sssp_reference(g, 0))
+
+    def test_unweighted_graph_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="weighted"):
+            SingleSourceShortestPaths(tiny_graph)
+
+    def test_negative_weights_rejected(self):
+        g = Graph(3, [0, 1], [1, 2], weights=[1, -2])
+        with pytest.raises(ValueError, match="non-negative"):
+            SingleSourceShortestPaths(g)
+
+    def test_triangle_inequality_respected(self):
+        g = self._weighted(seed=3)
+        dist = _gas_run(SingleSourceShortestPaths(g, root=0), 500)
+        w = np.asarray(g.weights, dtype=np.int64)
+        reached = dist[g.src] < 2**40
+        slack = dist[g.dst[reached]] - (dist[g.src[reached]] + w[reached])
+        assert np.all(slack <= 0)

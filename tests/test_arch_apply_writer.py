@@ -1,0 +1,48 @@
+"""Tests for the Apply and Writer module simulators."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import PageRank
+from repro.arch.apply import APPLY_VERTICES_PER_CYCLE, ApplySim
+from repro.arch.writer import WriterSim
+from repro.graph.generators import erdos_renyi_graph
+
+
+class TestApply:
+    def test_cycles_linear_in_vertices(self, channel):
+        sim = ApplySim(channel)
+        c1 = sim.cycles(10_000)
+        c2 = sim.cycles(20_000)
+        assert c2 - c1 == pytest.approx(10_000 / APPLY_VERTICES_PER_CYCLE)
+
+    def test_zero_vertices_free(self, channel):
+        assert ApplySim(channel).cycles(0) == 0.0
+
+    def test_includes_stream_latency(self, channel):
+        assert ApplySim(channel).cycles(1) > 1.0
+
+    def test_run_applies_udf(self, channel):
+        g = erdos_renyi_graph(32, 128, seed=0)
+        app = PageRank(g)
+        sim = ApplySim(channel)
+        old = app.init_props()
+        acc = np.zeros(32, dtype=np.int64)
+        out = sim.run(app, old, acc)
+        np.testing.assert_array_equal(out, app.apply(old, acc))
+
+
+class TestWriter:
+    def test_cycles_track_blocks(self, channel):
+        sim = WriterSim(channel)
+        # 1600 vertices * 4 B = 100 blocks.
+        assert sim.cycles(1600) == pytest.approx(
+            channel.params.min_latency + 100.0
+        )
+
+    def test_zero_vertices_free(self, channel):
+        assert WriterSim(channel).cycles(0) == 0.0
+
+    def test_monotonic(self, channel):
+        sim = WriterSim(channel)
+        assert sim.cycles(100) <= sim.cycles(10_000)

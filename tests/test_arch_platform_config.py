@@ -1,0 +1,104 @@
+"""Tests for platform specs and pipeline/accelerator configuration."""
+
+import pytest
+
+from repro.arch.config import (
+    AcceleratorConfig,
+    PipelineConfig,
+    default_pipeline_config,
+)
+from repro.arch.platform import PLATFORMS, get_platform
+
+
+class TestPlatforms:
+    def test_both_boards_registered(self):
+        assert set(PLATFORMS) == {"U280", "U50"}
+
+    def test_u280_table2_values(self):
+        p = get_platform("U280")
+        assert p.luts == 1_304_000
+        assert p.urams == 960
+        assert p.slrs == 3
+        assert p.bandwidth_gbs == 460.0
+        assert p.num_channels == 32
+        assert p.num_ports == 32
+        assert p.tdp_watts == 225.0
+
+    def test_u50_table2_values(self):
+        p = get_platform("U50")
+        assert p.luts == 872_000
+        assert p.urams == 640
+        assert p.slrs == 2
+        assert p.bandwidth_gbs == 316.0
+        assert p.num_ports == 28
+        assert p.tdp_watts == 70.0
+
+    def test_pipeline_limits_match_paper(self):
+        assert get_platform("U280").max_total_pipelines == 14
+        assert get_platform("U50").max_total_pipelines == 12
+
+    def test_gather_buffer_sizes(self):
+        assert get_platform("U280").gather_buffer_vertices == 65_536
+        assert get_platform("U50").gather_buffer_vertices == 32_768
+
+    def test_lookup_case_insensitive(self):
+        assert get_platform("u280").name == "Alveo U280"
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(KeyError):
+            get_platform("U9000")
+
+
+class TestPipelineConfig:
+    def test_default_pe_counts(self):
+        cfg = PipelineConfig()
+        assert cfg.n_spe == 8 and cfg.n_gpe == 8  # Sec. VI-A
+
+    def test_edges_per_set(self):
+        assert PipelineConfig(n_spe=4).edges_per_set == 4
+
+    def test_vertices_per_block(self):
+        assert PipelineConfig().vertices_per_block == 16  # 512b / 32b
+
+    def test_pingpong_blocks(self):
+        # 32 KB total -> 16 KB per side -> 256 blocks of 64 B.
+        assert PipelineConfig().pingpong_blocks_per_side == 256
+
+    def test_store_cycles_eq2(self):
+        cfg = PipelineConfig(gather_buffer_vertices=65_536)
+        # S_buf/S_ram = 65536*4/8 = 32768 dominates Eq. 2.
+        assert cfg.store_cycles == 32_768
+
+    def test_proc_cycles_eq3(self):
+        cfg = PipelineConfig(n_spe=8, n_gpe=8, ii_spe=1, ii_gpe=1)
+        assert cfg.proc_cycles_per_edge == pytest.approx(1 / 8)
+
+    def test_proc_cycles_with_slow_gather(self):
+        cfg = PipelineConfig(n_spe=8, n_gpe=4, ii_spe=1, ii_gpe=2)
+        # Bottleneck form: min(8/1, 4/2) = 2 edges per cycle.
+        assert cfg.proc_cycles_per_edge == pytest.approx(1 / 2)
+
+    def test_for_platform_adapts_buffer(self):
+        cfg = default_pipeline_config(get_platform("U50"))
+        assert cfg.gather_buffer_vertices == 32_768
+
+
+class TestAcceleratorConfig:
+    def test_label(self):
+        assert AcceleratorConfig(7, 7).label == "7L7B"
+
+    def test_total(self):
+        assert AcceleratorConfig(3, 11).total_pipelines == 14
+
+    def test_homogeneous_detection(self):
+        assert AcceleratorConfig(0, 14).is_homogeneous
+        assert AcceleratorConfig(14, 0).is_homogeneous
+        assert not AcceleratorConfig(7, 7).is_homogeneous
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(-1, 2)
+
+    def test_empty_accelerator_raises(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(0, 0)

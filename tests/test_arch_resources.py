@@ -1,0 +1,134 @@
+"""Tests for the resource/frequency model (the Fig. 11 claims)."""
+
+import pytest
+
+from repro.arch.config import AcceleratorConfig, PipelineConfig
+from repro.arch.platform import get_platform
+from repro.arch.resources import (
+    ResourceVector,
+    accelerator_resources,
+    big_pipeline_resources,
+    frequency_mhz,
+    little_pipeline_resources,
+    report,
+)
+
+
+def _u280_config():
+    return PipelineConfig(gather_buffer_vertices=65_536)
+
+
+class TestResourceVector:
+    def test_add(self):
+        v = ResourceVector(lut=1, bram36=2) + ResourceVector(lut=3, uram=4)
+        assert (v.lut, v.bram36, v.uram) == (4, 2, 4)
+
+    def test_scale(self):
+        v = ResourceVector(lut=10, ff=20).scale(3)
+        assert (v.lut, v.ff) == (30, 60)
+
+
+class TestPipelineCosts:
+    def test_big_costs_more_lut(self):
+        cfg = _u280_config()
+        assert (
+            big_pipeline_resources(cfg).lut
+            > little_pipeline_resources(cfg).lut
+        )
+
+    def test_little_costs_more_bram(self):
+        cfg = _u280_config()
+        assert (
+            little_pipeline_resources(cfg).bram36
+            > big_pipeline_resources(cfg).bram36
+        )
+
+    def test_same_uram_both_types(self):
+        cfg = _u280_config()
+        assert (
+            little_pipeline_resources(cfg).uram
+            == big_pipeline_resources(cfg).uram
+        )
+
+    def test_uram_tracks_buffer_size(self):
+        big_buf = PipelineConfig(gather_buffer_vertices=65_536)
+        small_buf = PipelineConfig(gather_buffer_vertices=32_768)
+        assert (
+            little_pipeline_resources(big_buf).uram
+            > little_pipeline_resources(small_buf).uram
+        )
+
+
+class TestFig11Claims:
+    def test_best_config_lut_around_30pct(self):
+        accel = AcceleratorConfig(7, 7, _u280_config())
+        rep = report(accel, get_platform("U280"))
+        assert 0.25 < rep.lut_util < 0.36
+
+    def test_best_config_bram_under_50pct(self):
+        accel = AcceleratorConfig(7, 7, _u280_config())
+        rep = report(accel, get_platform("U280"))
+        assert rep.bram_util < 0.50
+
+    def test_uram_constant_around_96pct(self):
+        u280 = get_platform("U280")
+        utils = [
+            report(AcceleratorConfig(m, 14 - m, _u280_config()), u280).uram_util
+            for m in range(15)
+        ]
+        assert all(u == utils[0] for u in utils)
+        assert 0.90 < utils[0] < 1.0
+
+    def test_lut_decreases_with_more_little(self):
+        u280 = get_platform("U280")
+        luts = [
+            report(AcceleratorConfig(m, 14 - m, _u280_config()), u280).lut_util
+            for m in range(15)
+        ]
+        assert all(a >= b for a, b in zip(luts, luts[1:]))
+
+    def test_bram_increases_with_more_little(self):
+        u280 = get_platform("U280")
+        brams = [
+            report(AcceleratorConfig(m, 14 - m, _u280_config()), u280).bram_util
+            for m in range(15)
+        ]
+        assert all(a <= b for a, b in zip(brams, brams[1:]))
+
+    def test_frequency_above_210(self):
+        u280 = get_platform("U280")
+        for m in range(15):
+            rep = report(AcceleratorConfig(m, 14 - m, _u280_config()), u280)
+            assert rep.frequency_mhz > 210.0
+
+    def test_all_combinations_feasible(self):
+        u280 = get_platform("U280")
+        for m in range(15):
+            rep = report(AcceleratorConfig(m, 14 - m, _u280_config()), u280)
+            assert rep.feasible()
+
+
+class TestFrequencyModel:
+    def test_monotonic_in_utilization(self):
+        assert frequency_mhz(0.3, 3) <= frequency_mhz(0.2, 3)
+
+    def test_slr_penalty(self):
+        assert frequency_mhz(0.3, 3) < frequency_mhz(0.3, 1)
+
+    def test_floor(self):
+        assert frequency_mhz(5.0, 3) >= 180.0
+
+
+class TestAcceleratorResources:
+    def test_monotone_in_pipeline_count(self):
+        cfg = _u280_config()
+        small = accelerator_resources(AcceleratorConfig(2, 2, cfg))
+        large = accelerator_resources(AcceleratorConfig(7, 7, cfg))
+        assert large.lut > small.lut
+        assert large.uram > small.uram
+
+    def test_u50_uram_within_capacity(self):
+        u50 = get_platform("U50")
+        cfg = PipelineConfig(gather_buffer_vertices=32_768)
+        rep = report(AcceleratorConfig(6, 6, cfg), u50)
+        assert rep.uram_util <= 1.0

@@ -1,0 +1,173 @@
+"""Tests for the Data Router, PE arrays and Mergers."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import PageRank
+from repro.apps.bfs import BreadthFirstSearch
+from repro.arch.merger import merge_buffers, merger_cycles
+from repro.arch.pe import GatherPeArray, ScatterPeArray
+from repro.arch.router import ButterflyRouter
+from repro.graph.generators import erdos_renyi_graph
+
+
+class TestButterflyRouter:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            ButterflyRouter(6)
+
+    def test_switch_count(self):
+        # (N/2) * log2(N) 2x2 switches.
+        assert ButterflyRouter(8).num_switches == 12
+        assert ButterflyRouter(4).num_switches == 4
+        assert ButterflyRouter(1).num_switches == 0
+
+    def test_stage_count(self):
+        assert ButterflyRouter(8).num_stages == 3
+
+    def test_route_delivers_everything(self, rng):
+        router = ButterflyRouter(8)
+        lanes = rng.integers(0, 8, 100)
+        values = rng.integers(0, 1000, 100)
+        out = router.route(lanes, values)
+        assert sum(o.size for o in out) == 100
+
+    def test_route_correct_lane(self, rng):
+        router = ButterflyRouter(4)
+        lanes = rng.integers(0, 4, 50)
+        values = np.arange(50)
+        out = router.route(lanes, values)
+        for lane in range(4):
+            np.testing.assert_array_equal(out[lane], values[lanes == lane])
+
+    def test_route_preserves_order_within_lane(self):
+        router = ButterflyRouter(2)
+        out = router.route(np.array([0, 1, 0, 0]), np.array([9, 8, 7, 6]))
+        np.testing.assert_array_equal(out[0], [9, 7, 6])
+
+    def test_route_rejects_bad_lane(self):
+        router = ButterflyRouter(4)
+        with pytest.raises(ValueError):
+            router.route(np.array([5]), np.array([1]))
+
+    def test_conflict_factor_balanced(self):
+        router = ButterflyRouter(8)
+        lanes = np.tile(np.arange(8), 10)
+        assert router.conflict_factor(lanes, 8) == pytest.approx(1.0)
+
+    def test_conflict_factor_serialised(self):
+        router = ButterflyRouter(8)
+        lanes = np.zeros(80, dtype=np.int64)
+        assert router.conflict_factor(lanes, 8) == pytest.approx(8.0)
+
+
+class TestScatterPeArray:
+    def test_applies_udf(self):
+        g = erdos_renyi_graph(16, 64, seed=0)
+        app = BreadthFirstSearch(g, root=0)
+        pes = ScatterPeArray(8)
+        props = np.array([0, 5, 2**31 - 1], dtype=np.int64)
+        out = pes.process(app, props, None)
+        np.testing.assert_array_equal(out, [1, 6, 2**31 - 1])
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            ScatterPeArray(0)
+
+
+class TestGatherPeArrayStatic:
+    def _app(self):
+        g = erdos_renyi_graph(64, 256, seed=0)
+        return PageRank(g)
+
+    def test_static_accumulation_matches_flat(self, rng):
+        app = self._app()
+        gpes = GatherPeArray(4, 16, routed=False)
+        gpes.reset(app, 0)
+        dst = rng.integers(0, 16, 100)
+        vals = rng.integers(1, 10, 100).astype(np.int64)
+        gpes.absorb(app, dst, vals)
+        merged = merge_buffers(app, gpes.drain())
+        expected = np.zeros(16, dtype=np.int64)
+        np.add.at(expected, dst, vals)
+        np.testing.assert_array_equal(merged, expected)
+
+    def test_buffers_initialised_to_identity(self):
+        app = self._app()
+        gpes = GatherPeArray(4, 8, routed=False)
+        gpes.reset(app, 0)
+        for buf in gpes.drain():
+            assert np.all(buf == app.gather_identity)
+
+
+class TestGatherPeArrayRouted:
+    def _app(self):
+        g = erdos_renyi_graph(64, 256, seed=0)
+        return PageRank(g)
+
+    def test_routed_distinct_partitions(self, rng):
+        app = self._app()
+        gpes = GatherPeArray(4, 16, routed=True)
+        bases = [0, 16, 32, 48]
+        gpes.reset(app, bases)
+        dst = rng.integers(0, 64, 200)
+        vals = np.ones(200, dtype=np.int64)
+        gpes.absorb(app, dst, vals)
+        buffers = gpes.drain()
+        expected = np.zeros(64, dtype=np.int64)
+        np.add.at(expected, dst, vals)
+        for i, base in enumerate(bases):
+            np.testing.assert_array_equal(
+                buffers[i], expected[base : base + 16]
+            )
+
+    def test_routed_nonconsecutive_bases(self, rng):
+        app = self._app()
+        gpes = GatherPeArray(4, 16, routed=True)
+        gpes.reset(app, [0, 48])  # skip partitions in between
+        dst = np.concatenate(
+            [rng.integers(0, 16, 50), rng.integers(48, 64, 50)]
+        )
+        vals = np.ones(100, dtype=np.int64)
+        gpes.absorb(app, dst, vals)
+        buffers = gpes.drain()
+        assert len(buffers) == 2
+        assert buffers[0].sum() == 50 and buffers[1].sum() == 50
+
+    def test_too_many_bases_raise(self):
+        app = self._app()
+        gpes = GatherPeArray(2, 8, routed=True)
+        with pytest.raises(ValueError):
+            gpes.reset(app, [0, 8, 16])
+
+    def test_unsorted_bases_raise(self):
+        app = self._app()
+        gpes = GatherPeArray(2, 8, routed=True)
+        with pytest.raises(ValueError):
+            gpes.reset(app, [8, 0])
+
+
+class TestMerger:
+    def test_cycles_log_depth(self):
+        assert merger_cycles(8) == 3 * 4.0
+        assert merger_cycles(2) == 4.0
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            merger_cycles(0)
+
+    def test_merge_min_semantics(self):
+        g = erdos_renyi_graph(8, 16, seed=0)
+        app = BreadthFirstSearch(g)
+        bufs = [
+            np.array([5, 9], dtype=np.int64),
+            np.array([7, 2], dtype=np.int64),
+            np.array([6, 6], dtype=np.int64),
+        ]
+        out = merge_buffers(app, bufs)
+        np.testing.assert_array_equal(out, [5, 2])
+
+    def test_merge_empty_raises(self):
+        g = erdos_renyi_graph(8, 16, seed=0)
+        with pytest.raises(ValueError):
+            merge_buffers(BreadthFirstSearch(g), [])

@@ -1,0 +1,70 @@
+"""Tests for execution tracing."""
+
+import pytest
+
+from repro.arch.trace import ExecutionTrace, TraceEvent, trace_plan
+from repro.sched.scheduler import build_schedule
+
+
+@pytest.fixture()
+def trace(rmat_partitions, perf_model):
+    plan = build_schedule(rmat_partitions, perf_model, 4)
+    return trace_plan(plan)
+
+
+class TestTraceStructure:
+    def test_events_cover_both_clusters(self, trace):
+        pipelines = {e.pipeline for e in trace.events}
+        assert any(p.startswith("little") for p in pipelines)
+        assert any(p.startswith("big") for p in pipelines)
+
+    def test_events_sequential_per_pipeline(self, trace):
+        by_pipe = {}
+        for event in trace.events:
+            by_pipe.setdefault(event.pipeline, []).append(event)
+        for events in by_pipe.values():
+            for a, b in zip(events, events[1:]):
+                assert b.start_cycle == pytest.approx(a.end_cycle)
+
+    def test_makespan_is_latest_end(self, trace):
+        assert trace.makespan == max(e.end_cycle for e in trace.events)
+
+    def test_durations_positive(self, trace):
+        for event in trace.events:
+            assert event.duration > 0
+
+
+class TestTraceMetrics:
+    def test_busy_cycles_sum_durations(self, trace):
+        busy = trace.pipeline_busy()
+        assert sum(busy.values()) == pytest.approx(
+            sum(e.duration for e in trace.events)
+        )
+
+    def test_utilization_bounded(self, trace):
+        for util in trace.utilization().values():
+            assert 0.0 < util <= 1.0 + 1e-9
+
+    def test_scheduler_balances_utilization(self, trace):
+        utils = list(trace.utilization().values())
+        # Model-guided balancing: no pipeline should idle most of the
+        # iteration while another is saturated.
+        assert min(utils) > 0.3
+
+
+class TestGantt:
+    def test_render_contains_all_pipelines(self, trace):
+        chart = trace.render_gantt()
+        for pipeline in {e.pipeline for e in trace.events}:
+            assert pipeline in chart
+
+    def test_render_mentions_makespan(self, trace):
+        assert "makespan" in trace.render_gantt()
+
+    def test_empty_trace(self):
+        assert ExecutionTrace(events=[]).render_gantt() == "(empty trace)"
+        assert ExecutionTrace(events=[]).makespan == 0.0
+
+    def test_event_duration(self):
+        event = TraceEvent("little[0]", "p0", 10.0, 25.0)
+        assert event.duration == 15.0

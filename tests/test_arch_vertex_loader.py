@@ -1,0 +1,102 @@
+"""Tests for the Big pipeline's Vertex Loader simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import PipelineConfig
+from repro.arch.vertex_loader import VertexLoaderSim
+
+
+@pytest.fixture()
+def loader(config, channel):
+    return VertexLoaderSim(config, channel)
+
+
+class TestRequestDedup:
+    def test_single_block_issues_one_request(self, loader):
+        src = np.zeros(64, dtype=np.int64)  # all vertex 0, one block
+        _, stats = loader.access_ready_times(src)
+        assert stats.requests_issued == 1
+        assert stats.requests_saved == 63
+
+    def test_every_block_new_issues_per_edge(self, loader, config):
+        stride = config.vertices_per_block
+        src = np.arange(64, dtype=np.int64) * stride
+        _, stats = loader.access_ready_times(src)
+        assert stats.requests_issued == 64
+        assert stats.requests_saved == 0
+
+    def test_same_block_within_set_dedups(self, loader, config):
+        # 16 vertices share each 512-bit block.
+        src = np.arange(64, dtype=np.int64)  # 64 vertices -> 4 blocks
+        _, stats = loader.access_ready_times(src)
+        assert stats.requests_issued == 4
+
+    def test_cache_carries_across_sets(self, config, channel):
+        # Last block of set i == first block of set i+1: with the cache
+        # only one request per distinct block is issued.
+        src = np.repeat(np.arange(8, dtype=np.int64) * 16, 16)
+        with_cache = VertexLoaderSim(config, channel)
+        _, s1 = with_cache.access_ready_times(src)
+        no_cache_cfg = PipelineConfig(
+            gather_buffer_vertices=config.gather_buffer_vertices,
+            last_block_cache=False,
+        )
+        without = VertexLoaderSim(no_cache_cfg, channel)
+        _, s2 = without.access_ready_times(src)
+        assert s1.requests_issued < s2.requests_issued
+
+    def test_dedup_ratio(self, loader):
+        src = np.zeros(128, dtype=np.int64)
+        _, stats = loader.access_ready_times(src)
+        assert stats.dedup_ratio == pytest.approx(127 / 128)
+
+
+class TestReadyTimes:
+    def test_one_ready_per_set(self, loader, config):
+        src = np.arange(80, dtype=np.int64)
+        ready, stats = loader.access_ready_times(src)
+        assert ready.size == -(-80 // config.edges_per_set)
+        assert stats.num_sets == ready.size
+
+    def test_ready_monotonic(self, loader, rng):
+        src = np.sort(rng.integers(0, 10_000, 800))
+        ready, _ = loader.access_ready_times(src)
+        assert np.all(np.diff(ready) >= 0)
+
+    def test_includes_memory_latency(self, loader, channel):
+        src = np.zeros(8, dtype=np.int64)
+        ready, _ = loader.access_ready_times(src)
+        assert ready[0] >= channel.params.min_latency
+
+    def test_sparser_access_is_slower(self, loader):
+        n = 4096
+        dense = np.arange(n, dtype=np.int64)
+        sparse = np.arange(n, dtype=np.int64) * 64
+        r_dense, _ = loader.access_ready_times(dense)
+        r_sparse, _ = loader.access_ready_times(sparse)
+        assert r_sparse[-1] > r_dense[-1]
+
+    def test_empty_input(self, loader):
+        ready, stats = loader.access_ready_times(np.zeros(0, dtype=np.int64))
+        assert ready.size == 0
+        assert stats.num_edges == 0
+
+    def test_non_multiple_of_set_size(self, loader):
+        src = np.arange(13, dtype=np.int64)
+        ready, stats = loader.access_ready_times(src)
+        assert stats.num_edges == 13
+        assert ready.size == 2
+
+
+class TestThroughputModel:
+    def test_steady_state_rate_bounded_by_window(self, config, channel):
+        """With latency L and window D, a stream of distinct-block
+        requests sustains at most one response per max(1, L/D) cycles."""
+        loader = VertexLoaderSim(config, channel)
+        n = 8192
+        src = np.arange(n, dtype=np.int64) * config.vertices_per_block
+        ready, stats = loader.access_ready_times(src)
+        per_req = channel.effective_request_cycles(64.0)
+        expected = stats.requests_issued * per_req
+        assert ready[-1] == pytest.approx(expected, rel=0.25)

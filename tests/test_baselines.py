@@ -1,0 +1,134 @@
+"""Tests for the baseline system models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.energy import (
+    PLATFORM_POWER_WATTS,
+    efficiency_ratio,
+    energy_efficiency_gteps_per_watt,
+)
+from repro.baselines.fpga import (
+    ASIATICI,
+    GRAPHLILY,
+    TABLE5_PAPER_SPEEDUPS,
+    THUNDERGP,
+)
+from repro.baselines.gunrock import GUNROCK_A100, GUNROCK_P100
+from repro.baselines.ligra import LigraModel
+from repro.baselines.resource_table import (
+    TABLE1_DESIGNS,
+    feasible_channel_summary,
+    table1_rows,
+)
+
+
+class TestTable1:
+    def test_projection_matches_paper_cells(self):
+        for name, _res, projected, paper in table1_rows():
+            # Projections agree with the published cells within rounding
+            # except the measured anchors themselves.
+            for ours, theirs in zip(projected[2:], paper[2:]):
+                assert ours == pytest.approx(theirs, rel=0.01)
+
+    def test_all_designs_blow_past_device_at_8_channels(self):
+        for design in TABLE1_DESIGNS:
+            assert design.utilization(8) > 1.0
+
+    def test_nobody_reaches_8_channels(self):
+        for name, channels in feasible_channel_summary().items():
+            assert channels < 8
+
+    def test_thundergp_four_channels_infeasible(self):
+        tgp = [d for d in TABLE1_DESIGNS if d.name == "ThunderGP"][0]
+        assert tgp.utilization(4) > 0.80
+
+
+class TestFpgaBaselines:
+    def test_reported_numbers_returned_verbatim(self):
+        assert THUNDERGP.throughput_mteps("PR", "R21") == 5920.0
+        assert GRAPHLILY.throughput_mteps("PR", "HW") == 7471.0
+        assert ASIATICI.throughput_mteps("PR", "DB") == 920.0
+
+    def test_unknown_graph_needs_model(self):
+        with pytest.raises(KeyError):
+            THUNDERGP.throughput_mteps("PR", "XX")
+
+    def test_model_used_for_unknown_graph(self, small_rmat):
+        mteps = THUNDERGP.throughput_mteps("PR", "XX", graph=small_rmat)
+        assert mteps > 0
+
+    def test_model_within_2x_of_reported(self):
+        """The mechanistic model lands in the ballpark of the reported
+        numbers for the graphs we can instantiate."""
+        from repro.graph.datasets import load_dataset
+
+        g = load_dataset("HW", scale=0.01, seed=1)
+        modeled = THUNDERGP.modeled_mteps(g, "PR")
+        reported = THUNDERGP.throughput_mteps("PR", "HW")
+        assert reported / 2.5 < modeled < reported * 2.5
+
+    def test_speedup_table_covers_all_table5_rows(self):
+        assert len(TABLE5_PAPER_SPEEDUPS) == 24
+        for (u50, u280) in TABLE5_PAPER_SPEEDUPS.values():
+            assert u280 >= u50 * 0.9  # U280 at least matches U50
+
+
+class TestLigra:
+    def test_pr_throughput_positive(self, small_rmat):
+        assert LigraModel().pagerank_mteps(small_rmat) > 0
+
+    def test_denser_graph_faster(self):
+        from repro.graph.generators import erdos_renyi_graph
+
+        sparse = erdos_renyi_graph(10_000, 30_000, seed=0)
+        dense = erdos_renyi_graph(10_000, 400_000, seed=0)
+        m = LigraModel()
+        assert m.pagerank_mteps(dense) > m.pagerank_mteps(sparse)
+
+    def test_dispatch(self, small_rmat):
+        m = LigraModel()
+        assert m.throughput_mteps("PR", small_rmat) == m.pagerank_mteps(
+            small_rmat
+        )
+        with pytest.raises(ValueError):
+            m.throughput_mteps("nope", small_rmat)
+
+    def test_direction_switching_bfs_correct(self, small_rmat):
+        from repro.apps.reference import bfs_reference
+
+        levels = LigraModel.bfs_levels(small_rmat, 0)
+        np.testing.assert_array_equal(levels, bfs_reference(small_rmat, 0))
+
+
+class TestGunrock:
+    def test_a100_faster_than_p100(self, small_rmat):
+        assert GUNROCK_A100.pagerank_mteps(small_rmat) > \
+            GUNROCK_P100.pagerank_mteps(small_rmat)
+
+    def test_pr_faster_than_bfs(self, small_rmat):
+        assert GUNROCK_P100.pagerank_mteps(small_rmat) > \
+            GUNROCK_P100.bfs_mteps(small_rmat)
+
+    def test_dispatch_cc_uses_bfs(self, small_rmat):
+        m = GUNROCK_P100
+        assert m.throughput_mteps("CC", small_rmat) == m.bfs_mteps(small_rmat)
+
+
+class TestEnergy:
+    def test_power_table_matches_table6(self):
+        assert PLATFORM_POWER_WATTS["U280"] == 35.0
+        assert PLATFORM_POWER_WATTS["Xeon-6248R"] == 208.0
+        assert PLATFORM_POWER_WATTS["P100"] == 176.0
+        assert PLATFORM_POWER_WATTS["A100"] == 187.0
+
+    def test_efficiency(self):
+        assert energy_efficiency_gteps_per_watt(7.0, 35.0) == pytest.approx(0.2)
+
+    def test_ratio(self):
+        # Same throughput at 6x the power -> 6x worse efficiency.
+        assert efficiency_ratio(10, 35, 10, 210) == pytest.approx(6.0)
+
+    def test_invalid_power(self):
+        with pytest.raises(ValueError):
+            energy_efficiency_gteps_per_watt(1.0, 0.0)

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize(
+        "command",
+        ["datasets", "shuhai", "selfcheck",
+         "preprocess --dataset GG", "run --dataset GG",
+         "sweep --dataset GG", "codegen"],
+    )
+    def test_commands_parse(self, command):
+        args = build_parser().parse_args(command.split())
+        assert args.command == command.split()[0]
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "rmat-21-32" in out and "orkut" in out
+
+    def test_shuhai(self, capsys):
+        assert main(["shuhai"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out and "knee" in out
+
+    def test_preprocess(self, capsys):
+        code = main(
+            ["preprocess", "--dataset", "GG", "--scale", "0.005",
+             "--buffer-vertices", "256", "--pipelines", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accelerator:" in out and "partitions:" in out
+
+    def test_run_bfs(self, capsys):
+        code = main(
+            ["run", "--dataset", "GG", "--scale", "0.005",
+             "--buffer-vertices", "256", "--pipelines", "4",
+             "--app", "bfs"]
+        )
+        assert code == 0
+        assert "MTEPS" in capsys.readouterr().out
+
+    def test_run_pagerank_capped(self, capsys):
+        code = main(
+            ["run", "--dataset", "AM", "--scale", "0.005",
+             "--buffer-vertices", "256", "--pipelines", "4",
+             "--app", "pagerank", "--iterations", "2"]
+        )
+        assert code == 0
+        assert "iterations: 2" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main(
+            ["sweep", "--dataset", "GG", "--scale", "0.005",
+             "--buffer-vertices", "256", "--pipelines", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0L3B" in out and "3L0B" in out and "selected" in out
+
+    def test_codegen(self, tmp_path, capsys):
+        code = main(["codegen", "--output", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "7L7B" / "manifest.json").exists()
+
+    def test_run_from_edge_list(self, tmp_path, capsys, tiny_graph):
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "g.el"
+        write_edge_list(tiny_graph, path)
+        code = main(
+            ["run", "--edge-list", str(path), "--buffer-vertices", "4",
+             "--pipelines", "2", "--app", "bfs"]
+        )
+        assert code == 0
+
+    def test_missing_graph_source_exits(self):
+        with pytest.raises(SystemExit):
+            main(["preprocess"])

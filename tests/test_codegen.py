@@ -1,0 +1,125 @@
+"""Tests for the accelerator code generator."""
+
+import json
+
+import pytest
+
+from repro.arch.config import AcceleratorConfig, PipelineConfig
+from repro.arch.platform import get_platform
+from repro.codegen.generator import (
+    generate_accelerator,
+    generate_all_combinations,
+    write_bundle,
+)
+from repro.codegen.slr import assign_slrs, crossing_count
+from repro.codegen.templates import render_kernel_stub, render_udf_header
+
+
+def _bundle(m=3, n=3):
+    accel = AcceleratorConfig(m, n, PipelineConfig())
+    return generate_accelerator(accel, get_platform("U280"))
+
+
+class TestGenerateAccelerator:
+    def test_kernel_inventory(self):
+        bundle = _bundle(3, 4)
+        kinds = [k.kind for k in bundle.kernels]
+        assert kinds.count("little") == 3
+        assert kinds.count("big") == 4
+        assert kinds.count("apply") == 1
+        assert kinds.count("writer") == 1
+
+    def test_two_ports_per_pipeline(self):
+        bundle = _bundle()
+        for kernel in bundle.kernels:
+            if kernel.kind in ("little", "big"):
+                assert len(kernel.ports) == 2
+
+    def test_ports_disjoint(self):
+        bundle = _bundle(7, 7)
+        seen = []
+        for kernel in bundle.kernels:
+            seen.extend(kernel.ports)
+        assert len(seen) == len(set(seen))
+
+    def test_slrs_within_platform(self):
+        bundle = _bundle(7, 7)
+        for kernel in bundle.kernels:
+            assert 0 <= kernel.slr < 3
+
+    def test_connectivity_has_sp_and_slr_lines(self):
+        cfg = _bundle().connectivity_cfg
+        assert "sp=little_pipeline_0.gmem0:HBM[" in cfg
+        assert "slr=apply_0:SLR0" in cfg
+
+    def test_manifest_roundtrips_json(self):
+        bundle = _bundle()
+        manifest = json.loads(json.dumps(bundle.to_manifest()))
+        assert manifest["label"] == "3L3B"
+        assert len(manifest["kernels"]) == len(bundle.kernels)
+
+
+class TestCombinations:
+    def test_one_bundle_per_combo(self):
+        bundles = generate_all_combinations(get_platform("U280"))
+        assert len(bundles) == 15
+        assert {b.label for b in bundles} == {
+            f"{m}L{14 - m}B" for m in range(15)
+        }
+
+
+class TestTemplates:
+    def test_udf_header_contains_listing1_functions(self):
+        header = render_udf_header()
+        assert "accScatter" in header
+        assert "accGather" in header
+        assert "accApply" in header
+
+    def test_custom_expressions_rendered(self):
+        header = render_udf_header(gather_expr="min(buf_prop, value)")
+        assert "min(buf_prop, value)" in header
+
+    def test_kernel_stub(self):
+        stub = render_kernel_stub("big_pipeline_0", "big", 1, [0, 1])
+        assert "big_pipeline_0" in stub
+        assert "vertex loader" in stub
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            render_kernel_stub("x", "weird", 0, [0])
+
+
+class TestWriteBundle:
+    def test_writes_all_artifacts(self, tmp_path):
+        bundle = _bundle(2, 2)
+        root = write_bundle(bundle, tmp_path)
+        assert (root / "manifest.json").exists()
+        assert (root / "connectivity.cfg").exists()
+        assert (root / "regraph_udf.h").exists()
+        assert len(list((root / "src").glob("*.cpp"))) == len(bundle.kernels)
+
+
+class TestSlr:
+    def test_named_roles_pinned(self):
+        assignment = assign_slrs(["apply_0", "writer_0", "big_pipeline_0"], 3)
+        assert assignment["apply_0"] == 0
+        assert assignment["writer_0"] == 0
+
+    def test_round_robin_spread(self):
+        names = [f"big_pipeline_{i}" for i in range(6)]
+        assignment = assign_slrs(names, 3)
+        counts = [list(assignment.values()).count(s) for s in range(3)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_single_slr_platform(self):
+        assignment = assign_slrs(["apply_0", "little_pipeline_0"], 1)
+        assert set(assignment.values()) == {0}
+
+    def test_invalid_slr_count(self):
+        with pytest.raises(ValueError):
+            assign_slrs(["a"], 0)
+
+    def test_crossing_count(self):
+        assignment = {"a": 0, "b": 1, "c": 0}
+        edges = [("a", "b"), ("a", "c"), ("b", "c")]
+        assert crossing_count(assignment, edges) == 2

@@ -1,0 +1,52 @@
+"""Tests for accelerator enumeration (Sec. V-D)."""
+
+from repro.arch.config import PipelineConfig
+from repro.arch.platform import get_platform
+from repro.core.accelerator import (
+    enumerate_accelerators,
+    feasible_accelerators,
+)
+
+
+class TestEnumeration:
+    def test_u280_yields_fifteen_combos(self):
+        accels = enumerate_accelerators(get_platform("U280"))
+        assert len(accels) == 15  # M = 0..14
+
+    def test_u50_yields_thirteen_combos(self):
+        accels = enumerate_accelerators(get_platform("U50"))
+        assert len(accels) == 13  # M = 0..12
+
+    def test_all_sum_to_npip(self):
+        for accel in enumerate_accelerators(get_platform("U280")):
+            assert accel.total_pipelines == 14
+
+    def test_labels_unique(self):
+        labels = [
+            a.label for a in enumerate_accelerators(get_platform("U280"))
+        ]
+        assert len(set(labels)) == len(labels)
+
+    def test_override_total(self):
+        accels = enumerate_accelerators(
+            get_platform("U280"), total_pipelines=4
+        )
+        assert len(accels) == 5
+
+    def test_platform_buffer_inherited(self):
+        accels = enumerate_accelerators(get_platform("U50"))
+        assert accels[0].pipeline.gather_buffer_vertices == 32_768
+
+
+class TestFeasibility:
+    def test_all_regraph_combos_feasible_on_u280(self):
+        # The paper's core scalability claim: every combination fits.
+        platform = get_platform("U280")
+        pipeline = PipelineConfig(gather_buffer_vertices=65_536)
+        assert len(feasible_accelerators(platform, pipeline)) == 15
+
+    def test_tight_cap_filters(self):
+        platform = get_platform("U280")
+        pipeline = PipelineConfig(gather_buffer_vertices=65_536)
+        few = feasible_accelerators(platform, pipeline, max_lut=0.25)
+        assert len(few) < 15

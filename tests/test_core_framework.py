@@ -1,0 +1,88 @@
+"""Tests for the push-button ReGraph framework."""
+
+import numpy as np
+import pytest
+
+from repro.apps.reference import (
+    bfs_reference,
+    closeness_reference,
+    pagerank_reference,
+)
+from repro.arch.config import PipelineConfig
+from repro.core.framework import ReGraph
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return ReGraph(
+        "U280",
+        pipeline=PipelineConfig(gather_buffer_vertices=512),
+        num_pipelines=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def preprocessed(framework, small_rmat):
+    return framework.preprocess(small_rmat)
+
+
+class TestPreprocess:
+    def test_plan_covers_graph(self, preprocessed, small_rmat):
+        assert preprocessed.plan.total_edges() == small_rmat.num_edges
+
+    def test_timings_recorded(self, preprocessed):
+        assert preprocessed.dbg_seconds > 0
+        assert preprocessed.schedule_seconds > 0
+
+    def test_resources_feasible(self, preprocessed):
+        assert preprocessed.resources.feasible()
+
+    def test_vertex_mapping_roundtrip(self, preprocessed, small_rmat, rng):
+        props = rng.random(small_rmat.num_vertices)
+        relabelled = props[preprocessed.dbg.inverse]
+        np.testing.assert_array_equal(
+            preprocessed.to_original_order(relabelled), props
+        )
+
+    def test_no_dbg_mode(self, framework, small_rmat):
+        pre = framework.preprocess(small_rmat, use_dbg=False)
+        assert pre.graph is small_rmat
+
+    def test_forced_combo_passthrough(self, framework, small_rmat):
+        pre = framework.preprocess(small_rmat, forced_combo=(6, 0))
+        assert pre.plan.accelerator.label == "6L0B"
+
+
+class TestRunResults:
+    """Results come back in *input-graph* vertex order."""
+
+    def test_pagerank_original_order(self, framework, preprocessed, small_rmat):
+        run = framework.run_pagerank(preprocessed, max_iterations=8)
+        ref = pagerank_reference(small_rmat, iterations=run.iterations)
+        assert np.max(np.abs(run.result - ref)) < 1e-5
+
+    def test_bfs_root_in_original_ids(self, framework, preprocessed, small_rmat):
+        root = 17
+        run = framework.run_bfs(preprocessed, root=root)
+        np.testing.assert_array_equal(
+            run.props, bfs_reference(small_rmat, root)
+        )
+
+    def test_closeness_scalar_result(self, framework, preprocessed, small_rmat):
+        run = framework.run_closeness(preprocessed, root=3)
+        assert run.result == pytest.approx(closeness_reference(small_rmat, 3))
+
+    def test_run_accepts_raw_graph(self, framework, small_rmat):
+        run = framework.run_pagerank(small_rmat, max_iterations=2)
+        assert run.iterations == 2
+
+    def test_report_metadata(self, framework, preprocessed):
+        run = framework.run_pagerank(preprocessed, max_iterations=2)
+        assert run.graph_name == "rmat13"
+        assert "L" in run.accel_label and "B" in run.accel_label
+        assert run.mteps > 0
+
+
+class TestModelCaching:
+    def test_model_lazy_singleton(self, framework):
+        assert framework.model is framework.model

@@ -1,0 +1,67 @@
+"""Unit tests for RunReport / IterationReport accounting."""
+
+import pytest
+
+from repro.core.system import IterationReport, RunReport
+
+
+class TestIterationReport:
+    def _report(self, little=(100.0,), big=(80.0,), apply_c=50.0, w=10.0):
+        return IterationReport(
+            little_cycles=list(little),
+            big_cycles=list(big),
+            apply_cycles=apply_c,
+            writer_cycles=w,
+        )
+
+    def test_cluster_cycles_is_slowest_pipeline(self):
+        rep = self._report(little=(100.0, 120.0), big=(80.0,))
+        assert rep.cluster_cycles == 120.0
+
+    def test_apply_overlaps_clusters(self):
+        rep = self._report(little=(100.0,), apply_c=150.0, w=10.0)
+        assert rep.total_cycles == 160.0
+
+    def test_clusters_dominate_when_apply_small(self):
+        rep = self._report(little=(100.0,), apply_c=20.0, w=10.0)
+        assert rep.total_cycles == 110.0
+
+    def test_empty_clusters(self):
+        rep = IterationReport([], [], apply_cycles=5.0, writer_cycles=1.0)
+        assert rep.cluster_cycles == 0.0
+        assert rep.total_cycles == 6.0
+
+
+class TestRunReport:
+    def _run(self, cycles=1e6, freq=250.0, edges=100_000, iters=10):
+        run = RunReport(
+            app_name="PR",
+            graph_name="g",
+            accel_label="7L7B",
+            frequency_mhz=freq,
+            edges_per_iteration=edges,
+        )
+        run.total_cycles = cycles
+        run.iterations = iters
+        return run
+
+    def test_seconds_from_frequency(self):
+        run = self._run(cycles=250e6, freq=250.0)
+        assert run.total_seconds == pytest.approx(1.0)
+
+    def test_processed_edges(self):
+        run = self._run(edges=100, iters=7)
+        assert run.processed_edges == 700
+
+    def test_mteps(self):
+        run = self._run(cycles=250e6, freq=250.0, edges=1_000_000, iters=5)
+        # 5M edges in 1 s -> 5 MTEPS.
+        assert run.mteps == pytest.approx(5.0)
+
+    def test_gteps(self):
+        run = self._run(cycles=250e6, freq=250.0, edges=1_000_000, iters=5)
+        assert run.gteps == pytest.approx(0.005)
+
+    def test_zero_time_guard(self):
+        run = self._run(cycles=0.0)
+        assert run.mteps == 0.0

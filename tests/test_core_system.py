@@ -1,0 +1,92 @@
+"""Tests for the full-system simulator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bfs import BreadthFirstSearch
+from repro.apps.pagerank import PageRank
+from repro.apps.reference import bfs_reference, pagerank_reference
+from repro.arch.platform import get_platform
+from repro.core.system import SystemSimulator
+from repro.sched.scheduler import build_schedule
+
+
+@pytest.fixture()
+def plan(rmat_partitions, perf_model):
+    return build_schedule(rmat_partitions, perf_model, 6)
+
+
+@pytest.fixture()
+def simulator(plan):
+    return SystemSimulator(plan, get_platform("U280"))
+
+
+class TestFunctionalExecution:
+    def test_pagerank_matches_reference(self, simulator, dbg_rmat, small_rmat):
+        app = PageRank(dbg_rmat.graph)
+        run = simulator.run(app, max_iterations=8)
+        internal_ref = pagerank_reference(dbg_rmat.graph, iterations=run.iterations)
+        assert np.max(np.abs(run.result - internal_ref)) < 1e-5
+
+    def test_bfs_matches_reference(self, simulator, dbg_rmat):
+        app = BreadthFirstSearch(dbg_rmat.graph, root=0)
+        run = simulator.run(app)
+        np.testing.assert_array_equal(
+            run.props, bfs_reference(dbg_rmat.graph, 0)
+        )
+
+    def test_bfs_converges(self, simulator, dbg_rmat):
+        run = simulator.run(BreadthFirstSearch(dbg_rmat.graph, root=0))
+        assert run.converged
+
+    def test_iteration_cap_respected(self, simulator, dbg_rmat):
+        run = simulator.run(PageRank(dbg_rmat.graph), max_iterations=3)
+        assert run.iterations <= 3
+
+
+class TestTimingAccounting:
+    def test_cycles_accumulate(self, simulator, dbg_rmat):
+        run = simulator.run(PageRank(dbg_rmat.graph), max_iterations=4)
+        per_iter = [r.total_cycles for r in run.iteration_reports]
+        assert run.total_cycles == pytest.approx(sum(per_iter))
+
+    def test_iteration_timing_cached(self, simulator, dbg_rmat):
+        run = simulator.run(PageRank(dbg_rmat.graph), max_iterations=3)
+        cycles = {r.total_cycles for r in run.iteration_reports}
+        assert len(cycles) == 1  # same static plan every iteration
+
+    def test_mteps_consistent(self, simulator, dbg_rmat):
+        run = simulator.run(PageRank(dbg_rmat.graph), max_iterations=4)
+        expected = run.processed_edges / run.total_seconds / 1e6
+        assert run.mteps == pytest.approx(expected)
+
+    def test_nonfunctional_mode_runs_exact_iterations(self, simulator, dbg_rmat):
+        run = simulator.run(
+            PageRank(dbg_rmat.graph), max_iterations=5, functional=False
+        )
+        assert run.iterations == 5
+        assert run.props is None
+
+    def test_frequency_from_resource_model(self, simulator):
+        assert 210.0 < simulator.frequency_mhz <= 300.0
+
+    def test_cluster_overlap_semantics(self, simulator, dbg_rmat):
+        run = simulator.run(PageRank(dbg_rmat.graph), max_iterations=1)
+        rep = run.iteration_reports[0]
+        assert rep.total_cycles >= rep.cluster_cycles
+        assert rep.total_cycles >= rep.apply_cycles
+
+
+class TestHomogeneousPlans:
+    @pytest.mark.parametrize("combo", [(6, 0), (0, 6)])
+    def test_homogeneous_still_correct(
+        self, rmat_partitions, perf_model, dbg_rmat, combo
+    ):
+        plan = build_schedule(
+            rmat_partitions, perf_model, 6, forced_combo=combo
+        )
+        sim = SystemSimulator(plan, get_platform("U280"))
+        run = sim.run(BreadthFirstSearch(dbg_rmat.graph, root=0))
+        np.testing.assert_array_equal(
+            run.props, bfs_reference(dbg_rmat.graph, 0)
+        )

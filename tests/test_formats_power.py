@@ -1,0 +1,96 @@
+"""Tests for binary graph persistence and the FPGA power model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import AcceleratorConfig, PipelineConfig
+from repro.arch.platform import get_platform
+from repro.arch.power import (
+    FpgaPowerModel,
+    estimated_execution_watts,
+)
+from repro.arch.resources import report
+from repro.graph.formats import save_npz, load_npz
+
+
+class TestNpzFormats:
+    def test_roundtrip_unweighted(self, small_rmat, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(small_rmat, path)
+        back = load_npz(path)
+        assert back.num_vertices == small_rmat.num_vertices
+        np.testing.assert_array_equal(back.src, small_rmat.src)
+        np.testing.assert_array_equal(back.dst, small_rmat.dst)
+        assert back.name == small_rmat.name
+
+    def test_roundtrip_weighted(self, tiny_graph, tmp_path):
+        g = tiny_graph.with_weights(np.arange(8))
+        path = tmp_path / "w.npz"
+        save_npz(g, path)
+        back = load_npz(path)
+        np.testing.assert_array_equal(back.weights, np.arange(8))
+
+    def test_unweighted_loads_without_weights(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(tiny_graph, path)
+        assert load_npz(path).weights is None
+
+    def test_future_version_rejected(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(tiny_graph, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["version"] = np.array([99])
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_npz(path)
+
+
+def _u280_report(m=7, n=7):
+    return report(
+        AcceleratorConfig(m, n, PipelineConfig(gather_buffer_vertices=65_536)),
+        get_platform("U280"),
+    )
+
+
+class TestPowerModel:
+    def test_u280_lands_at_table6(self):
+        """Table VI: 35 W measured during execution on the U280."""
+        watts = estimated_execution_watts(_u280_report(), get_platform("U280"))
+        assert watts == pytest.approx(35.0, abs=3.0)
+
+    def test_u50_below_tdp(self):
+        u50 = get_platform("U50")
+        rep = report(
+            AcceleratorConfig(
+                6, 6, PipelineConfig(gather_buffer_vertices=32_768)
+            ),
+            u50,
+        )
+        watts = estimated_execution_watts(rep, u50)
+        assert watts < u50.tdp_watts
+
+    def test_power_grows_with_logic(self):
+        model = FpgaPowerModel()
+        small = model.watts(_u280_report(2, 2), active_channels=32)
+        large = model.watts(_u280_report(7, 7), active_channels=32)
+        assert large > small
+
+    def test_idle_memory_cheaper(self):
+        model = FpgaPowerModel()
+        rep = _u280_report()
+        busy = model.watts(rep, 32, memory_activity=1.0)
+        idle = model.watts(rep, 32, memory_activity=0.2)
+        assert idle < busy
+
+    def test_invalid_activity_rejected(self):
+        with pytest.raises(ValueError):
+            FpgaPowerModel().watts(_u280_report(), 32, memory_activity=1.5)
+
+    def test_efficiency_metric(self):
+        model = FpgaPowerModel()
+        assert model.gteps_per_watt(7.0, 35.0) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            model.gteps_per_watt(1.0, 0.0)
+
+    def test_energy(self):
+        assert FpgaPowerModel().energy_joules(35.0, 2.0) == 70.0

@@ -1,0 +1,122 @@
+"""Tests for the COO graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.coo import EDGE_BYTES, VERTEX_WORD_BYTES, Graph
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.num_vertices == 6
+        assert tiny_graph.num_edges == 8
+
+    def test_sorted_by_source(self, tiny_graph):
+        assert np.all(np.diff(tiny_graph.src) >= 0)
+
+    def test_sorted_by_dst_within_source(self):
+        g = Graph(4, [1, 1, 1, 0], [3, 0, 2, 1])
+        sel = g.src == 1
+        assert np.all(np.diff(g.dst[sel]) >= 0)
+
+    def test_assume_sorted_skips_sort(self):
+        # Deliberately unsorted input survives with assume_sorted.
+        g = Graph(4, [3, 0], [0, 1], assume_sorted=True)
+        assert g.src[0] == 3
+
+    def test_weights_follow_sort(self):
+        g = Graph(3, [2, 0, 1], [0, 1, 2], weights=[20, 0, 10])
+        np.testing.assert_array_equal(g.weights, [0, 10, 20])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Graph(3, [0, 1], [1])
+
+    def test_weight_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="per edge"):
+            Graph(3, [0, 1], [1, 2], weights=[1])
+
+    def test_src_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="src"):
+            Graph(3, [0, 5], [1, 2])
+
+    def test_dst_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="dst"):
+            Graph(3, [0, 1], [1, -1])
+
+    def test_zero_vertices_raises(self):
+        with pytest.raises(ValueError):
+            Graph(0, [], [])
+
+
+class TestDegrees:
+    def test_in_degrees(self, tiny_graph):
+        # dst = 1,3,2,0,4,2,5,0 -> vertex 0 has in-degree 2, vertex 2 has 2
+        deg = tiny_graph.in_degrees()
+        assert deg[0] == 2
+        assert deg[2] == 2
+        assert deg.sum() == tiny_graph.num_edges
+
+    def test_out_degrees(self, tiny_graph):
+        deg = tiny_graph.out_degrees()
+        assert deg[0] == 2
+        assert deg[4] == 2
+        assert deg.sum() == tiny_graph.num_edges
+
+    def test_average_degree(self, tiny_graph):
+        assert tiny_graph.average_degree == pytest.approx(8 / 6)
+
+    def test_degrees_cached(self, tiny_graph):
+        assert tiny_graph.in_degrees() is tiny_graph.in_degrees()
+
+
+class TestFootprint:
+    def test_edge_bytes_unweighted(self, tiny_graph):
+        assert tiny_graph.edge_bytes == EDGE_BYTES
+
+    def test_edge_bytes_weighted(self):
+        g = Graph(2, [0], [1], weights=[5])
+        assert g.edge_bytes == EDGE_BYTES + VERTEX_WORD_BYTES
+
+    def test_footprint_accounts_properties(self, tiny_graph):
+        expected = 8 * EDGE_BYTES + 2 * 6 * VERTEX_WORD_BYTES
+        assert tiny_graph.footprint_bytes == expected
+
+
+class TestTransformations:
+    def test_relabel_identity(self, tiny_graph):
+        ident = np.arange(6)
+        g2 = tiny_graph.relabel(ident)
+        np.testing.assert_array_equal(g2.src, tiny_graph.src)
+        np.testing.assert_array_equal(g2.dst, tiny_graph.dst)
+
+    def test_relabel_preserves_structure(self, tiny_graph):
+        mapping = np.array([5, 4, 3, 2, 1, 0])
+        g2 = tiny_graph.relabel(mapping)
+        orig = set(zip(tiny_graph.src.tolist(), tiny_graph.dst.tolist()))
+        back = set(
+            (5 - s, 5 - d) for s, d in zip(g2.src.tolist(), g2.dst.tolist())
+        )
+        assert orig == back
+
+    def test_relabel_wrong_size_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.relabel(np.arange(5))
+
+    def test_reversed_swaps_degrees(self, tiny_graph):
+        rev = tiny_graph.reversed()
+        np.testing.assert_array_equal(
+            rev.in_degrees(), tiny_graph.out_degrees()
+        )
+
+    def test_reversed_twice_same_edge_set(self, tiny_graph):
+        twice = tiny_graph.reversed().reversed()
+        orig = sorted(zip(tiny_graph.src.tolist(), tiny_graph.dst.tolist()))
+        back = sorted(zip(twice.src.tolist(), twice.dst.tolist()))
+        assert orig == back
+
+    def test_with_weights(self, tiny_graph):
+        w = np.arange(8)
+        g2 = tiny_graph.with_weights(w)
+        assert g2.weights is not None
+        assert g2.num_edges == tiny_graph.num_edges

@@ -1,0 +1,57 @@
+"""Tests for the CSR view."""
+
+import numpy as np
+import pytest
+
+from repro.graph.coo import Graph
+from repro.graph.csr import CsrGraph
+
+
+class TestFromCoo:
+    def test_roundtrip_edge_set(self, tiny_graph):
+        csr = CsrGraph.from_coo(tiny_graph)
+        back = csr.to_coo()
+        orig = sorted(zip(tiny_graph.src.tolist(), tiny_graph.dst.tolist()))
+        rt = sorted(zip(back.src.tolist(), back.dst.tolist()))
+        assert orig == rt
+
+    def test_neighbors_match_out_edges(self, tiny_graph):
+        csr = CsrGraph.from_coo(tiny_graph)
+        for v in range(6):
+            expected = sorted(
+                tiny_graph.dst[tiny_graph.src == v].tolist()
+            )
+            assert sorted(csr.neighbors(v).tolist()) == expected
+
+    def test_transpose_neighbors_are_in_edges(self, tiny_graph):
+        csr = CsrGraph.from_coo(tiny_graph, transpose=True)
+        for v in range(6):
+            expected = sorted(
+                tiny_graph.src[tiny_graph.dst == v].tolist()
+            )
+            assert sorted(csr.neighbors(v).tolist()) == expected
+
+    def test_degrees(self, tiny_graph):
+        csr = CsrGraph.from_coo(tiny_graph)
+        for v in range(6):
+            assert csr.degree(v) == tiny_graph.out_degrees()[v]
+
+    def test_num_edges_preserved(self, small_rmat):
+        csr = CsrGraph.from_coo(small_rmat)
+        assert csr.num_edges == small_rmat.num_edges
+
+    def test_weights_follow(self):
+        g = Graph(3, [0, 1, 2], [1, 2, 0], weights=[10, 20, 30])
+        csr = CsrGraph.from_coo(g)
+        assert csr.weights is not None
+        assert csr.weights.sum() == 60
+
+
+class TestValidation:
+    def test_indptr_size_checked(self):
+        with pytest.raises(ValueError, match="V\\+1"):
+            CsrGraph(3, np.array([0, 1]), np.array([0]))
+
+    def test_indptr_tail_checked(self):
+        with pytest.raises(ValueError, match="number of edges"):
+            CsrGraph(2, np.array([0, 1, 5]), np.array([0]))

@@ -1,0 +1,76 @@
+"""Tests for the Table III dataset registry."""
+
+import pytest
+
+from repro.graph.datasets import DATASETS, load_dataset, table3_rows
+
+
+class TestRegistry:
+    def test_sixteen_datasets(self):
+        assert len(DATASETS) == 16
+
+    @pytest.mark.parametrize(
+        "key", ["R19", "R21", "R24", "G23", "GG", "AM", "HD", "BB",
+                "TC", "PK", "FU", "WP", "LJ", "HW", "DB", "OR"]
+    )
+    def test_paper_keys_present(self, key):
+        assert key in DATASETS
+
+    def test_rmat_specs_match_paper(self):
+        spec = DATASETS["R21"]
+        assert spec.num_vertices == 2**21
+        assert spec.avg_degree == 32
+
+    def test_published_signature_hd(self):
+        spec = DATASETS["HD"]
+        assert spec.num_vertices == 1_984_484
+        assert spec.num_edges == 14_869_484
+        assert spec.directed
+
+    def test_undirected_datasets(self):
+        for key in ("FU", "LJ", "HW", "OR"):
+            assert not DATASETS[key].directed
+
+    def test_table3_rows_complete(self):
+        rows = table3_rows()
+        assert len(rows) == 16
+        assert rows[0][0] == "R19"
+
+
+class TestInstantiation:
+    def test_scaled_powerlaw_size(self):
+        g = load_dataset("HD", scale=0.01, seed=0)
+        spec = DATASETS["HD"]
+        assert g.num_vertices == int(spec.num_vertices * 0.01)
+        assert g.num_edges == int(spec.num_edges * 0.01)
+
+    def test_scaled_preserves_avg_degree(self):
+        g = load_dataset("PK", scale=0.02, seed=0)
+        spec = DATASETS["PK"]
+        assert g.average_degree == pytest.approx(
+            spec.num_edges / spec.num_vertices, rel=0.05
+        )
+
+    def test_rmat_scaling_halves_levels(self):
+        g = load_dataset("R19", scale=0.25, seed=0)
+        assert g.num_vertices == 2 ** (19 - 2)
+
+    def test_undirected_standin_mirrors(self):
+        g = load_dataset("HW", scale=0.005, seed=0)
+        pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+        mirrored = sum((d, s) in pairs for s, d in pairs)
+        assert mirrored == len(pairs)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("NOPE")
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("HD", scale=0.0)
+
+    def test_deterministic(self):
+        a = load_dataset("GG", scale=0.01, seed=5)
+        b = load_dataset("GG", scale=0.01, seed=5)
+        assert a.num_edges == b.num_edges
+        assert (a.src == b.src).all()

@@ -1,0 +1,88 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    power_law_graph,
+    rmat_graph,
+)
+
+
+class TestRmat:
+    def test_sizes(self):
+        g = rmat_graph(10, 8, seed=0)
+        assert g.num_vertices == 1024
+        assert g.num_edges == 1024 * 8
+
+    def test_deterministic_in_seed(self):
+        a = rmat_graph(8, 4, seed=42)
+        b = rmat_graph(8, 4, seed=42)
+        np.testing.assert_array_equal(a.src, b.src)
+        np.testing.assert_array_equal(a.dst, b.dst)
+
+    def test_different_seeds_differ(self):
+        a = rmat_graph(8, 4, seed=1)
+        b = rmat_graph(8, 4, seed=2)
+        assert not np.array_equal(a.dst, b.dst)
+
+    def test_skewed_degree_distribution(self):
+        g = rmat_graph(12, 16, seed=0)
+        deg = np.sort(g.in_degrees())[::-1]
+        top1pct = deg[: len(deg) // 100].sum()
+        # RMAT concentrates a large share of edges on few vertices.
+        assert top1pct / g.num_edges > 0.10
+
+    def test_more_skewed_than_uniform(self):
+        r = rmat_graph(11, 8, seed=0)
+        u = erdos_renyi_graph(2048, 2048 * 8, seed=0)
+        assert r.in_degrees().max() > 2 * u.in_degrees().max()
+
+    def test_invalid_probabilities_raise(self):
+        with pytest.raises(ValueError):
+            rmat_graph(8, 4, a=0.6, b=0.3, c=0.2)
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0, 4)
+
+
+class TestPowerLaw:
+    def test_sizes(self):
+        g = power_law_graph(1000, 8000, seed=0)
+        assert g.num_vertices == 1000
+        assert g.num_edges == 8000
+
+    def test_undirected_mirrors_edges(self):
+        g = power_law_graph(500, 4000, seed=0, undirected=True)
+        pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+        mirrored = sum((d, s) in pairs for s, d in pairs)
+        assert mirrored == len(pairs)
+
+    def test_skew_grows_with_exponent(self):
+        lo = power_law_graph(2000, 20_000, exponent=1.0, seed=3)
+        hi = power_law_graph(2000, 20_000, exponent=2.5, seed=3)
+        assert hi.in_degrees().max() > lo.in_degrees().max()
+
+    def test_deterministic(self):
+        a = power_law_graph(300, 2000, seed=9)
+        b = power_law_graph(300, 2000, seed=9)
+        np.testing.assert_array_equal(a.src, b.src)
+
+    def test_nonpositive_exponent_raises(self):
+        with pytest.raises(ValueError):
+            power_law_graph(100, 200, exponent=0.0)
+
+
+class TestErdosRenyi:
+    def test_sizes(self):
+        g = erdos_renyi_graph(100, 900, seed=0)
+        assert g.num_vertices == 100
+        assert g.num_edges == 900
+
+    def test_roughly_uniform_degrees(self):
+        g = erdos_renyi_graph(1000, 50_000, seed=0)
+        deg = g.in_degrees()
+        # Poisson(50): max should stay within ~2.2x of the mean.
+        assert deg.max() < 2.2 * deg.mean()

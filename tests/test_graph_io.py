@@ -1,0 +1,57 @@
+"""Tests for edge-list I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph.coo import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestRoundtrip:
+    def test_unweighted(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.el"
+        write_edge_list(tiny_graph, path)
+        back = read_edge_list(path)
+        assert back.num_vertices == tiny_graph.num_vertices
+        np.testing.assert_array_equal(back.src, tiny_graph.src)
+        np.testing.assert_array_equal(back.dst, tiny_graph.dst)
+
+    def test_weighted(self, tmp_path):
+        g = Graph(4, [0, 1, 2], [1, 2, 3], weights=[7, 8, 9])
+        path = tmp_path / "w.el"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        np.testing.assert_array_equal(back.weights, [7, 8, 9])
+
+    def test_header_preserves_isolated_tail_vertices(self, tmp_path):
+        g = Graph(10, [0], [1])  # vertices 2..9 isolated
+        path = tmp_path / "iso.el"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.num_vertices == 10
+
+
+class TestHeaderless:
+    def test_infers_vertex_count(self, tmp_path):
+        path = tmp_path / "raw.el"
+        path.write_text("0 3\n2 1\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 4
+        assert g.num_edges == 2
+
+    def test_explicit_vertex_count_wins(self, tmp_path):
+        path = tmp_path / "raw.el"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, num_vertices=100)
+        assert g.num_vertices == 100
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.el"
+        path.write_text("# vertices: 3\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mygraph.el"
+        path.write_text("0 1\n")
+        assert read_edge_list(path).name == "mygraph"

@@ -1,0 +1,85 @@
+"""Tests for partition workload statistics (the Fig. 2 profile)."""
+
+import numpy as np
+
+from repro.graph.partition import partition_graph
+from repro.graph.reorder import degree_based_grouping, identity_ordering
+from repro.graph.stats import (
+    diversity_summary,
+    profile_partitions,
+)
+
+
+class TestProfiles:
+    def test_fractions_sum_to_one(self, rmat_partitions):
+        profiles = profile_partitions(rmat_partitions)
+        assert sum(p.edge_fraction for p in profiles) == 1.0 or \
+            abs(sum(p.edge_fraction for p in profiles) - 1.0) < 1e-9
+
+    def test_percent_scaling(self, rmat_partitions):
+        profiles = profile_partitions(rmat_partitions)
+        for p in profiles[:3]:
+            assert p.edge_percent == 100.0 * p.edge_fraction
+
+    def test_src_fraction_bounded(self, rmat_partitions):
+        for p in profile_partitions(rmat_partitions):
+            assert 0.0 <= p.src_fraction <= 1.0
+
+    def test_empty_partitions_dropped_by_default(self, small_rmat):
+        pset = partition_graph(small_rmat, 64)
+        with_empty = profile_partitions(pset, include_empty=True)
+        without = profile_partitions(pset)
+        assert len(with_empty) == pset.num_partitions
+        assert len(without) <= len(with_empty)
+
+
+class TestFig2Claims:
+    """Qualitative claims of Fig. 2 on the RMAT stand-in."""
+
+    def test_first_partition_dense_after_dbg(self, small_rmat):
+        dbg = degree_based_grouping(small_rmat)
+        pset = partition_graph(dbg.graph, 512)
+        profiles = profile_partitions(pset)
+        # The first partition concentrates a large share of edges.
+        assert profiles[0].edge_percent > 20.0
+
+    def test_tail_partitions_sparse_after_dbg(self, small_rmat):
+        dbg = degree_based_grouping(small_rmat)
+        pset = partition_graph(dbg.graph, 512)
+        profiles = profile_partitions(pset)
+        assert profiles[-1].edge_percent < profiles[0].edge_percent / 5
+
+    def test_dbg_increases_head_concentration(self, small_rmat):
+        base = identity_ordering(small_rmat)
+        dbg = degree_based_grouping(small_rmat)
+        prof_base = profile_partitions(partition_graph(base.graph, 512))
+        prof_dbg = profile_partitions(partition_graph(dbg.graph, 512))
+        head_base = max(p.edge_percent for p in prof_base)
+        head_dbg = prof_dbg[0].edge_percent
+        assert head_dbg >= head_base
+
+    def test_dense_partitions_access_more_sources(self, small_rmat):
+        dbg = degree_based_grouping(small_rmat)
+        pset = partition_graph(dbg.graph, 512)
+        profiles = profile_partitions(pset)
+        assert profiles[0].src_percent > profiles[-1].src_percent
+
+
+class TestDiversitySummary:
+    def test_imbalance_positive(self, rmat_partitions):
+        summary = diversity_summary(profile_partitions(rmat_partitions))
+        assert summary["imbalance"] >= 1.0
+
+    def test_empty_profiles(self):
+        summary = diversity_summary([])
+        assert summary["imbalance"] == 0.0
+
+    def test_uniform_graph_less_diverse_than_rmat(
+        self, small_rmat, small_uniform
+    ):
+        def imbalance(graph):
+            dbg = degree_based_grouping(graph)
+            pset = partition_graph(dbg.graph, 256)
+            return diversity_summary(profile_partitions(pset))["imbalance"]
+
+        assert imbalance(small_rmat) > imbalance(small_uniform)

@@ -1,0 +1,94 @@
+"""Tests for subgraph extraction and edge sampling."""
+
+import numpy as np
+import pytest
+
+from repro.graph.subgraph import (
+    induced_subgraph,
+    sample_edges,
+    top_degree_core,
+)
+
+
+class TestSampleEdges:
+    def test_fraction_roughly_respected(self, small_rmat):
+        sampled = sample_edges(small_rmat, 0.25, seed=1)
+        ratio = sampled.num_edges / small_rmat.num_edges
+        assert 0.2 < ratio < 0.3
+
+    def test_vertex_set_preserved(self, small_rmat):
+        sampled = sample_edges(small_rmat, 0.5, seed=1)
+        assert sampled.num_vertices == small_rmat.num_vertices
+
+    def test_edges_are_subset(self, small_powerlaw):
+        sampled = sample_edges(small_powerlaw, 0.3, seed=2)
+        original = set(
+            zip(small_powerlaw.src.tolist(), small_powerlaw.dst.tolist())
+        )
+        for s, d in zip(sampled.src.tolist(), sampled.dst.tolist()):
+            assert (s, d) in original
+
+    def test_weights_follow(self, tiny_graph):
+        g = tiny_graph.with_weights(np.arange(8))
+        sampled = sample_edges(g, 0.99, seed=0)
+        assert sampled.weights is not None
+        assert sampled.weights.size == sampled.num_edges
+
+    def test_deterministic(self, small_rmat):
+        a = sample_edges(small_rmat, 0.4, seed=9)
+        b = sample_edges(small_rmat, 0.4, seed=9)
+        assert np.array_equal(a.src, b.src)
+
+    def test_zero_fraction_rejected(self, small_rmat):
+        with pytest.raises(ValueError):
+            sample_edges(small_rmat, 0.0, seed=0)
+
+    def test_invalid_fraction_rejected(self, small_rmat):
+        with pytest.raises(ValueError):
+            sample_edges(small_rmat, 1.5)
+
+
+class TestInducedSubgraph:
+    def test_tiny_graph_slice(self, tiny_graph):
+        # Vertices {0, 1, 3}: edges 0->1, 0->3 survive (renamed).
+        sub = induced_subgraph(tiny_graph, np.array([0, 1, 3]))
+        assert sub.num_vertices == 3
+        pairs = set(zip(sub.src.tolist(), sub.dst.tolist()))
+        assert pairs == {(0, 1), (0, 2)}
+
+    def test_full_vertex_set_identity(self, tiny_graph):
+        sub = induced_subgraph(
+            tiny_graph, np.arange(tiny_graph.num_vertices)
+        )
+        assert sub.num_edges == tiny_graph.num_edges
+
+    def test_ids_compacted(self, small_rmat):
+        sub = induced_subgraph(small_rmat, np.array([100, 2000, 4095]))
+        if sub.num_edges:
+            assert sub.src.max() < 3
+
+    def test_empty_vertex_set_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            induced_subgraph(tiny_graph, np.array([], dtype=np.int64))
+
+    def test_out_of_range_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            induced_subgraph(tiny_graph, np.array([99]))
+
+
+class TestTopDegreeCore:
+    def test_core_is_denser(self, small_rmat):
+        core = top_degree_core(small_rmat, small_rmat.num_vertices // 8)
+        assert core.average_degree > small_rmat.average_degree / 4
+        assert core.num_vertices == small_rmat.num_vertices // 8
+
+    def test_invalid_size_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            top_degree_core(tiny_graph, 0)
+        with pytest.raises(ValueError):
+            top_degree_core(tiny_graph, 100)
+
+    def test_core_contains_heaviest_vertex(self, small_rmat):
+        hub = int(np.argmax(small_rmat.in_degrees()))
+        core_vertices = np.argsort(small_rmat.in_degrees())[::-1][:100]
+        assert hub in core_vertices

@@ -1,0 +1,72 @@
+"""Tests for the HBM channel timing model."""
+
+import numpy as np
+import pytest
+
+from repro.hbm.channel import BLOCK_BYTES, HbmChannelModel, HbmTimingParams
+
+
+class TestRequestLatency:
+    def test_zero_stride_is_min_latency(self, channel):
+        assert channel.request_latency(0) == channel.params.min_latency
+
+    def test_latency_monotonic_in_stride(self, channel):
+        strides = np.array([0, 64, 256, 1024, 65536])
+        lat = channel.request_latency(strides)
+        assert np.all(np.diff(lat) >= 0)
+
+    def test_latency_clamped_at_max(self, channel):
+        assert (
+            channel.request_latency(10**9) == channel.params.max_latency
+        )
+
+    def test_negative_stride_treated_as_distance(self, channel):
+        assert channel.request_latency(-512) == channel.request_latency(512)
+
+    def test_vectorised(self, channel):
+        out = channel.request_latency(np.arange(5) * 100.0)
+        assert out.shape == (5,)
+
+
+class TestEffectiveCycles:
+    def test_floor_is_one_cycle(self, channel):
+        assert channel.effective_request_cycles(0) >= 1.0
+
+    def test_outstanding_window_divides_latency(self):
+        ch = HbmChannelModel(
+            HbmTimingParams(min_latency=32, max_latency=64, max_outstanding=8)
+        )
+        assert ch.effective_request_cycles(0) == pytest.approx(4.0)
+
+    def test_monotonic(self, channel):
+        strides = np.array([0, 512, 4096, 32768])
+        eff = channel.effective_request_cycles(strides)
+        assert np.all(np.diff(eff) >= 0)
+
+
+class TestBurst:
+    def test_burst_zero_blocks(self, channel):
+        assert channel.burst_cycles(0) == 0.0
+
+    def test_burst_linear_in_blocks(self, channel):
+        c100 = channel.burst_cycles(100)
+        c200 = channel.burst_cycles(200)
+        assert c200 - c100 == pytest.approx(100.0)
+
+    def test_burst_includes_open_latency(self, channel):
+        assert channel.burst_cycles(1) > 1.0
+
+    def test_bandwidth(self, channel):
+        assert channel.bandwidth_bytes_per_cycle() == BLOCK_BYTES
+
+
+class TestValidation:
+    def test_bad_outstanding_raises(self):
+        with pytest.raises(ValueError):
+            HbmChannelModel(HbmTimingParams(max_outstanding=0))
+
+    def test_inverted_latency_band_raises(self):
+        with pytest.raises(ValueError):
+            HbmChannelModel(
+                HbmTimingParams(min_latency=50, max_latency=20)
+            )

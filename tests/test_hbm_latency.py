@@ -1,0 +1,78 @@
+"""Tests for the Shuhai-style latency benchmark and the Eq. 4 fit."""
+
+import numpy as np
+import pytest
+
+from repro.hbm.channel import HbmChannelModel, HbmTimingParams
+from repro.hbm.latency import (
+    LatencyFit,
+    calibrate_channel,
+    fit_linear_latency,
+    run_latency_benchmark,
+)
+
+
+class TestBenchmark:
+    def test_returns_aligned_arrays(self, channel):
+        strides, lat = run_latency_benchmark(channel)
+        assert strides.shape == lat.shape
+
+    def test_deterministic_in_seed(self, channel):
+        _, a = run_latency_benchmark(channel, seed=3)
+        _, b = run_latency_benchmark(channel, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_tracks_ground_truth(self, channel):
+        strides, lat = run_latency_benchmark(channel, jitter_cycles=0.0)
+        np.testing.assert_allclose(lat, channel.request_latency(strides))
+
+
+class TestFit:
+    def test_recovers_slope_without_jitter(self):
+        ch = HbmChannelModel(
+            HbmTimingParams(
+                min_latency=20,
+                max_latency=10_000,  # effectively no plateau
+                latency_per_stride_byte=0.01,
+            )
+        )
+        strides = np.array([0.0, 100, 200, 400, 800])
+        fit = fit_linear_latency(strides, ch.request_latency(strides))
+        assert fit.a == pytest.approx(0.01, rel=0.05)
+
+    def test_bounds_bracket_samples(self, channel):
+        strides, lat = run_latency_benchmark(channel)
+        fit = fit_linear_latency(strides, lat)
+        assert fit.lower_bound == pytest.approx(lat.min())
+        assert fit.upper_bound == pytest.approx(lat.max())
+
+    def test_prediction_clamped(self, channel):
+        fit = calibrate_channel(channel)
+        assert fit.latency(10**12) <= fit.upper_bound + 1e-9
+        assert fit.latency(0) >= fit.lower_bound - 1e-9
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(ValueError):
+            fit_linear_latency(np.array([1.0]), np.array([2.0]))
+
+    def test_negative_slope_clamped_to_zero(self):
+        fit = fit_linear_latency(
+            np.array([0.0, 100.0, 200.0]), np.array([30.0, 20.0, 10.0])
+        )
+        assert fit.a == 0.0
+
+
+class TestEndToEnd:
+    def test_calibration_accuracy(self, channel):
+        """The fitted model predicts ground-truth latency within ~15%
+        across the benchmark stride range (the Eq. 4 premise)."""
+        fit = calibrate_channel(channel)
+        strides = np.array([64.0, 512, 2048, 8192])
+        truth = channel.request_latency(strides)
+        pred = fit.latency(strides)
+        assert np.all(np.abs(pred - truth) / truth < 0.15)
+
+    def test_fit_is_dataclass_roundtrippable(self, channel):
+        fit = calibrate_channel(channel)
+        clone = LatencyFit(fit.a, fit.b, fit.lower_bound, fit.upper_bound)
+        assert clone.latency(1000) == fit.latency(1000)

@@ -1,0 +1,109 @@
+"""Tests for channel layout, capacity accounting and port management."""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi_graph
+from repro.hbm.capacity import (
+    CHANNEL_CAPACITY_BYTES,
+    channel_capacity_bytes,
+    fits_in_channels,
+)
+from repro.hbm.channel import BLOCK_BYTES
+from repro.hbm.layout import build_channel_layout
+from repro.hbm.ports import (
+    PORTS_PER_PIPELINE_UNWRAPPED,
+    PORTS_PER_PIPELINE_WRAPPED,
+    bind_ports,
+    max_pipelines,
+)
+
+
+class TestLayout:
+    def test_regions_block_aligned(self):
+        layout = build_channel_layout(1001, 7777)
+        assert layout.src_prop_offset % BLOCK_BYTES == 0
+        assert layout.dst_prop_offset % BLOCK_BYTES == 0
+
+    def test_regions_do_not_overlap(self):
+        layout = build_channel_layout(1000, 5000)
+        assert layout.src_prop_offset >= layout.edges_bytes
+        assert (
+            layout.dst_prop_offset
+            >= layout.src_prop_offset + layout.src_prop_bytes
+        )
+
+    def test_fits(self):
+        layout = build_channel_layout(100, 100)
+        assert layout.fits(CHANNEL_CAPACITY_BYTES)
+        assert not layout.fits(64)
+
+    def test_vertex_block_math_matches_paper(self):
+        # Sec. III-B: index = floor(src*32/512), offset = src*32 mod 512
+        # (bits); our byte-level equivalents at a zero region base.
+        layout = build_channel_layout(0, 1024)
+        assert layout.vertex_block_offset(16) == 0
+        assert layout.vertex_block_offset(17) == 4
+        base = layout.src_prop_offset // BLOCK_BYTES
+        assert layout.vertex_block_index(16) == base + 1
+
+    def test_total_bytes(self):
+        layout = build_channel_layout(10, 10)
+        assert layout.total_bytes == (
+            layout.dst_prop_offset + layout.dst_prop_bytes
+        )
+
+
+class TestCapacity:
+    def test_capacity_scales_linearly(self):
+        assert channel_capacity_bytes(4) == 4 * CHANNEL_CAPACITY_BYTES
+
+    def test_negative_channels_raise(self):
+        with pytest.raises(ValueError):
+            channel_capacity_bytes(-1)
+
+    def test_small_graph_fits_one_channel(self):
+        g = erdos_renyi_graph(1000, 10_000, seed=0)
+        assert fits_in_channels(g, 1)
+
+    def test_fig12_oom_semantics(self):
+        # A graph whose replicated property arrays exceed one channel
+        # is OoM at low channel counts regardless of striped edges.
+        g = erdos_renyi_graph(40_000_000, 10, seed=0)
+        assert not fits_in_channels(g, 2)
+
+
+class TestPorts:
+    def test_u280_pipeline_count(self):
+        # 32 ports, 4 reserved, 2 per pipeline -> 14 (Sec. VI-A).
+        assert max_pipelines(32, 32) == 14
+
+    def test_u50_pipeline_count(self):
+        # 28 ports -> 12 pipelines (Sec. VI-A).
+        assert max_pipelines(32, 28) == 12
+
+    def test_wrapper_saves_a_port_per_pipeline(self):
+        with_wrapper = max_pipelines(32, 32, use_port_wrapper=True)
+        without = max_pipelines(32, 32, use_port_wrapper=False)
+        assert with_wrapper > without
+        assert PORTS_PER_PIPELINE_WRAPPED < PORTS_PER_PIPELINE_UNWRAPPED
+
+    def test_channel_bound(self):
+        assert max_pipelines(4, 100) == 4
+
+    def test_binding_disjoint_ports(self):
+        binding = bind_ports(5, 32)
+        seen = set()
+        for ports in binding.pipeline_ports.values():
+            for p in ports:
+                assert p not in seen
+                seen.add(p)
+        for p in binding.apply_ports:
+            assert p not in seen
+
+    def test_binding_total(self):
+        binding = bind_ports(14, 32)
+        assert binding.total_ports_used == 32
+
+    def test_binding_overflow_raises(self):
+        with pytest.raises(ValueError):
+            bind_ports(15, 32)

@@ -1,0 +1,116 @@
+"""Tests for the SSD-tiered storage extension and the Shuhai suite."""
+
+import pytest
+
+from repro.hbm.channel import HbmChannelModel
+from repro.hbm.shuhai import run_shuhai_suite
+from repro.hbm.tiered import (
+    SsdTierConfig,
+    estimate_tiered_iteration,
+    estimate_tiered_plan,
+    graph_needs_tiering,
+)
+
+
+class TestTieringDecision:
+    def test_small_graph_fits(self):
+        assert not graph_needs_tiering(10**6, 8, 10**5)
+
+    def test_billion_edge_graph_needs_tiering(self):
+        # 2B edges * 8 B = 16 GB of edge data > 8 GB of HBM.
+        assert graph_needs_tiering(2 * 10**9, 8, 10**8)
+
+
+class TestTransferModel:
+    def test_zero_bytes_free(self):
+        assert SsdTierConfig().transfer_seconds(0) == 0.0
+
+    def test_bandwidth_dominates_large_transfers(self):
+        cfg = SsdTierConfig()
+        size = 10**9
+        assert cfg.transfer_seconds(size) == pytest.approx(
+            size / cfg.read_bytes_per_second, rel=0.05
+        )
+
+    def test_latency_dominates_small_transfers(self):
+        cfg = SsdTierConfig()
+        assert cfg.transfer_seconds(64) >= cfg.request_latency_seconds
+
+
+class TestOverlapModel:
+    def test_compute_bound_tiering_nearly_free(self):
+        # Execution 10x the transfer: double buffering hides the SSD.
+        est = estimate_tiered_iteration(
+            [1.0, 1.0, 1.0], [int(0.1 * 3.2e9)] * 3
+        )
+        assert est.slowdown < 1.2
+        assert not est.transfer_bound
+
+    def test_transfer_bound_tiering_costs(self):
+        est = estimate_tiered_iteration(
+            [0.01, 0.01, 0.01], [int(3.2e9)] * 3
+        )
+        assert est.transfer_bound
+        assert est.slowdown > 5.0
+
+    def test_single_buffer_serialises(self):
+        exec_s = [0.5, 0.5]
+        sizes = [int(1.6e9), int(1.6e9)]
+        double = estimate_tiered_iteration(exec_s, sizes)
+        single = estimate_tiered_iteration(
+            exec_s, sizes, SsdTierConfig(staging_buffers=1)
+        )
+        assert single.overlapped_seconds > double.overlapped_seconds
+
+    def test_empty_task_list(self):
+        est = estimate_tiered_iteration([], [])
+        assert est.overlapped_seconds == 0.0
+        assert est.slowdown == 1.0
+
+    def test_misaligned_lists_raise(self):
+        with pytest.raises(ValueError):
+            estimate_tiered_iteration([1.0], [])
+
+    def test_plan_level_estimates(self, rmat_partitions, perf_model):
+        from repro.sched.scheduler import build_schedule
+
+        plan = build_schedule(rmat_partitions, perf_model, 4)
+        estimates = estimate_tiered_plan(plan, frequency_mhz=270.0)
+        assert len(estimates) == 4
+        for est in estimates:
+            assert est.overlapped_seconds >= est.execute_seconds
+
+
+class TestShuhai:
+    def test_report_covers_patterns(self, channel):
+        report = run_shuhai_suite(channel)
+        patterns = set(report.by_pattern())
+        assert patterns == {"sequential", "strided", "random"}
+
+    def test_sequential_full_bandwidth(self, channel):
+        report = run_shuhai_suite(channel)
+        assert report.sequential_bandwidth_fraction() == pytest.approx(1.0)
+
+    def test_strided_bandwidth_monotone_decreasing(self, channel):
+        report = run_shuhai_suite(channel)
+        strided = report.by_pattern()["strided"]
+        fracs = [r.effective_bandwidth_fraction for r in strided]
+        assert all(a >= b for a, b in zip(fracs, fracs[1:]))
+
+    def test_random_no_better_than_worst_stride(self, channel):
+        report = run_shuhai_suite(channel)
+        strided = report.by_pattern()["strided"]
+        random = report.by_pattern()["random"][0]
+        assert random.cycles_per_block >= max(
+            r.cycles_per_block for r in strided
+        ) * 0.9
+
+    def test_knee_within_sweep(self, channel):
+        strides = [64, 1024, 8192, 65536]
+        report = run_shuhai_suite(channel, strides=strides)
+        assert report.knee_stride_bytes in strides
+
+    def test_deterministic(self, channel):
+        a = run_shuhai_suite(channel, seed=5)
+        b = run_shuhai_suite(channel, seed=5)
+        assert a.results == b.results

@@ -1,0 +1,88 @@
+"""Tests for bottleneck attribution and the roofline model."""
+
+import pytest
+
+from repro.model.bottleneck import attribute_partition, compare_pipeline_choice
+from repro.model.roofline import (
+    RooflinePoint,
+    bandwidth_bound_gteps,
+    resource_bound_gteps,
+    resource_roofline_bounds,
+)
+
+
+class TestAttribution:
+    def test_components_sum_to_estimate(self, rmat_partitions, perf_model):
+        p = rmat_partitions.nonempty()[0]
+        for kind in ("big", "little"):
+            breakdown = attribute_partition(p, perf_model, kind)
+            estimate = perf_model.estimate_partition(p, kind)
+            assert breakdown.total_cycles == pytest.approx(
+                estimate, rel=1e-6
+            )
+
+    def test_fractions_sum_to_one(self, rmat_partitions, perf_model):
+        p = rmat_partitions.nonempty()[2]
+        breakdown = attribute_partition(p, perf_model, "little")
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_dense_head_edge_supply_bound(self, rmat_partitions, perf_model):
+        head = rmat_partitions.nonempty()[0]
+        breakdown = attribute_partition(head, perf_model, "little")
+        assert breakdown.dominant == "edge_supply"
+
+    def test_sparse_tail_fixed_bound_on_little(
+        self, rmat_partitions, perf_model
+    ):
+        tail = rmat_partitions.nonempty()[-1]
+        breakdown = attribute_partition(tail, perf_model, "little")
+        assert breakdown.dominant in ("fixed", "vertex_access")
+
+    def test_invalid_kind(self, rmat_partitions, perf_model):
+        with pytest.raises(ValueError):
+            attribute_partition(
+                rmat_partitions.nonempty()[0], perf_model, "medium"
+            )
+
+    def test_comparison_structure(self, rmat_partitions, perf_model):
+        out = compare_pipeline_choice(
+            rmat_partitions.nonempty()[-1], perf_model
+        )
+        assert out["preferred"] in ("little", "big")
+        assert out["edges"] > 0
+
+
+class TestRoofline:
+    def test_bandwidth_bound(self):
+        # 460 GB/s over 8-byte edges -> 57.5 GTEPS.
+        assert bandwidth_bound_gteps(460.0) == pytest.approx(57.5)
+
+    def test_resource_bound(self):
+        assert resource_bound_gteps(10.0) == pytest.approx(8.0)
+
+    def test_point_efficiency(self):
+        p = RooflinePoint("x", gteps=5.0, lut_fraction=0.25, platform="U280")
+        assert p.resource_efficiency == pytest.approx(20.0)
+
+    def test_ratios(self):
+        a = RooflinePoint("a", 10.0, 0.25, "U280")
+        b = RooflinePoint("b", 5.0, 0.50, "U280")
+        assert a.speedup_over(b) == pytest.approx(2.0)
+        assert a.efficiency_over(b) == pytest.approx(4.0)
+
+    def test_binding_classification(self):
+        hungry = RooflinePoint("hungry", 2.0, 0.8, "U280")  # low efficiency
+        lean = RooflinePoint("lean", 10.0, 0.1, "U280")     # high efficiency
+        bounds = resource_roofline_bounds(
+            [hungry, lean], {"U280": 460.0}
+        )
+        assert bounds["hungry"]["binding"] == "resource"
+        assert bounds["lean"]["binding"] == "bandwidth"
+
+    def test_port_bound_overrides(self):
+        lean = RooflinePoint("lean", 10.0, 0.1, "U280")
+        bounds = resource_roofline_bounds(
+            [lean], {"U280": 460.0}, port_bounds={"lean": 11.0}
+        )
+        assert bounds["lean"]["binding"] == "port"
+        assert bounds["lean"]["port_bound"] == 11.0

@@ -1,0 +1,96 @@
+"""Tests for plan validation and the skew-exponent estimator."""
+
+import numpy as np
+import pytest
+
+from repro.graph.stats import estimate_skew_exponent
+from repro.sched.plan import BigTask, SchedulingPlan
+from repro.sched.scheduler import build_schedule
+
+
+class TestPlanValidate:
+    def test_scheduler_output_validates(self, rmat_partitions, perf_model):
+        plan = build_schedule(rmat_partitions, perf_model, 4)
+        plan.validate(expected_edges=rmat_partitions.graph.num_edges)
+
+    def test_wrong_edge_total_rejected(self, rmat_partitions, perf_model):
+        plan = build_schedule(rmat_partitions, perf_model, 4)
+        with pytest.raises(ValueError, match="edges"):
+            plan.validate(expected_edges=1)
+
+    def test_pipeline_count_mismatch_rejected(
+        self, rmat_partitions, perf_model
+    ):
+        plan = build_schedule(rmat_partitions, perf_model, 4)
+        broken = SchedulingPlan(
+            accelerator=plan.accelerator,
+            little_tasks=plan.little_tasks[:-1],
+            big_tasks=plan.big_tasks,
+        )
+        with pytest.raises(ValueError, match="task lists"):
+            broken.validate()
+
+    def test_oversized_big_group_rejected(
+        self, rmat_partitions, perf_model, config
+    ):
+        plan = build_schedule(rmat_partitions, perf_model, 4)
+        parts = rmat_partitions.nonempty()[: config.n_gpe + 1]
+        bad_task = BigTask(partitions=list(parts), estimated_cycles=1.0)
+        broken = SchedulingPlan(
+            accelerator=plan.accelerator,
+            little_tasks=plan.little_tasks,
+            big_tasks=[[bad_task]] + plan.big_tasks[1:],
+        )
+        with pytest.raises(ValueError, match="N_gpe"):
+            broken.validate()
+
+    def test_unsorted_group_bases_rejected(
+        self, rmat_partitions, perf_model
+    ):
+        plan = build_schedule(rmat_partitions, perf_model, 4)
+        parts = rmat_partitions.nonempty()
+        bad_task = BigTask(
+            partitions=[parts[3], parts[2]], estimated_cycles=1.0
+        )
+        broken = SchedulingPlan(
+            accelerator=plan.accelerator,
+            little_tasks=plan.little_tasks,
+            big_tasks=[[bad_task]] + plan.big_tasks[1:],
+        )
+        with pytest.raises(ValueError, match="ascending"):
+            broken.validate()
+
+
+class TestSkewEstimator:
+    def test_power_law_recovered(self):
+        rng = np.random.default_rng(0)
+        # Pareto tail with alpha = 2.5.
+        degrees = (rng.pareto(1.5, 50_000) + 1.0) * 2
+        alpha = estimate_skew_exponent(degrees)
+        assert 2.0 < alpha < 3.2
+
+    def test_uniform_degrees_look_steep(self, small_uniform):
+        # Poisson-like distributions have thin tails -> large exponent.
+        alpha = estimate_skew_exponent(small_uniform.in_degrees())
+        assert alpha > 3.0
+
+    def test_rmat_heavier_tailed_than_uniform(
+        self, small_rmat, small_uniform
+    ):
+        a_rmat = estimate_skew_exponent(small_rmat.in_degrees())
+        a_uni = estimate_skew_exponent(small_uniform.in_degrees())
+        assert a_rmat < a_uni
+
+    def test_degenerate_input(self):
+        assert np.isnan(estimate_skew_exponent(np.zeros(5)))
+
+    def test_constant_degrees(self):
+        assert estimate_skew_exponent(np.full(100, 7.0)) == float("inf")
+
+    def test_dataset_standins_are_skewed(self):
+        from repro.graph.datasets import load_dataset
+
+        for key in ("HD", "PK"):
+            g = load_dataset(key, scale=0.01, seed=1)
+            alpha = estimate_skew_exponent(g.in_degrees())
+            assert alpha < 3.5, key

@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import PipelineConfig
+from repro.arch.pingpong import PingPongBufferSim
+from repro.arch.vertex_loader import VertexLoaderSim
+from repro.graph.coo import Graph
+from repro.graph.partition import partition_graph
+from repro.graph.reorder import degree_based_grouping
+from repro.hbm.channel import HbmChannelModel
+from repro.utils.fixed_point import FixedPointFormat
+from repro.utils.prefix import balanced_chunk_bounds, running_release_times
+
+_CHANNEL = HbmChannelModel()
+_CONFIG = PipelineConfig(gather_buffer_vertices=256)
+
+
+@st.composite
+def edge_lists(draw, max_vertices=64, max_edges=200):
+    """Random (num_vertices, src, dst) triples."""
+    n = draw(st.integers(2, max_vertices))
+    m = draw(st.integers(1, max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    return n, src, dst
+
+
+class TestGraphProperties:
+    @given(edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_graph_always_sorted(self, triple):
+        n, src, dst = triple
+        g = Graph(n, src, dst)
+        assert np.all(np.diff(g.src) >= 0)
+
+    @given(edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_degrees_sum_to_edges(self, triple):
+        n, src, dst = triple
+        g = Graph(n, src, dst)
+        assert g.in_degrees().sum() == g.num_edges
+        assert g.out_degrees().sum() == g.num_edges
+
+    @given(edge_lists(), st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_partitioning_preserves_edges(self, triple, interval):
+        n, src, dst = triple
+        g = Graph(n, src, dst)
+        pset = partition_graph(g, interval)
+        assert pset.total_edges() == g.num_edges
+        for p in pset.partitions:
+            assert np.all(np.diff(p.src) >= 0)
+            if p.num_edges:
+                assert p.dst.min() >= p.vertex_lo
+                assert p.dst.max() < p.vertex_hi
+
+    @given(edge_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_dbg_is_bijective_relabelling(self, triple):
+        n, src, dst = triple
+        g = Graph(n, src, dst)
+        res = degree_based_grouping(g)
+        assert np.array_equal(np.sort(res.mapping), np.arange(n))
+        assert res.graph.num_edges == g.num_edges
+        # Edge multiset preserved under the inverse map.
+        orig = sorted(zip(g.src.tolist(), g.dst.tolist()))
+        back = sorted(
+            zip(
+                res.inverse[res.graph.src].tolist(),
+                res.inverse[res.graph.dst].tolist(),
+            )
+        )
+        assert orig == back
+
+
+class TestFixedPointProperties:
+    @given(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_within_resolution(self, values):
+        fmt = FixedPointFormat()
+        arr = np.array(values)
+        out = fmt.to_float(fmt.from_float(arr))
+        assert np.max(np.abs(out - arr)) <= fmt.resolution
+
+    @given(
+        st.floats(0.01, 2.5, allow_nan=False),
+        st.floats(0.01, 2.5, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_multiply_close_to_real(self, a, b):
+        # Q30 products overflow int64 once a*b reaches 8; PR values stay
+        # well below 1, so the representable range here is [0, 2.5].
+        fmt = FixedPointFormat()
+        prod = fmt.to_float(fmt.multiply(fmt.from_float(a), fmt.from_float(b)))
+        assert abs(prod - a * b) < 1e-6 * max(1.0, a * b) + 1e-6
+
+
+class TestSchedulingMathProperties:
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=0, max_size=200),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_chunk_bounds_partition_the_sequence(self, weights, k):
+        bounds = balanced_chunk_bounds(np.array(weights), k)
+        assert bounds.size == k + 1
+        assert bounds[0] == 0 and bounds[-1] == len(weights)
+        assert np.all(np.diff(bounds) >= 0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 1000, allow_nan=False),
+                st.floats(0, 10, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_release_times_match_loop(self, pairs):
+        ready = np.array([p[0] for p in pairs])
+        cost = np.array([p[1] for p in pairs])
+        out = running_release_times(ready, cost)
+        t = 0.0
+        for i, (r, c) in enumerate(pairs):
+            t = max(t + c, r)
+            assert out[i] == np.float64(t) or abs(out[i] - t) < 1e-9
+
+
+class TestPipelineTimingProperties:
+    @given(
+        st.lists(st.integers(0, 4000), min_size=1, max_size=300)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_vertex_loader_ready_monotonic(self, vids):
+        src = np.sort(np.array(vids, dtype=np.int64))
+        loader = VertexLoaderSim(_CONFIG, _CHANNEL)
+        ready, stats = loader.access_ready_times(src)
+        assert np.all(np.diff(ready) >= -1e-9)
+        assert stats.requests_issued >= 1
+        assert stats.requests_issued + stats.requests_saved >= src.size
+
+    @given(
+        st.lists(st.integers(0, 100_000), min_size=1, max_size=300)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pingpong_never_fetches_more_than_span(self, vids):
+        src = np.sort(np.array(vids, dtype=np.int64))
+        sim = PingPongBufferSim(_CONFIG, _CHANNEL)
+        ready, stats = sim.access_ready_times(src)
+        assert stats.blocks_fetched <= stats.span_blocks
+        assert stats.blocks_fetched + stats.blocks_skipped == stats.span_blocks
+        assert np.all(np.diff(ready) >= -1e-9)
+
+    @given(st.lists(st.integers(0, 100_000), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_jump_access_never_slower(self, vids):
+        src = np.sort(np.array(vids, dtype=np.int64))
+        with_jump = PingPongBufferSim(_CONFIG, _CHANNEL)
+        r1, _ = with_jump.access_ready_times(src)
+        cfg = PipelineConfig(gather_buffer_vertices=256, jump_access=False)
+        without = PingPongBufferSim(cfg, _CHANNEL)
+        r2, _ = without.access_ready_times(src)
+        assert r1[-1] <= r2[-1] + 1e-9

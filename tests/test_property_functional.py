@@ -1,0 +1,72 @@
+"""Property-based functional equivalence of the full simulated system.
+
+For random small graphs, the accelerator simulation (DBG + partitioning
++ scheduling + heterogeneous pipelines + apply) must produce *exactly*
+the reference algorithm's answers — the end-to-end invariant that makes
+every throughput number in the benchmarks trustworthy.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.reference import bfs_reference, pagerank_reference
+from repro.arch.config import PipelineConfig
+from repro.core.framework import ReGraph
+from repro.graph.coo import Graph
+
+
+def _framework():
+    return ReGraph(
+        "U280",
+        pipeline=PipelineConfig(gather_buffer_vertices=32),
+        num_pipelines=3,
+    )
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(4, 80))
+    m = draw(st.integers(1, 300))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return Graph(n, src, dst, name="prop")
+
+
+class TestEndToEndEquivalence:
+    @given(random_graphs(), st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_bfs_matches_reference(self, graph, root_seed):
+        root = root_seed % graph.num_vertices
+        fw = _framework()
+        run = fw.run_bfs(graph, root=root)
+        np.testing.assert_array_equal(
+            run.props, bfs_reference(graph, root)
+        )
+
+    @given(random_graphs())
+    @settings(max_examples=12, deadline=None)
+    def test_pagerank_matches_reference(self, graph):
+        fw = _framework()
+        run = fw.run_pagerank(graph, max_iterations=5)
+        ref = pagerank_reference(graph, iterations=run.iterations)
+        atol = max(float(graph.out_degrees().max()), 1.0) / 2**30 * (
+            run.iterations + 1
+        ) + 1e-6
+        assert np.max(np.abs(run.result - ref)) < max(atol, 1e-4)
+
+    @given(random_graphs())
+    @settings(max_examples=12, deadline=None)
+    def test_plan_always_validates(self, graph):
+        fw = _framework()
+        pre = fw.preprocess(graph)
+        pre.plan.validate(expected_edges=graph.num_edges)
+
+    @given(random_graphs())
+    @settings(max_examples=10, deadline=None)
+    def test_timing_always_positive_and_finite(self, graph):
+        fw = _framework()
+        run = fw.run_pagerank(graph, max_iterations=2, functional=False)
+        assert np.isfinite(run.total_cycles)
+        assert run.total_cycles > 0
+        assert run.mteps >= 0

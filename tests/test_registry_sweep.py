@@ -1,0 +1,98 @@
+"""Tests for the app registry and the design-space sensitivity sweep."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import available_apps, get_app_spec
+from repro.arch.config import PipelineConfig
+from repro.model.sweep import sensitivity_report, sweep_parameter
+
+
+class TestRegistry:
+    def test_all_apps_listed(self):
+        assert available_apps() == [
+            "bfs", "closeness", "delta-pagerank", "pagerank",
+            "radii", "sssp", "wcc",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert get_app_spec("PageRank").name == "pagerank"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_app_spec("pagerange")
+
+    def test_build_rootless(self, small_rmat):
+        app = get_app_spec("pagerank").build(small_rmat)
+        assert app.name == "PageRank"
+
+    def test_build_with_root(self, small_rmat):
+        app = get_app_spec("bfs").build(small_rmat, root=5)
+        assert app.root == 5
+
+    def test_weighted_requirement_enforced(self, small_rmat):
+        with pytest.raises(ValueError, match="weighted"):
+            get_app_spec("sssp").build(small_rmat)
+
+    def test_runtime_executes_registry_apps(self, small_rmat):
+        from repro.runtime.host import init_accelerator
+
+        handle = init_accelerator(
+            "U280",
+            pipeline=PipelineConfig(gather_buffer_vertices=512),
+            num_pipelines=4,
+        )
+        handle.load_graph(small_rmat)
+        run = handle.execute("wcc")
+        assert run.converged
+        run = handle.execute("radii")
+        assert run.result["diameter_estimate"] >= 1
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def base(self):
+        return PipelineConfig(gather_buffer_vertices=512)
+
+    def test_sweep_returns_one_point_per_value(self, small_rmat, base):
+        points = sweep_parameter(
+            small_rmat, base, "n_gpe", [4, 8], num_pipelines=4
+        )
+        assert [p.value for p in points] == [4, 8]
+        for p in points:
+            assert p.makespan_cycles > 0
+            assert "L" in p.combo_label
+
+    def test_buffer_size_changes_partition_count(self, small_rmat, base):
+        points = sweep_parameter(
+            small_rmat, base, "gather_buffer_vertices", [256, 1024],
+            num_pipelines=4,
+        )
+        assert points[0].num_partitions > points[1].num_partitions
+
+    def test_more_pes_never_hurt_makespan_much(self, small_rmat, base):
+        points = sweep_parameter(
+            small_rmat, base, "n_spe", [4, 8], num_pipelines=4
+        )
+        # Doubling Scatter PEs cannot slow the estimate down.
+        assert points[1].makespan_cycles <= 1.05 * points[0].makespan_cycles
+
+    def test_unknown_parameter_raises(self, small_rmat, base):
+        with pytest.raises(ValueError, match="unknown"):
+            sweep_parameter(small_rmat, base, "n_quux", [1])
+
+    def test_speedup_metric(self, small_rmat, base):
+        a, b = sweep_parameter(
+            small_rmat, base, "n_gpe", [4, 8], num_pipelines=4
+        )
+        assert b.speedup_over(a) == pytest.approx(
+            a.makespan_cycles / b.makespan_cycles
+        )
+
+    def test_sensitivity_report_covers_knobs(self, small_rmat, base):
+        report = sensitivity_report(small_rmat, base, num_pipelines=4)
+        assert set(report) == {
+            "n_spe", "n_gpe", "gather_buffer_vertices", "pingpong_bytes",
+        }
+        for points in report.values():
+            assert len(points) == 4

@@ -1,0 +1,47 @@
+"""Tests for the text-table reporting helpers."""
+
+from repro.reporting import format_table, write_report
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        pipe_cols = {
+            line.index("|") for line in lines if "|" in line
+        }
+        plus_cols = {line.index("+") for line in lines if "+" in line}
+        assert len(pipe_cols) == 1
+        assert plus_cols == {next(iter(pipe_cols))}
+
+    def test_title_first_line(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [12.3456], [1234.56]])
+        assert "0.123" in text
+        assert "12.35" in text
+        assert "1235" in text
+
+    def test_zero(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path, capsys):
+        path = write_report("demo", "hello table", directory=tmp_path)
+        assert path.read_text() == "hello table\n"
+        assert "hello table" in capsys.readouterr().out
+
+    def test_default_directory_is_benchmarks_results(self, capsys):
+        path = write_report("smoke_report_test", "x")
+        try:
+            assert path.parent.name == "results"
+            assert path.parent.parent.name == "benchmarks"
+        finally:
+            path.unlink()

@@ -1,0 +1,89 @@
+"""Tests for the OpenCL-style host runtime emulation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.reference import bfs_reference
+from repro.arch.config import PipelineConfig
+from repro.hbm.capacity import CHANNEL_CAPACITY_BYTES
+from repro.runtime.host import (
+    PROGRAMMING_SECONDS,
+    AcceleratorHandle,
+    init_accelerator,
+    list_devices,
+)
+
+
+@pytest.fixture()
+def handle():
+    return init_accelerator(
+        "U280",
+        pipeline=PipelineConfig(gather_buffer_vertices=512),
+        num_pipelines=4,
+    )
+
+
+class TestDiscovery:
+    def test_lists_both_cards(self):
+        assert list_devices() == ["U280", "U50"]
+
+    def test_init_returns_programmed_handle(self, handle):
+        assert isinstance(handle, AcceleratorHandle)
+        assert handle.programmed
+        assert handle.platform.name == "Alveo U280"
+
+
+class TestBuffers:
+    def test_allocate_within_capacity(self, handle):
+        buffer = handle.allocate("x", 1024, channels=[0, 1])
+        assert buffer.per_channel_bytes == 512
+        assert "x" in handle.buffers
+
+    def test_allocate_over_capacity_raises(self, handle):
+        with pytest.raises(MemoryError):
+            handle.allocate("big", 2 * CHANNEL_CAPACITY_BYTES, channels=[0])
+
+    def test_allocate_after_release_raises(self, handle):
+        handle.release()
+        with pytest.raises(RuntimeError):
+            handle.allocate("x", 64, channels=[0])
+
+
+class TestExecution:
+    def test_load_then_run_bfs(self, handle, small_rmat):
+        handle.load_graph(small_rmat)
+        run = handle.execute("bfs", root=0)
+        np.testing.assert_array_equal(
+            run.props, bfs_reference(small_rmat, 0)
+        )
+
+    def test_pagerank_runs(self, handle, small_rmat):
+        handle.load_graph(small_rmat)
+        run = handle.execute("pagerank", max_iterations=3)
+        assert run.iterations <= 3
+        assert run.mteps > 0
+
+    def test_execute_without_graph_raises(self, handle):
+        with pytest.raises(RuntimeError, match="load_graph"):
+            handle.execute("bfs")
+
+    def test_unknown_app_raises(self, handle, small_rmat):
+        handle.load_graph(small_rmat)
+        with pytest.raises(ValueError, match="unknown app"):
+            handle.execute("quantum")
+
+    def test_migration_time_charged(self, handle, small_rmat):
+        handle.load_graph(small_rmat)
+        assert handle.migration_seconds > 0
+
+    def test_offload_accounting(self, handle, small_rmat):
+        handle.load_graph(small_rmat)
+        run = handle.execute("bfs")
+        total = handle.total_offload_seconds(run)
+        assert total >= PROGRAMMING_SECONDS + run.total_seconds
+
+    def test_release_clears_state(self, handle, small_rmat):
+        handle.load_graph(small_rmat)
+        handle.release()
+        with pytest.raises(RuntimeError):
+            handle.load_graph(small_rmat)

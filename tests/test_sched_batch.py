@@ -1,0 +1,105 @@
+"""Tests for the batch (multi-graph) scheduler."""
+
+import pytest
+
+from repro.sched.batch import (
+    REPROGRAM_SECONDS,
+    BatchItem,
+    BatchSchedule,
+    naive_batch,
+    plan_batch,
+)
+
+
+def _item(name, label, seconds=1.0):
+    return BatchItem(
+        graph_name=name, combo_label=label, estimated_run_seconds=seconds
+    )
+
+
+class TestAccounting:
+    def test_single_item_one_program(self):
+        sched = BatchSchedule(items=[_item("a", "7L7B")])
+        assert sched.num_reprograms == 1
+        assert sched.total_seconds == 1.0 + REPROGRAM_SECONDS
+
+    def test_alternating_labels_reprogram_each_time(self):
+        sched = BatchSchedule(
+            items=[_item("a", "X"), _item("b", "Y"), _item("c", "X")]
+        )
+        assert sched.num_reprograms == 3
+
+    def test_grouped_labels_program_once_each(self):
+        sched = BatchSchedule(
+            items=[_item("a", "X"), _item("c", "X"), _item("b", "Y")]
+        )
+        assert sched.num_reprograms == 2
+
+    def test_empty_batch(self):
+        sched = BatchSchedule(items=[])
+        assert sched.num_reprograms == 0
+        assert sched.total_seconds == 0.0
+
+
+class TestPlanning:
+    class _FakePre:
+        def __init__(self, label):
+            class _Plan:
+                pass
+
+            class _Accel:
+                pass
+
+            self.plan = _Plan()
+            self.plan.accelerator = _Accel()
+            self.plan.accelerator.label = label
+
+    def _preprocess_by_name(self, graph):
+        # Deterministic fake: label derived from the graph's name suffix.
+        return self._FakePre("AL" if graph.name.endswith("a") else "BL")
+
+    def _graphs(self):
+        from repro.graph.generators import erdos_renyi_graph
+
+        return [
+            erdos_renyi_graph(16, 32, seed=i, name=f"g{i}-{suffix}")
+            for i, suffix in enumerate("abab")
+        ]
+
+    def test_grouped_never_slower_than_fifo(self):
+        graphs = self._graphs()
+        grouped = plan_batch(
+            graphs, self._preprocess_by_name, lambda pre: 1.0
+        )
+        fifo = naive_batch(
+            graphs, self._preprocess_by_name, lambda pre: 1.0
+        )
+        assert grouped.total_seconds <= fifo.total_seconds
+        assert grouped.num_reprograms == 2
+        assert fifo.num_reprograms == 4
+
+    def test_run_time_preserved(self):
+        graphs = self._graphs()
+        grouped = plan_batch(
+            graphs, self._preprocess_by_name, lambda pre: 2.5
+        )
+        assert sum(
+            i.estimated_run_seconds for i in grouped.items
+        ) == pytest.approx(10.0)
+
+    def test_end_to_end_with_real_framework(self, small_rmat, small_powerlaw):
+        from repro.arch.config import PipelineConfig
+        from repro.core.framework import ReGraph
+
+        fw = ReGraph(
+            "U280",
+            pipeline=PipelineConfig(gather_buffer_vertices=512),
+            num_pipelines=4,
+        )
+        sched = plan_batch(
+            [small_rmat, small_powerlaw],
+            fw.preprocess,
+            lambda pre: pre.plan.estimated_makespan / 270e6,
+        )
+        assert len(sched.items) == 2
+        assert sched.total_seconds > 0

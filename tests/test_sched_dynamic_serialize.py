@@ -1,0 +1,109 @@
+"""Tests for dynamic scheduling and plan serialization."""
+
+import pytest
+
+from repro.sched.dynamic import (
+    _simulate_queue,
+    dynamic_makespan,
+    static_makespan,
+)
+from repro.sched.scheduler import build_schedule
+from repro.sched.serialize import (
+    load_plan_summary,
+    plan_to_dict,
+    save_plan,
+    verify_plan_against,
+)
+
+
+@pytest.fixture()
+def plan(rmat_partitions, perf_model):
+    return build_schedule(rmat_partitions, perf_model, 4)
+
+
+class TestQueueSimulation:
+    def test_single_pipeline_serialises(self):
+        sched = _simulate_queue([3.0, 4.0, 5.0], 1, pull_overhead=0.0)
+        assert sched.makespan == 12.0
+
+    def test_balanced_split(self):
+        sched = _simulate_queue([5.0, 5.0, 5.0, 5.0], 2, pull_overhead=0.0)
+        assert sched.makespan == 10.0
+
+    def test_pull_overhead_charged(self):
+        free = _simulate_queue([1.0] * 4, 2, pull_overhead=0.0)
+        taxed = _simulate_queue([1.0] * 4, 2, pull_overhead=10.0)
+        assert taxed.makespan > free.makespan
+
+    def test_zero_pipelines(self):
+        assert _simulate_queue([1.0], 0, 0.0).makespan == 0.0
+
+    def test_greedy_respects_longest_task(self):
+        sched = _simulate_queue([9.0, 1.0, 1.0, 1.0], 2, pull_overhead=0.0)
+        assert sched.makespan == 9.0
+
+
+class TestMakespans:
+    def test_static_close_to_dynamic(self, plan):
+        static = static_makespan(plan)
+        dynamic = dynamic_makespan(plan)
+        assert static <= 1.4 * dynamic
+
+    def test_static_positive(self, plan):
+        assert static_makespan(plan) > 0
+
+    def test_dynamic_includes_overhead(self, plan):
+        cheap = dynamic_makespan(plan, pull_overhead=0.0)
+        taxed = dynamic_makespan(plan, pull_overhead=5_000.0)
+        assert taxed > cheap
+
+    def test_lpt_no_worse_than_fifo(self, plan):
+        lpt = dynamic_makespan(plan, longest_first=True)
+        fifo = dynamic_makespan(plan, longest_first=False)
+        assert lpt <= 1.1 * fifo
+
+
+class TestSerialize:
+    def test_roundtrip(self, plan, tmp_path):
+        path = save_plan(plan, tmp_path / "plan.json")
+        summary = load_plan_summary(path)
+        assert summary["accelerator"]["num_little"] == plan.accelerator.num_little
+        assert summary["total_edges"] == plan.total_edges()
+
+    def test_dict_structure(self, plan):
+        d = plan_to_dict(plan)
+        assert len(d["little_tasks"]) == plan.accelerator.num_little
+        assert len(d["big_tasks"]) == plan.accelerator.num_big
+        little_edges = sum(
+            t["edges"] for tasks in d["little_tasks"] for t in tasks
+        )
+        big_edges = sum(
+            sum(t["edges"]) for tasks in d["big_tasks"] for t in tasks
+        )
+        assert little_edges + big_edges == d["total_edges"]
+
+    def test_verify_accepts_matching(self, plan, rmat_partitions):
+        summary = plan_to_dict(plan)
+        assert verify_plan_against(summary, rmat_partitions, plan.accelerator)
+
+    def test_verify_rejects_wrong_shape(self, plan, rmat_partitions):
+        from repro.arch.config import AcceleratorConfig
+
+        summary = plan_to_dict(plan)
+        other = AcceleratorConfig(
+            plan.accelerator.num_little + 1,
+            max(plan.accelerator.num_big - 1, 0) or 1,
+            plan.accelerator.pipeline,
+        )
+        assert not verify_plan_against(summary, rmat_partitions, other)
+
+    def test_verify_rejects_wrong_buffer(self, plan, rmat_partitions):
+        from repro.arch.config import AcceleratorConfig, PipelineConfig
+
+        summary = plan_to_dict(plan)
+        other = AcceleratorConfig(
+            plan.accelerator.num_little,
+            plan.accelerator.num_big,
+            PipelineConfig(gather_buffer_vertices=64),
+        )
+        assert not verify_plan_against(summary, rmat_partitions, other)

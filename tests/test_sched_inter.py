@@ -1,0 +1,86 @@
+"""Tests for inter-cluster scheduling (classification + combo choice)."""
+
+import pytest
+
+from repro.sched.inter import (
+    choose_pipeline_combination,
+    classify_partitions,
+)
+
+
+class TestClassification:
+    def test_partitions_all_classified(self, rmat_partitions, perf_model):
+        parts = rmat_partitions.nonempty()
+        dense, sparse, tl, tb = classify_partitions(parts, perf_model)
+        assert sorted(dense + sparse) == list(range(len(parts)))
+        assert len(tl) == len(tb) == len(parts)
+
+    def test_head_partitions_dense(self, rmat_partitions, perf_model):
+        dense, _, _, _ = classify_partitions(
+            rmat_partitions.nonempty(), perf_model
+        )
+        assert 0 in dense
+
+    def test_tail_partitions_sparse(self, rmat_partitions, perf_model):
+        parts = rmat_partitions.nonempty()
+        _, sparse, _, _ = classify_partitions(parts, perf_model)
+        assert len(parts) - 1 in sparse
+
+    def test_sparse_partitions_prefer_big(self, rmat_partitions, perf_model):
+        # Every surviving sparse partition beat Little in the initial
+        # per-partition comparison (refinement only evicts to dense).
+        parts = rmat_partitions.nonempty()
+        _dense, sparse, tl, tb = classify_partitions(parts, perf_model)
+        for i in sparse:
+            assert tb[i] < tl[i]
+
+    def test_refinement_keeps_groups_profitable(
+        self, rmat_partitions, perf_model
+    ):
+        # After refinement, each prospective Big group is no slower than
+        # its Little alternative.
+        parts = rmat_partitions.nonempty()
+        _dense, sparse, tl, _tb = classify_partitions(parts, perf_model)
+        n = perf_model.config.n_gpe
+        for lo in range(0, len(sparse), n):
+            group = sparse[lo : lo + n]
+            big = perf_model.estimate_big_group(
+                [parts[i].src for i in group]
+            )
+            little = sum(tl[i] for i in group)
+            assert big <= little
+
+
+class TestComboChoice:
+    def test_balanced_loads_split_evenly(self):
+        assert choose_pipeline_combination(100.0, 100.0, 14) == (7, 7)
+
+    def test_skewed_load_gets_more_pipelines(self):
+        m, n = choose_pipeline_combination(300.0, 100.0, 12)
+        assert m > n
+
+    def test_no_dense_work(self):
+        assert choose_pipeline_combination(0.0, 50.0, 14) == (0, 14)
+
+    def test_no_sparse_work(self):
+        assert choose_pipeline_combination(50.0, 0.0, 14) == (14, 0)
+
+    def test_no_work_at_all(self):
+        m, n = choose_pipeline_combination(0.0, 0.0, 14)
+        assert m + n == 14
+
+    def test_both_clusters_nonempty_get_pipeline(self):
+        m, n = choose_pipeline_combination(1.0, 1000.0, 8)
+        assert m >= 1 and n >= 1
+
+    def test_single_pipeline_goes_to_heavier_cluster(self):
+        assert choose_pipeline_combination(10.0, 1.0, 1) == (1, 0)
+        assert choose_pipeline_combination(1.0, 10.0, 1) == (0, 1)
+
+    def test_minimises_gap(self):
+        # dense=90, sparse=30, 4 pipelines: (3,1) gives |30-30|=0.
+        assert choose_pipeline_combination(90.0, 30.0, 4) == (3, 1)
+
+    def test_invalid_pipeline_count(self):
+        with pytest.raises(ValueError):
+            choose_pipeline_combination(1.0, 1.0, 0)

@@ -1,0 +1,114 @@
+"""Tests for intra-cluster scheduling (window-granular equal-time cuts)."""
+
+import numpy as np
+import pytest
+
+from repro.sched.intra import (
+    merge_sparse_groups,
+    split_dense_for_little,
+    split_groups_for_big,
+)
+
+
+class TestMergeSparseGroups:
+    def test_group_sizes(self, rmat_partitions, config):
+        sparse = rmat_partitions.nonempty()[2:]
+        groups = merge_sparse_groups(sparse, config.n_gpe)
+        for group in groups[:-1]:
+            assert len(group) == config.n_gpe
+        assert 1 <= len(groups[-1]) <= config.n_gpe
+
+    def test_groups_ascending_bases(self, rmat_partitions, config):
+        sparse = rmat_partitions.nonempty()[2:]
+        for group in merge_sparse_groups(sparse, config.n_gpe):
+            bases = [p.vertex_lo for p in group]
+            assert bases == sorted(bases)
+
+    def test_all_partitions_covered(self, rmat_partitions, config):
+        sparse = rmat_partitions.nonempty()[2:]
+        groups = merge_sparse_groups(sparse, config.n_gpe)
+        assert sum(len(g) for g in groups) == len(sparse)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            merge_sparse_groups([], 0)
+
+
+class TestSplitDense:
+    def test_edges_preserved(self, rmat_partitions, perf_model):
+        dense = rmat_partitions.nonempty()[:2]
+        tasks = split_dense_for_little(dense, 3, perf_model, 256)
+        total = sum(t.num_edges for pipe in tasks for t in pipe)
+        assert total == sum(p.num_edges for p in dense)
+
+    def test_pipeline_count(self, rmat_partitions, perf_model):
+        tasks = split_dense_for_little(
+            rmat_partitions.nonempty()[:2], 5, perf_model, 256
+        )
+        assert len(tasks) == 5
+
+    def test_balance(self, rmat_partitions, perf_model):
+        dense = rmat_partitions.nonempty()[:2]
+        tasks = split_dense_for_little(dense, 4, perf_model, 128)
+        loads = [
+            sum(t.estimated_cycles for t in pipe) for pipe in tasks
+        ]
+        loads = [l for l in loads if l > 0]
+        assert max(loads) / min(loads) < 1.7
+
+    def test_no_dense_partitions(self, perf_model):
+        tasks = split_dense_for_little([], 3, perf_model)
+        assert tasks == [[] for _ in range(3)]
+
+    def test_zero_pipelines(self, rmat_partitions, perf_model):
+        assert split_dense_for_little(
+            rmat_partitions.nonempty()[:1], 0, perf_model
+        ) == []
+
+    def test_subpartitions_preserve_interval(self, rmat_partitions, perf_model):
+        dense = rmat_partitions.nonempty()[:1]
+        tasks = split_dense_for_little(dense, 3, perf_model, 128)
+        for pipe in tasks:
+            for task in pipe:
+                assert task.partition.vertex_lo == dense[0].vertex_lo
+                assert task.partition.vertex_hi == dense[0].vertex_hi
+
+
+class TestSplitBig:
+    def test_edges_preserved(self, rmat_partitions, perf_model, config):
+        sparse = rmat_partitions.nonempty()[2:]
+        groups = merge_sparse_groups(sparse, config.n_gpe)
+        tasks = split_groups_for_big(groups, 3, perf_model, 256)
+        total = sum(t.num_edges for pipe in tasks for t in pipe)
+        assert total == sum(p.num_edges for p in sparse)
+
+    def test_group_cap_respected(self, rmat_partitions, perf_model, config):
+        sparse = rmat_partitions.nonempty()[2:]
+        groups = merge_sparse_groups(sparse, config.n_gpe)
+        tasks = split_groups_for_big(groups, 2, perf_model, 256)
+        for pipe in tasks:
+            for task in pipe:
+                assert len(task.partitions) <= config.n_gpe
+
+    def test_slices_ascending_sources(self, rmat_partitions, perf_model, config):
+        sparse = rmat_partitions.nonempty()[2:]
+        groups = merge_sparse_groups(sparse, config.n_gpe)
+        tasks = split_groups_for_big(groups, 4, perf_model, 128)
+        for pipe in tasks:
+            for task in pipe:
+                for p in task.partitions:
+                    if p.num_edges > 1:
+                        assert np.all(np.diff(p.src) >= 0)
+
+    def test_no_groups(self, perf_model):
+        tasks = split_groups_for_big([], 3, perf_model)
+        assert tasks == [[] for _ in range(3)]
+
+    def test_balance(self, rmat_partitions, perf_model, config):
+        sparse = rmat_partitions.nonempty()[2:]
+        groups = merge_sparse_groups(sparse, config.n_gpe)
+        tasks = split_groups_for_big(groups, 3, perf_model, 128)
+        loads = [sum(t.estimated_cycles for t in pipe) for pipe in tasks]
+        loads = [l for l in loads if l > 0]
+        if len(loads) > 1:
+            assert max(loads) / min(loads) < 2.5

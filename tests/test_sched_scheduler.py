@@ -1,0 +1,84 @@
+"""Tests for the end-to-end scheduler and the plan structure."""
+
+import pytest
+
+from repro.sched.scheduler import build_schedule
+
+
+class TestBuildSchedule:
+    def test_plan_covers_all_edges(self, rmat_partitions, perf_model):
+        plan = build_schedule(rmat_partitions, perf_model, 6)
+        assert plan.total_edges() == rmat_partitions.graph.num_edges
+
+    def test_pipeline_counts_sum(self, rmat_partitions, perf_model):
+        plan = build_schedule(rmat_partitions, perf_model, 6)
+        accel = plan.accelerator
+        assert accel.num_little + accel.num_big == 6
+        assert len(plan.little_tasks) == accel.num_little
+        assert len(plan.big_tasks) == accel.num_big
+
+    def test_mixed_combo_chosen_for_skewed_graph(
+        self, rmat_partitions, perf_model
+    ):
+        plan = build_schedule(rmat_partitions, perf_model, 6)
+        assert not plan.accelerator.is_homogeneous
+
+    def test_dense_and_sparse_disjoint(self, rmat_partitions, perf_model):
+        plan = build_schedule(rmat_partitions, perf_model, 6)
+        assert not set(plan.dense_indices) & set(plan.sparse_indices)
+
+    def test_forced_homogeneous_little(self, rmat_partitions, perf_model):
+        plan = build_schedule(
+            rmat_partitions, perf_model, 6, forced_combo=(6, 0)
+        )
+        assert plan.accelerator.label == "6L0B"
+        assert plan.big_tasks == []
+        assert plan.total_edges() == rmat_partitions.graph.num_edges
+
+    def test_forced_homogeneous_big(self, rmat_partitions, perf_model):
+        plan = build_schedule(
+            rmat_partitions, perf_model, 6, forced_combo=(0, 6)
+        )
+        assert plan.accelerator.label == "0L6B"
+        assert plan.little_tasks == []
+        assert plan.total_edges() == rmat_partitions.graph.num_edges
+
+    def test_forced_combo_must_sum(self, rmat_partitions, perf_model):
+        with pytest.raises(ValueError):
+            build_schedule(rmat_partitions, perf_model, 6, forced_combo=(3, 4))
+
+    def test_all_forced_combos_cover_edges(self, rmat_partitions, perf_model):
+        for m in range(7):
+            plan = build_schedule(
+                rmat_partitions, perf_model, 6, forced_combo=(m, 6 - m)
+            )
+            assert plan.total_edges() == rmat_partitions.graph.num_edges
+
+
+class TestPlanMetrics:
+    def test_makespan_positive(self, rmat_partitions, perf_model):
+        plan = build_schedule(rmat_partitions, perf_model, 6)
+        assert plan.estimated_makespan > 0
+
+    def test_balance_ratio_at_least_one(self, rmat_partitions, perf_model):
+        plan = build_schedule(rmat_partitions, perf_model, 6)
+        assert plan.balance_ratio >= 1.0
+
+    def test_model_guided_beats_or_matches_worst_forced(
+        self, rmat_partitions, perf_model
+    ):
+        chosen = build_schedule(rmat_partitions, perf_model, 6)
+        makespans = []
+        for m in range(7):
+            plan = build_schedule(
+                rmat_partitions, perf_model, 6, forced_combo=(m, 6 - m)
+            )
+            makespans.append(plan.estimated_makespan)
+        assert chosen.estimated_makespan <= max(makespans)
+
+    def test_cycle_estimates_match_task_sums(self, rmat_partitions, perf_model):
+        plan = build_schedule(rmat_partitions, perf_model, 6)
+        for tasks, est in zip(plan.little_tasks, plan.little_cycle_estimates):
+            assert est == pytest.approx(
+                sum(t.estimated_cycles for t in tasks)
+            )

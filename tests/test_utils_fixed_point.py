@@ -1,0 +1,86 @@
+"""Tests for fixed-point arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.utils.fixed_point import (
+    FIXED_FRAC_BITS,
+    FIXED_ONE,
+    FixedPointFormat,
+    fixed_to_float,
+    float_to_fixed,
+)
+
+
+class TestConstants:
+    def test_one_matches_frac_bits(self):
+        assert FIXED_ONE == 1 << FIXED_FRAC_BITS
+
+    def test_default_format_one(self):
+        assert FixedPointFormat().one == FIXED_ONE
+
+
+class TestConversion:
+    def test_roundtrip_scalar(self):
+        assert fixed_to_float(float_to_fixed(0.5)) == pytest.approx(0.5)
+
+    def test_roundtrip_array(self):
+        values = np.array([0.0, 0.25, 1.0, -0.75, 3.125])
+        out = fixed_to_float(float_to_fixed(values))
+        np.testing.assert_allclose(out, values)
+
+    def test_roundtrip_within_resolution(self):
+        fmt = FixedPointFormat()
+        values = np.linspace(-2, 2, 1001)
+        out = fmt.to_float(fmt.from_float(values))
+        assert np.max(np.abs(out - values)) <= fmt.resolution
+
+    def test_one_maps_to_raw_one(self):
+        assert float_to_fixed(1.0) == FIXED_ONE
+
+    def test_custom_frac_bits(self):
+        assert float_to_fixed(1.0, frac_bits=8) == 256
+        assert fixed_to_float(256, frac_bits=8) == 1.0
+
+    def test_resolution(self):
+        fmt = FixedPointFormat(frac_bits=10)
+        assert fmt.resolution == 1.0 / 1024
+
+
+class TestArithmetic:
+    def test_multiply_identity(self):
+        fmt = FixedPointFormat()
+        x = fmt.from_float(0.3)
+        assert fmt.to_float(fmt.multiply(x, fmt.one)) == pytest.approx(
+            0.3, abs=fmt.resolution
+        )
+
+    def test_multiply_halves(self):
+        fmt = FixedPointFormat()
+        half = fmt.from_float(0.5)
+        quarter = fmt.multiply(half, half)
+        assert fmt.to_float(quarter) == pytest.approx(0.25, abs=fmt.resolution)
+
+    def test_multiply_array(self):
+        fmt = FixedPointFormat()
+        a = fmt.from_float(np.array([0.5, 0.25]))
+        b = fmt.from_float(np.array([0.5, 0.5]))
+        out = fmt.to_float(fmt.multiply(a, b))
+        np.testing.assert_allclose(out, [0.25, 0.125], atol=2 * fmt.resolution)
+
+    def test_divide_fixed_by_fixed(self):
+        fmt = FixedPointFormat()
+        out = fmt.divide(fmt.from_float(0.5), fmt.from_float(2.0))
+        assert fmt.to_float(out) == pytest.approx(0.25, abs=fmt.resolution)
+
+    def test_divide_by_zero_guard(self):
+        fmt = FixedPointFormat()
+        # Division by a zero word is guarded (treated as divide by raw 1).
+        out = fmt.divide(fmt.from_float(0.5), 0)
+        assert out == fmt.from_float(0.5) << fmt.frac_bits
+
+    def test_no_overflow_in_widening_multiply(self):
+        fmt = FixedPointFormat()
+        big = fmt.from_float(1.9)
+        prod = fmt.multiply(big, big)
+        assert fmt.to_float(prod) == pytest.approx(3.61, abs=1e-6)

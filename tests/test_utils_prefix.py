@@ -1,0 +1,93 @@
+"""Tests for prefix-sum scheduling math."""
+
+import numpy as np
+import pytest
+
+from repro.utils.prefix import balanced_chunk_bounds, running_release_times
+
+
+class TestBalancedChunkBounds:
+    def test_uniform_weights_split_evenly(self):
+        bounds = balanced_chunk_bounds(np.ones(12), 3)
+        np.testing.assert_array_equal(bounds, [0, 4, 8, 12])
+
+    def test_single_chunk(self):
+        bounds = balanced_chunk_bounds(np.ones(5), 1)
+        np.testing.assert_array_equal(bounds, [0, 5])
+
+    def test_bounds_monotonic(self):
+        rng = np.random.default_rng(0)
+        w = rng.random(100)
+        bounds = balanced_chunk_bounds(w, 7)
+        assert np.all(np.diff(bounds) >= 0)
+        assert bounds[0] == 0 and bounds[-1] == 100
+
+    def test_skewed_weight_gets_own_chunk(self):
+        w = np.array([1, 1, 100, 1, 1], dtype=float)
+        bounds = balanced_chunk_bounds(w, 2)
+        # The heavy element must not share a chunk with everything else
+        # on one side only; the cut lands adjacent to it.
+        assert 2 <= bounds[1] <= 3
+
+    def test_balance_quality(self):
+        rng = np.random.default_rng(3)
+        w = rng.random(10_000)
+        bounds = balanced_chunk_bounds(w, 8)
+        sums = [w[bounds[i]:bounds[i + 1]].sum() for i in range(8)]
+        assert max(sums) / min(sums) < 1.05
+
+    def test_empty_weights(self):
+        bounds = balanced_chunk_bounds(np.zeros(0), 4)
+        np.testing.assert_array_equal(bounds, [0, 0, 0, 0, 0])
+
+    def test_zero_chunks_raises(self):
+        with pytest.raises(ValueError):
+            balanced_chunk_bounds(np.ones(3), 0)
+
+    def test_more_chunks_than_items(self):
+        bounds = balanced_chunk_bounds(np.ones(2), 5)
+        assert bounds[0] == 0 and bounds[-1] == 2
+        assert np.all(np.diff(bounds) >= 0)
+
+
+class TestRunningReleaseTimes:
+    def _reference(self, ready, cost):
+        t = 0.0
+        out = []
+        for r, c in zip(ready, cost):
+            t = max(t + c, r)
+            out.append(t)
+        return np.array(out)
+
+    def test_matches_loop_reference(self):
+        rng = np.random.default_rng(2)
+        ready = np.cumsum(rng.random(200))
+        cost = rng.random(200)
+        out = running_release_times(ready, cost)
+        np.testing.assert_allclose(out, self._reference(ready, cost))
+
+    def test_service_bound_when_always_ready(self):
+        cost = np.full(10, 2.0)
+        ready = np.zeros(10)
+        out = running_release_times(ready, cost)
+        np.testing.assert_allclose(out, np.arange(1, 11) * 2.0)
+
+    def test_ready_bound_when_service_free(self):
+        ready = np.array([5.0, 6.0, 100.0])
+        cost = np.full(3, 0.001)
+        out = running_release_times(ready, cost)
+        assert out[-1] == pytest.approx(100.0)
+
+    def test_monotonic_output(self):
+        rng = np.random.default_rng(9)
+        ready = rng.random(500) * 100
+        cost = rng.random(500)
+        out = running_release_times(ready, cost)
+        assert np.all(np.diff(out) >= -1e-9)
+
+    def test_empty(self):
+        assert running_release_times(np.zeros(0), np.zeros(0)).size == 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            running_release_times(np.zeros(3), np.zeros(4))

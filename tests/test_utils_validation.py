@@ -1,0 +1,52 @@
+"""Tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array_1d,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        check_nonnegative("n", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("n", -1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        check_probability("p", ok)
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2.0])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError):
+            check_probability("p", bad)
+
+
+class TestCheckArray1d:
+    def test_passes_through_1d(self):
+        out = check_array_1d("a", [1, 2, 3])
+        assert out.shape == (3,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_array_1d("a", np.zeros((2, 2)))
