@@ -30,7 +30,7 @@ class ApplySim:
         if num_vertices <= 0:
             return 0.0
         return (
-            self.channel.params.min_latency
+            self.channel.base_latency()
             + num_vertices / APPLY_VERTICES_PER_CYCLE
         )
 

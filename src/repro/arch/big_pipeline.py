@@ -35,6 +35,8 @@ class BigPipelineSim:
         self.channel = channel
         self.loader = VertexLoaderSim(config, channel)
         self.scatter_pes = ScatterPeArray(config.n_spe)
+        #: Fault-injection hook (:mod:`repro.faults`); None = fault-free.
+        self.fault_site = None
 
     @staticmethod
     def _cumcount_sorted(values: np.ndarray) -> np.ndarray:
@@ -108,6 +110,8 @@ class BigPipelineSim:
                 "execution"
             )
 
+        if self.fault_site is not None:
+            self.fault_site.on_task("big")
         src, dst, lanes, weights = self._merge_edges(partitions)
         edge_bytes = 8 if weights is None else 12
         timing = self._timing(src, lanes, len(partitions), edge_bytes)
@@ -117,6 +121,11 @@ class BigPipelineSim:
             if src_props is None:
                 raise ValueError("functional execution needs src_props")
             outputs = self._functional(partitions, src, dst, weights, app, src_props)
+            if self.fault_site is not None:
+                outputs = [
+                    (lo, hi, self.fault_site.filter_buffer(buffer))
+                    for lo, hi, buffer in outputs
+                ]
         return timing, outputs
 
     #: Router output FIFO depth in edge sets; short occupancy bursts are
@@ -184,7 +193,7 @@ class BigPipelineSim:
         )
         ready_e = (
             np.arange(1, num_sets + 1, dtype=np.float64) * set_cycles
-            + self.channel.params.min_latency
+            + self.channel.base_latency()
         )
         service = self._gather_service(lanes, num_lanes)
         completion = running_release_times(

@@ -32,6 +32,8 @@ class LittlePipelineSim:
         self.channel = channel
         self.pingpong = PingPongBufferSim(config, channel)
         self.scatter_pes = ScatterPeArray(config.n_spe)
+        #: Fault-injection hook (:mod:`repro.faults`); None = fault-free.
+        self.fault_site = None
 
     def execute(
         self,
@@ -45,6 +47,8 @@ class LittlePipelineSim:
         ``(vertex_lo, vertex_hi, merged_buffer)`` or ``None`` when running
         timing-only.
         """
+        if self.fault_site is not None:
+            self.fault_site.on_task("little")
         edge_bytes = 8 if partition.weights is None else 12
         timing = self._timing(partition.src, edge_bytes)
         output = None
@@ -52,6 +56,9 @@ class LittlePipelineSim:
             if src_props is None:
                 raise ValueError("functional execution needs src_props")
             output = self._functional(partition, app, src_props)
+            if self.fault_site is not None:
+                lo, hi, buffer = output
+                output = (lo, hi, self.fault_site.filter_buffer(buffer))
         return timing, output
 
     # ------------------------------------------------------------------
@@ -78,7 +85,7 @@ class LittlePipelineSim:
         set_cycles = self.config.edges_per_set * edge_bytes / 64.0
         ready_e = (
             np.arange(1, num_sets + 1, dtype=np.float64) * set_cycles
-            + self.channel.params.min_latency
+            + self.channel.base_latency()
         )
         service = np.full(
             num_sets,

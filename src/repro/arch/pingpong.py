@@ -82,7 +82,7 @@ class PingPongBufferSim:
         seg_rank = np.searchsorted(needed_segments, segments)
         fill_pos = seg_rank * seg_blocks + (rel - segments * seg_blocks) + 1.0
 
-        fill_ready = fill_pos + self.channel.params.min_latency
+        fill_ready = fill_pos + self.channel.base_latency()
         ready = fill_ready[last_of_set]
 
         fetched = int(needed_segments.size) * seg_blocks

@@ -102,7 +102,7 @@ class VertexLoaderSim:
         service = self.channel.effective_request_cycles(strides)
         response = (
             running_release_times(arrival, service)
-            + self.channel.params.min_latency
+            + self.channel.base_latency()
         )
 
         # Each set is released by the response of the last request at or

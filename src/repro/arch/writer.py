@@ -27,4 +27,4 @@ class WriterSim:
         if num_vertices <= 0:
             return 0.0
         blocks = -(-num_vertices * VERTEX_WORD_BYTES // BLOCK_BYTES)
-        return self.channel.params.min_latency + float(blocks)
+        return self.channel.base_latency() + float(blocks)

@@ -9,7 +9,8 @@ Fig. 8:
 * ``sweep``     — throughput across all pipeline combinations;
 * ``codegen``   — emit the accelerator artifact bundles;
 * ``shuhai``    — characterise the HBM channel model;
-* ``selfcheck`` — run the post-install correctness matrix.
+* ``selfcheck`` — run the post-install correctness matrix;
+* ``faultsim``  — inject faults and exercise the resilient runtime.
 
 Graphs come either from ``--dataset KEY`` (synthetic Table III stand-ins,
 with ``--scale``) or ``--edge-list FILE``.
@@ -23,6 +24,7 @@ from typing import List, Optional
 
 from repro.arch.config import PipelineConfig
 from repro.core.framework import ReGraph
+from repro.errors import ReproError
 from repro.graph.datasets import DATASETS, load_dataset, table3_rows
 from repro.graph.io import read_edge_list
 from repro.hbm.channel import HbmChannelModel
@@ -193,6 +195,99 @@ def cmd_shuhai(_args) -> int:
     return 0
 
 
+def cmd_faultsim(args) -> int:
+    from repro.faults import (
+        BitFlipFault,
+        DeadChannelFault,
+        FaultPlan,
+        LatencySpikeFault,
+        PipelineStallFault,
+    )
+    from repro.faults.resilience import ResiliencePolicy
+
+    graph = _load_graph(args)
+    framework = _framework(args)
+    pre = framework.preprocess(graph)
+
+    dead = tuple(
+        DeadChannelFault(channel=c, onset_cycle=args.onset)
+        for c in (args.dead_channel or [])
+    )
+    flips = ()
+    if args.bit_flip_rate > 0:
+        flips = (BitFlipFault(
+            probability=args.bit_flip_rate,
+            detectable=not args.silent_flips,
+            onset_cycle=args.onset,
+        ),)
+    stalls = ()
+    if args.stall_rate > 0:
+        stalls = (PipelineStallFault(
+            probability=args.stall_rate,
+            pipeline=args.stall_pipeline,
+            onset_cycle=args.onset,
+        ),)
+    spikes = ()
+    if args.spike_channel is not None:
+        spikes = (LatencySpikeFault(
+            channel=args.spike_channel,
+            onset_cycle=args.onset,
+            duration_cycles=args.spike_duration,
+            multiplier=args.spike_multiplier,
+        ),)
+    fault_plan = FaultPlan(
+        seed=args.fault_seed,
+        dead_channels=dead,
+        latency_spikes=spikes,
+        bit_flips=flips,
+        stalls=stalls,
+    )
+    policy = ResiliencePolicy(
+        max_retries=args.retries, watchdog_slack=args.slack
+    )
+
+    def _execute(**kwargs):
+        app = args.app.lower()
+        if app == "pagerank":
+            return framework.run_pagerank(
+                pre, max_iterations=args.iterations, **kwargs
+            )
+        if app == "bfs":
+            return framework.run_bfs(
+                pre, root=args.root, max_iterations=args.iterations, **kwargs
+            )
+        return framework.run_closeness(
+            pre, root=args.root, max_iterations=args.iterations, **kwargs
+        )
+
+    clean = _execute()
+    run = _execute(fault_plan=fault_plan, resilience=policy)
+    health = run.health
+
+    print(f"{run.app_name} on {run.graph_name} under fault plan "
+          f"(seed {fault_plan.seed}): {len(dead)} dead channel(s), "
+          f"{len(spikes)} latency spike(s), {len(flips)} bit-flip model(s), "
+          f"{len(stalls)} stall model(s)")
+    print(f"clean run:   {clean.iterations} iterations, "
+          f"{clean.total_cycles:,.0f} cycles, {clean.mteps:,.0f} MTEPS")
+    print(f"faulted run: {run.iterations} iterations, "
+          f"{run.total_cycles:,.0f} cycles, {run.mteps:,.0f} MTEPS "
+          f"({'converged' if run.converged else 'cap reached'})")
+    print(f"accelerator: {health.initial_label} -> {health.final_label}"
+          + (f" (degraded: {', '.join(health.degraded_pipelines)})"
+             if health.degraded_pipelines else ""))
+    for f in health.faults:
+        print(f"  iter {f.iteration:>3} @ {f.cycle:>12,.0f} cyc  "
+              f"[{f.category}] {f.detail}")
+    print(f"absorbed: {health.fault_count} faults, {health.retries} retries, "
+          f"{health.replans} re-plans, "
+          f"{health.checkpoint_restores} checkpoint restores, "
+          f"{health.watchdog_trips} watchdog trips")
+    print(f"overhead: {health.overhead_cycles:,.0f} cycles "
+          f"({health.overhead_fraction:.1%} of useful work)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,6 +323,41 @@ def build_parser() -> argparse.ArgumentParser:
         "selfcheck",
         help="run the post-install correctness matrix",
     )
+
+    p = sub.add_parser(
+        "faultsim",
+        help="inject faults and exercise the resilient runtime",
+    )
+    _add_graph_arguments(p)
+    _add_platform_arguments(p)
+    p.add_argument("--app", default="pagerank",
+                   choices=["pagerank", "bfs", "closeness"])
+    p.add_argument("--root", type=int, default=0)
+    p.add_argument("--iterations", type=int, default=None)
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the fault injector's RNG")
+    p.add_argument("--dead-channel", type=int, action="append",
+                   metavar="CH",
+                   help="pseudo-channel that dies at --onset (repeatable)")
+    p.add_argument("--bit-flip-rate", type=float, default=0.0,
+                   help="per-drain bit-flip probability")
+    p.add_argument("--silent-flips", action="store_true",
+                   help="flips corrupt data instead of raising (no ECC)")
+    p.add_argument("--stall-rate", type=float, default=0.0,
+                   help="per-task mid-partition stall probability")
+    p.add_argument("--stall-pipeline", type=int, default=None,
+                   help="pin stalls to one global pipeline index")
+    p.add_argument("--spike-channel", type=int, default=None,
+                   help="channel hit by a latency-spike burst")
+    p.add_argument("--spike-multiplier", type=float, default=8.0)
+    p.add_argument("--spike-duration", type=float, default=100_000.0,
+                   help="spike window length in cycles")
+    p.add_argument("--onset", type=float, default=0.0,
+                   help="cycle at which the configured faults switch on")
+    p.add_argument("--retries", type=int, default=3,
+                   help="retries per iteration before degrading")
+    p.add_argument("--slack", type=float, default=8.0,
+                   help="watchdog budget = slack * predicted makespan")
     return parser
 
 
@@ -239,13 +369,29 @@ _COMMANDS = {
     "codegen": cmd_codegen,
     "shuhai": cmd_shuhai,
     "selfcheck": cmd_selfcheck,
+    "faultsim": cmd_faultsim,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    User errors — bad dataset keys, unreadable files, invalid
+    configuration, unrecoverable fault scenarios — print a one-line
+    message on stderr and exit 2 instead of dumping a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError, KeyError, ValueError) as exc:
+        # str(KeyError) wraps the message in quotes; unwrap it.
+        detail = (
+            str(exc.args[0])
+            if isinstance(exc, KeyError) and exc.args
+            else str(exc)
+        ) or exc.__class__.__name__
+        print(f"error: {detail}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

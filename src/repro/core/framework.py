@@ -121,12 +121,21 @@ class ReGraph:
         app_builder: Callable[[Graph], object],
         max_iterations: Optional[int] = None,
         functional: bool = True,
+        fault_plan=None,
+        resilience=None,
     ) -> RunReport:
         """Deploy and execute an app (Fig. 8 step 5).
 
         ``app_builder`` receives the *relabelled* graph; per-vertex
         results in the returned report are mapped back to input-graph
         order.
+
+        Passing a :class:`~repro.faults.plan.FaultPlan` (and optionally a
+        :class:`~repro.faults.resilience.ResiliencePolicy`) routes the
+        run through the resilient execution layer: injected faults are
+        absorbed by watchdog/retry/checkpoint/degrade and accounted in
+        ``run.health``.  With both left ``None`` the plain simulator runs
+        — bit-for-bit the historical code path.
         """
         pre = (
             graph_or_pre
@@ -134,8 +143,21 @@ class ReGraph:
             else self.preprocess(graph_or_pre)
         )
         app = app_builder(pre.graph)
-        sim = SystemSimulator(pre.plan, self.platform, self.channel)
-        run = sim.run(app, max_iterations=max_iterations, functional=functional)
+        if fault_plan is not None or resilience is not None:
+            from repro.faults.resilience import ResilientExecutor
+
+            executor = ResilientExecutor(
+                pre, self.platform, self.channel,
+                fault_plan=fault_plan, policy=resilience,
+            )
+            run = executor.run(
+                app, max_iterations=max_iterations, functional=functional
+            )
+        else:
+            sim = SystemSimulator(pre.plan, self.platform, self.channel)
+            run = sim.run(
+                app, max_iterations=max_iterations, functional=functional
+            )
         if run.props is not None and run.props.size == pre.graph.num_vertices:
             run.props = pre.to_original_order(run.props)
             if (
@@ -154,11 +176,15 @@ class ReGraph:
 
         max_iterations = kwargs.pop("max_iterations", None)
         functional = kwargs.pop("functional", True)
+        fault_plan = kwargs.pop("fault_plan", None)
+        resilience = kwargs.pop("resilience", None)
         return self.run(
             graph_or_pre,
             lambda g: PageRank(g, **kwargs),
             max_iterations=max_iterations,
             functional=functional,
+            fault_plan=fault_plan,
+            resilience=resilience,
         )
 
     def run_bfs(self, graph_or_pre, root: int = 0, **kwargs) -> RunReport:

@@ -70,6 +70,9 @@ class RunReport:
     iteration_reports: List[IterationReport] = field(default_factory=list)
     props: Optional[np.ndarray] = None
     result: Optional[object] = None
+    #: :class:`repro.faults.resilience.RunHealthReport` when the run used
+    #: the resilient execution layer; None for plain runs.
+    health: Optional[object] = None
 
     @property
     def total_seconds(self) -> float:
@@ -102,15 +105,26 @@ class SystemSimulator:
         plan: SchedulingPlan,
         platform: FpgaPlatform,
         channel: Optional[HbmChannelModel] = None,
+        injector=None,
     ):
         self.plan = plan
         self.platform = platform
         self.channel = channel or HbmChannelModel()
+        self.injector = injector
+        if injector is not None:
+            # Private channel copy so fault wiring never leaks into the
+            # caller's (shared, possibly fault-free) channel model.
+            self.channel = HbmChannelModel(
+                self.channel.params, fault_site=injector
+            )
         config = plan.accelerator.pipeline
         self._little = LittlePipelineSim(config, self.channel)
         self._big = BigPipelineSim(config, self.channel)
         self._apply = ApplySim(self.channel)
         self._writer = WriterSim(self.channel)
+        if injector is not None:
+            self._little.fault_site = injector
+            self._big.fault_site = injector
         self._resource_report = resource_report(plan.accelerator, platform)
         self._cached_iteration: Optional[IterationReport] = None
 
@@ -121,45 +135,86 @@ class SystemSimulator:
 
     # ------------------------------------------------------------------
     def _timing_pass(self, num_vertices: int) -> IterationReport:
-        """Simulate one iteration's timing (cached across iterations)."""
-        if self._cached_iteration is not None:
+        """Simulate one iteration's timing.
+
+        Cached across iterations while no fault can perturb it (always,
+        for fault-free runs); recomputed uncached — and never written to
+        the cache — while injected timing faults are active, so clean
+        iterations before/after a fault window keep the baseline counts.
+        """
+        faulty = (
+            self.injector is not None and self.injector.timing_faults_active()
+        )
+        if not faulty:
+            if self._cached_iteration is None:
+                self._cached_iteration = self._compute_timing(num_vertices)
             return self._cached_iteration
+        return self._compute_timing(num_vertices)
+
+    def _compute_timing(self, num_vertices: int) -> IterationReport:
+        """One uncached timing pass over every pipeline's task list."""
+        injector = self.injector
+        if injector is not None:
+            injector.pass_kind = "timing"
         little = []
-        for tasks in self.plan.little_tasks:
+        for idx, tasks in enumerate(self.plan.little_tasks):
+            if injector is not None:
+                injector.enter_pipeline("little", idx)
             busy = 0.0
             for task in tasks:
                 timing, _ = self._little.execute(task.partition)
                 busy += timing.total_cycles
             little.append(busy)
         big = []
-        for tasks in self.plan.big_tasks:
+        for idx, tasks in enumerate(self.plan.big_tasks):
+            if injector is not None:
+                injector.enter_pipeline("big", idx)
             busy = 0.0
             for task in tasks:
                 timing, _ = self._big.execute(task.partitions)
                 busy += timing.total_cycles
             big.append(busy)
-        self._cached_iteration = IterationReport(
+        if injector is not None:
+            injector.exit_pipeline()
+        return IterationReport(
             little_cycles=little,
             big_cycles=big,
             apply_cycles=self._apply.cycles(num_vertices),
             writer_cycles=self._writer.cycles(num_vertices),
         )
-        return self._cached_iteration
 
     def _functional_pass(self, app, props: np.ndarray) -> np.ndarray:
         """Run every task's UDFs and merge accumulations globally."""
+        injector = self.injector
+        if injector is not None:
+            injector.pass_kind = "functional"
         acc = np.full(props.size, app.gather_identity, dtype=app.prop_dtype)
-        for tasks in self.plan.little_tasks:
+        for idx, tasks in enumerate(self.plan.little_tasks):
+            if injector is not None:
+                injector.enter_pipeline("little", idx)
             for task in tasks:
                 _, output = self._little.execute(task.partition, app, props)
                 lo, hi, buffer = output
                 acc[lo:hi] = app.gather(acc[lo:hi], buffer)
-        for tasks in self.plan.big_tasks:
+        for idx, tasks in enumerate(self.plan.big_tasks):
+            if injector is not None:
+                injector.enter_pipeline("big", idx)
             for task in tasks:
                 _, outputs = self._big.execute(task.partitions, app, props)
                 for lo, hi, buffer in outputs:
                     acc[lo:hi] = app.gather(acc[lo:hi], buffer)
+        if injector is not None:
+            injector.exit_pipeline()
         return self._apply.run(app, props, acc)
+
+    # -- public single-iteration surface (used by the resilient layer) --
+    def iteration_timing(self, num_vertices: int) -> IterationReport:
+        """Timing of one iteration (cached when no fault is active)."""
+        return self._timing_pass(num_vertices)
+
+    def functional_iteration(self, app, props: np.ndarray) -> np.ndarray:
+        """One functional iteration: UDFs, global merge, Apply."""
+        return self._functional_pass(app, props)
 
     # ------------------------------------------------------------------
     def run(

@@ -1,0 +1,107 @@
+"""Exception hierarchy of the reproduction.
+
+Everything the library raises deliberately derives from
+:class:`ReproError`, so callers (and the CLI) can separate *user errors*
+and *modelled hardware faults* from genuine bugs.  Two design points:
+
+* Host-runtime errors keep their historical built-in bases
+  (``RuntimeError`` / ``MemoryError``) so existing ``except`` clauses and
+  tests continue to work after the rename.
+* Injected-fault errors carry enough structure (channel / pipeline ids,
+  whether degradation can absorb the fault) for the resilient executor in
+  :mod:`repro.faults.resilience` to decide between retry and re-plan.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error raised by this package."""
+
+
+class UserInputError(ReproError, ValueError):
+    """Invalid user-supplied input (bad graph name, app, file, ...)."""
+
+
+# ----------------------------------------------------------------------
+# Host-runtime errors (repro.runtime.host)
+# ----------------------------------------------------------------------
+class AcceleratorReleasedError(ReproError, RuntimeError):
+    """An operation was attempted on a released accelerator context."""
+
+
+class NoGraphLoadedError(ReproError, RuntimeError):
+    """``execute`` was called before ``load_graph``."""
+
+
+class DeviceOutOfMemoryError(ReproError, MemoryError):
+    """A buffer allocation exceeded the per-channel HBM capacity."""
+
+
+# ----------------------------------------------------------------------
+# Injected hardware faults (repro.faults)
+# ----------------------------------------------------------------------
+class FaultInjectedError(ReproError):
+    """Base class of every modelled hardware fault.
+
+    ``victim`` is the ``(kind, index)`` of a pipeline the resilient
+    executor may degrade to absorb the fault, or ``None`` when the fault
+    is not attributable to one pipeline (e.g. a global stall rate).
+    """
+
+    category = "fault"
+
+    def __init__(self, message: str, victim: Optional[Tuple[str, int]] = None):
+        super().__init__(message)
+        self.victim = victim
+
+
+class ChannelFaultError(FaultInjectedError):
+    """A dead/stuck HBM pseudo-channel; permanent, always degradable."""
+
+    category = "dead-channel"
+
+    def __init__(self, channel: int, victim: Tuple[str, int]):
+        super().__init__(
+            f"HBM channel {channel} is dead (pipeline {victim[0]}{victim[1]})",
+            victim=victim,
+        )
+        self.channel = channel
+
+
+class PipelineStallError(FaultInjectedError):
+    """A pipeline hung mid-partition; the watchdog reclaims it."""
+
+    category = "pipeline-stall"
+
+
+class DataCorruptionError(FaultInjectedError):
+    """A transient bit-flip was detected (parity/ECC) at block ingest."""
+
+    category = "bit-flip"
+
+
+class WatchdogTimeoutError(FaultInjectedError):
+    """An iteration exceeded its model-predicted cycle budget."""
+
+    category = "watchdog-timeout"
+
+    def __init__(
+        self,
+        measured_cycles: float,
+        budget_cycles: float,
+        victim: Optional[Tuple[str, int]] = None,
+    ):
+        super().__init__(
+            f"iteration took {measured_cycles:,.0f} cycles, watchdog "
+            f"budget is {budget_cycles:,.0f}",
+            victim=victim,
+        )
+        self.measured_cycles = measured_cycles
+        self.budget_cycles = budget_cycles
+
+
+class ResilienceExhaustedError(ReproError):
+    """Retries and degradation could not absorb the injected faults."""

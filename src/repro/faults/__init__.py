@@ -1,0 +1,46 @@
+"""Fault injection and resilient execution.
+
+Public surface:
+
+* :class:`~repro.faults.plan.FaultPlan` and the individual fault models
+  (dead channel, latency spike, bit flip, pipeline stall);
+* :class:`~repro.faults.injector.FaultInjector` — seeded evaluator wired
+  into the HBM-channel and pipeline boundaries;
+* :class:`~repro.faults.resilience.ResilientExecutor`,
+  :class:`~repro.faults.resilience.ResiliencePolicy`,
+  :class:`~repro.faults.resilience.CheckpointStore` and
+  :class:`~repro.faults.resilience.RunHealthReport` — the resilient
+  execution layer used by :meth:`repro.core.framework.ReGraph.run`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BitFlipFault,
+    DeadChannelFault,
+    FaultPlan,
+    LatencySpikeFault,
+    PipelineStallFault,
+)
+from repro.faults.resilience import (
+    Checkpoint,
+    CheckpointStore,
+    FaultRecord,
+    ResiliencePolicy,
+    ResilientExecutor,
+    RunHealthReport,
+)
+
+__all__ = [
+    "BitFlipFault",
+    "Checkpoint",
+    "CheckpointStore",
+    "DeadChannelFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "LatencySpikeFault",
+    "PipelineStallFault",
+    "ResiliencePolicy",
+    "ResilientExecutor",
+    "RunHealthReport",
+]

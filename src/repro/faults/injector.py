@@ -1,0 +1,211 @@
+"""Seeded fault injector wired into the simulator's hardware boundaries.
+
+One :class:`FaultInjector` instance accompanies a resilient run.  It is
+installed at two boundaries:
+
+* the **HBM channel boundary** — :class:`~repro.hbm.channel.HbmChannelModel`
+  consults it (``scale_latency``) so latency-spike faults inflate every
+  latency the channel charges while a spike window is active;
+* the **pipeline boundary** — both pipeline simulators call ``on_task``
+  before executing a task (dead channels and stalls raise here, during
+  the timing pass) and ``filter_buffer`` on every drained gather buffer
+  (bit-flips raise or corrupt here, during the functional pass).
+
+The injector owns a ``numpy`` generator seeded from the plan, a simulated
+clock ``now`` (advanced by the executor as cycles accumulate, including
+wasted retry/backoff cycles), and the current execution context (which
+pipeline is running, which pass).  Because the simulator's task order is
+deterministic, the draw sequence — and therefore the whole fault history —
+is a pure function of ``(seed, FaultPlan)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    ChannelFaultError,
+    DataCorruptionError,
+    PipelineStallError,
+)
+from repro.faults.plan import FaultPlan
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against the running simulation."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        #: Simulated kernel-clock time, set by the executor each attempt.
+        self.now = 0.0
+        #: "timing" or "functional" — which simulator pass is running.
+        self.pass_kind = "timing"
+        self._context: Optional[Tuple[str, int]] = None
+        self._num_little = 0
+        self._num_big = 0
+        self._retired_channels = set()
+        self._retired_pipelines = set()  # global pipeline indices
+
+    # ------------------------------------------------------------------
+    # Topology mapping (host-runtime channel layout)
+    # ------------------------------------------------------------------
+    def bind_topology(self, num_little: int, num_big: int) -> None:
+        """Record the current accelerator shape (re-bound after re-plans)."""
+        self._num_little = num_little
+        self._num_big = num_big
+
+    def _pipeline_of_channel(self, channel: int) -> Optional[Tuple[str, int]]:
+        """Map a pseudo-channel id onto ``(kind, index)``, or ``None``."""
+        g = channel // 2
+        if g < self._num_little:
+            return ("little", g)
+        g -= self._num_little
+        if g < self._num_big:
+            return ("big", g)
+        return None
+
+    def _global_index(self, kind: str, index: int) -> int:
+        return index if kind == "little" else self._num_little + index
+
+    # ------------------------------------------------------------------
+    # Execution context (set by the system simulator)
+    # ------------------------------------------------------------------
+    def enter_pipeline(self, kind: str, index: int) -> None:
+        """Mark which pipeline's tasks are about to execute."""
+        self._context = (kind, index)
+
+    def exit_pipeline(self) -> None:
+        """Leave pipeline context (Apply/Writer stages are unscoped)."""
+        self._context = None
+
+    # ------------------------------------------------------------------
+    # Fault activity queries (drive cache invalidation and degradation)
+    # ------------------------------------------------------------------
+    def timing_faults_active(self) -> bool:
+        """True while any fault can alter or abort the timing pass.
+
+        The system simulator caches iteration timing when this is False,
+        which is what makes a zero-fault plan reproduce the fault-free
+        cycle counts exactly.
+        """
+        for f in self.plan.dead_channels:
+            if (
+                f.channel not in self._retired_channels
+                and self.now >= f.onset_cycle
+                and self._pipeline_of_channel(f.channel) is not None
+            ):
+                return True
+        for f in self.plan.stalls:
+            if f.probability <= 0 or self.now < f.onset_cycle:
+                continue
+            if f.pipeline is not None and f.pipeline in self._retired_pipelines:
+                continue
+            return True
+        return self.spike_victim() is not None
+
+    def spike_victim(self) -> Optional[Tuple[str, int]]:
+        """The pipeline hit by a currently-active latency spike, if any."""
+        for f in self.plan.latency_spikes:
+            if f.channel in self._retired_channels:
+                continue
+            if f.onset_cycle <= self.now < f.onset_cycle + f.duration_cycles:
+                victim = self._pipeline_of_channel(f.channel)
+                if victim is not None:
+                    return victim
+        return None
+
+    # ------------------------------------------------------------------
+    # Degradation bookkeeping
+    # ------------------------------------------------------------------
+    def retire_pipeline(self, kind: str, index: int) -> None:
+        """Retire a degraded pipeline: its channels stop hosting faults.
+
+        Called *before* the topology is re-bound to the shrunk
+        accelerator, while ``(kind, index)`` still names the victim in
+        the old shape.
+        """
+        g = self._global_index(kind, index)
+        self._retired_pipelines.add(g)
+        self._retired_channels.update((2 * g, 2 * g + 1))
+
+    # ------------------------------------------------------------------
+    # HBM channel boundary hook
+    # ------------------------------------------------------------------
+    def scale_latency(self, latency):
+        """Inflate a latency figure while a spike targets the current
+        pipeline; identity otherwise."""
+        scale = 1.0
+        for f in self.plan.latency_spikes:
+            if f.channel in self._retired_channels:
+                continue
+            if not (f.onset_cycle <= self.now < f.onset_cycle + f.duration_cycles):
+                continue
+            victim = self._pipeline_of_channel(f.channel)
+            if victim is not None and victim == self._context:
+                scale = max(scale, f.multiplier)
+        if scale == 1.0:
+            return latency
+        return latency * scale
+
+    # ------------------------------------------------------------------
+    # Pipeline boundary hooks
+    # ------------------------------------------------------------------
+    def on_task(self, kind: str) -> None:
+        """Called before each task execution; raises modelled faults.
+
+        Only the timing pass raises here: it runs first every iteration,
+        so a fault aborts the iteration before any functional work.
+        """
+        if self.pass_kind != "timing":
+            return
+        ctx = self._context if self._context is not None else (kind, 0)
+        for f in self.plan.dead_channels:
+            if f.channel in self._retired_channels or self.now < f.onset_cycle:
+                continue
+            if self._pipeline_of_channel(f.channel) == ctx:
+                raise ChannelFaultError(f.channel, victim=ctx)
+        for f in self.plan.stalls:
+            if f.probability <= 0 or self.now < f.onset_cycle:
+                continue
+            g = self._global_index(*ctx)
+            if f.pipeline is not None:
+                if f.pipeline in self._retired_pipelines or f.pipeline != g:
+                    continue
+            if self.rng.random() < f.probability:
+                raise PipelineStallError(
+                    f"pipeline {ctx[0]}{ctx[1]} stalled mid-partition",
+                    victim=ctx if f.pipeline is not None else None,
+                )
+
+    def filter_buffer(self, buffer: np.ndarray) -> np.ndarray:
+        """Apply bit-flip faults to one drained gather buffer.
+
+        Detectable flips raise :class:`DataCorruptionError` (the parity
+        check caught them); silent flips XOR one bit of the raw block and
+        hand the corrupted buffer back.
+        """
+        if buffer.size == 0:
+            return buffer
+        for f in self.plan.bit_flips:
+            if f.probability <= 0 or self.now < f.onset_cycle:
+                continue
+            if self.rng.random() >= f.probability:
+                continue
+            ctx = self._context
+            if f.detectable:
+                raise DataCorruptionError(
+                    "parity check detected a flipped bit in a gathered "
+                    f"block (pipeline {ctx[0]}{ctx[1] if ctx else '?'})"
+                    if ctx
+                    else "parity check detected a flipped bit",
+                )
+            corrupted = buffer.copy()
+            raw = corrupted.view(np.uint8)
+            byte = int(self.rng.integers(0, raw.size))
+            bit = int(self.rng.integers(0, 8))
+            raw[byte] ^= np.uint8(1 << bit)
+            return corrupted
+        return buffer

@@ -1,0 +1,132 @@
+"""Deterministic, seedable fault models (the ``FaultPlan``).
+
+A :class:`FaultPlan` describes *what can go wrong* during one simulated
+run: dead HBM pseudo-channels, latency-spike bursts on a channel,
+transient bit-flips in gathered vertex blocks, and mid-partition pipeline
+stalls.  Every fault model is a frozen dataclass, and the plan carries its
+own RNG seed, so ``(seed, FaultPlan)`` fully determines the fault
+sequence a run observes — two runs with identical configuration produce
+identical :class:`~repro.faults.resilience.RunHealthReport`\\ s.
+
+Channel ids use the host-runtime layout (:mod:`repro.runtime.host`):
+pipeline ``g`` of the current topology owns pseudo-channels ``2g``
+(edges) and ``2g + 1`` (properties), with Little pipelines numbered
+before Big ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class DeadChannelFault:
+    """A pseudo-channel stops answering from ``onset_cycle`` onwards.
+
+    Permanent: retrying cannot help, the owning pipeline must be retired
+    and the remaining partitions re-planned onto the survivors.
+    """
+
+    channel: int
+    onset_cycle: float = 0.0
+
+
+@dataclass(frozen=True)
+class LatencySpikeFault:
+    """A bounded burst of inflated access latency on one channel.
+
+    While ``onset_cycle <= now < onset_cycle + duration_cycles`` every
+    latency the channel charges is multiplied by ``multiplier`` —
+    modelling refresh storms / thermal throttling.  Backoff between
+    retries advances simulated time, so a bounded spike is eventually
+    waited out.
+    """
+
+    channel: int
+    onset_cycle: float = 0.0
+    duration_cycles: float = 100_000.0
+    multiplier: float = 8.0
+
+
+@dataclass(frozen=True)
+class BitFlipFault:
+    """Transient bit-flips in gathered edge/vertex blocks.
+
+    ``probability`` is drawn once per gather-buffer drain (one Little
+    task, or one partition of a Big group).  ``detectable=True`` models a
+    parity/ECC check at block ingest: the flip surfaces as a
+    :class:`~repro.errors.DataCorruptionError` and the iteration is
+    retried from its checkpoint.  ``detectable=False`` silently flips one
+    bit of the drained buffer — the pathological case iterative apps must
+    damp out on their own.
+    """
+
+    probability: float
+    detectable: bool = True
+    onset_cycle: float = 0.0
+
+
+@dataclass(frozen=True)
+class PipelineStallFault:
+    """A pipeline hangs mid-partition with some per-task probability.
+
+    ``pipeline`` pins the fault to one global pipeline index (Little
+    pipelines first, then Big); ``None`` lets any task of any pipeline
+    draw the stall.  Only pinned stalls are degradable — a global stall
+    rate follows the workload wherever it is re-planned.
+    """
+
+    probability: float
+    pipeline: int = None
+    onset_cycle: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full fault configuration of one run (deterministic via seed)."""
+
+    seed: int = 0
+    dead_channels: Tuple[DeadChannelFault, ...] = ()
+    latency_spikes: Tuple[LatencySpikeFault, ...] = ()
+    bit_flips: Tuple[BitFlipFault, ...] = ()
+    stalls: Tuple[PipelineStallFault, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing (resilience stays idle)."""
+        return not (
+            self.dead_channels
+            or self.latency_spikes
+            or self.bit_flips
+            or self.stalls
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable description of the plan."""
+        return {
+            "seed": self.seed,
+            "dead_channels": [asdict(f) for f in self.dead_channels],
+            "latency_spikes": [asdict(f) for f in self.latency_spikes],
+            "bit_flips": [asdict(f) for f in self.bit_flips],
+            "stalls": [asdict(f) for f in self.stalls],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        return FaultPlan(
+            seed=int(data.get("seed", 0)),
+            dead_channels=tuple(
+                DeadChannelFault(**f) for f in data.get("dead_channels", [])
+            ),
+            latency_spikes=tuple(
+                LatencySpikeFault(**f) for f in data.get("latency_spikes", [])
+            ),
+            bit_flips=tuple(
+                BitFlipFault(**f) for f in data.get("bit_flips", [])
+            ),
+            stalls=tuple(
+                PipelineStallFault(**f) for f in data.get("stalls", [])
+            ),
+        )

@@ -1,0 +1,406 @@
+"""Resilient execution: watchdog, retry, checkpoint, degrade.
+
+The :class:`ResilientExecutor` runs an application the same way
+:meth:`repro.core.system.SystemSimulator.run` does, but wraps every
+iteration in a fault-handling loop:
+
+* **Watchdog** — each iteration gets a cycle budget derived from the
+  Eq. 1-4 model's predicted makespan times a slack factor; an iteration
+  that exceeds it (latency spikes) or never finishes (stalls, dead
+  channels) is reclaimed after charging the budget.
+* **Bounded retry with backoff** — transient faults re-run the iteration
+  from its checkpoint; each attempt charges the wasted cycles plus an
+  exponentially growing backoff, which advances simulated time and lets
+  bounded fault windows expire.
+* **Checkpointing** — per-iteration vertex state is snapshotted so a
+  failed iteration resumes instead of restarting the whole run, and so a
+  degraded system picks up exactly where the old one stopped.
+* **Graceful degradation** — a permanent fault (dead channel, or a pinned
+  fault that exhausts its retries) retires the victim pipeline, re-plans
+  the remaining partitions onto the survivors (``M + N`` shrinks) via the
+  model-guided scheduler, and revalidates the new plan with
+  :func:`repro.sched.serialize.verify_plan_against`.
+
+Everything the run survived is accounted in a :class:`RunHealthReport`
+attached to the returned :class:`~repro.core.system.RunReport`.  With an
+empty :class:`~repro.faults.plan.FaultPlan` the executor follows the
+exact cached code path of the plain simulator — zero cycle overhead when
+resilience is idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import (
+    ChannelFaultError,
+    FaultInjectedError,
+    ResilienceExhaustedError,
+    WatchdogTimeoutError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.sched.scheduler import build_schedule
+from repro.sched.serialize import plan_to_dict, verify_plan_against
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Tunables of the resilient execution layer."""
+
+    #: Retries per iteration before escalating to degradation / giving up.
+    max_retries: int = 3
+    #: Cycles charged for the first backoff; grows by ``backoff_factor``.
+    backoff_base_cycles: float = 10_000.0
+    backoff_factor: float = 2.0
+    #: Watchdog budget = slack * model-predicted iteration makespan.
+    watchdog_slack: float = 8.0
+    #: Additive floor so degenerate plans still get a usable budget.
+    watchdog_floor_cycles: float = 10_000.0
+    #: Snapshot vertex state every this many iterations.
+    checkpoint_interval: int = 1
+
+    def backoff_cycles(self, attempt: int) -> float:
+        """Exponential backoff charged before retry ``attempt`` (1-based)."""
+        return self.backoff_base_cycles * self.backoff_factor ** (attempt - 1)
+
+    def watchdog_budget(self, estimated_makespan: float) -> float:
+        """Per-iteration cycle budget from the Eq. 1-4 estimate."""
+        return (
+            self.watchdog_slack * max(estimated_makespan, 0.0)
+            + self.watchdog_floor_cycles
+        )
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+@dataclass
+class Checkpoint:
+    """Vertex state at the start of one iteration."""
+
+    iteration: int
+    props: np.ndarray
+    total_cycles: float
+
+
+class CheckpointStore:
+    """Holds the most recent vertex-state snapshots of a run."""
+
+    def __init__(self, keep: int = 2):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.keep = keep
+        self._stack: List[Checkpoint] = []
+        self.saves = 0
+        self.restores = 0
+
+    def save(self, iteration: int, props: np.ndarray, total_cycles: float):
+        """Snapshot the state entering ``iteration``."""
+        self._stack.append(
+            Checkpoint(iteration, np.array(props, copy=True), total_cycles)
+        )
+        del self._stack[: -self.keep]
+        self.saves += 1
+
+    def latest(self) -> Optional[Checkpoint]:
+        """The most recent snapshot, or ``None``."""
+        return self._stack[-1] if self._stack else None
+
+    def restore(self) -> Checkpoint:
+        """Roll back to the most recent snapshot (counted)."""
+        if not self._stack:
+            raise ResilienceExhaustedError("no checkpoint to restore")
+        self.restores += 1
+        cp = self._stack[-1]
+        return Checkpoint(cp.iteration, cp.props.copy(), cp.total_cycles)
+
+    # -- persistence ---------------------------------------------------
+    def to_file(self, path: Union[str, Path]) -> Path:
+        """Persist the latest checkpoint (host-side DRAM -> disk)."""
+        cp = self.latest()
+        if cp is None:
+            raise ResilienceExhaustedError("no checkpoint to persist")
+        path = Path(path)
+        np.savez(
+            path,
+            iteration=cp.iteration,
+            props=cp.props,
+            total_cycles=cp.total_cycles,
+        )
+        return path if path.suffix == ".npz" else path.with_suffix(
+            path.suffix + ".npz"
+        )
+
+    @staticmethod
+    def from_file(path: Union[str, Path]) -> Checkpoint:
+        """Load a persisted checkpoint back."""
+        with np.load(Path(path)) as data:
+            return Checkpoint(
+                iteration=int(data["iteration"]),
+                props=np.array(data["props"]),
+                total_cycles=float(data["total_cycles"]),
+            )
+
+
+# ----------------------------------------------------------------------
+# Health accounting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultRecord:
+    """One observed fault occurrence."""
+
+    iteration: int
+    category: str
+    detail: str
+    cycle: float
+
+
+@dataclass
+class RunHealthReport:
+    """Everything the resilient layer absorbed during one run."""
+
+    faults: List[FaultRecord] = field(default_factory=list)
+    retries: int = 0
+    replans: int = 0
+    checkpoint_restores: int = 0
+    watchdog_trips: int = 0
+    backoff_cycles: float = 0.0
+    wasted_cycles: float = 0.0
+    useful_cycles: float = 0.0
+    degraded_pipelines: List[str] = field(default_factory=list)
+    initial_label: str = ""
+    final_label: str = ""
+
+    @property
+    def fault_count(self) -> int:
+        """Total fault occurrences observed."""
+        return len(self.faults)
+
+    @property
+    def overhead_cycles(self) -> float:
+        """Cycles spent on anything but successful iterations."""
+        return self.wasted_cycles + self.backoff_cycles
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Overhead relative to the useful work (0.0 on a clean run)."""
+        if self.useful_cycles <= 0:
+            return 0.0
+        return self.overhead_cycles / self.useful_cycles
+
+    def record(self, iteration: int, category: str, detail: str, cycle: float):
+        """Append one fault occurrence."""
+        self.faults.append(FaultRecord(iteration, category, detail, cycle))
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (used by the CLI and benchmarks)."""
+        return {
+            "faults": [
+                {
+                    "iteration": f.iteration,
+                    "category": f.category,
+                    "detail": f.detail,
+                    "cycle": f.cycle,
+                }
+                for f in self.faults
+            ],
+            "retries": self.retries,
+            "replans": self.replans,
+            "checkpoint_restores": self.checkpoint_restores,
+            "watchdog_trips": self.watchdog_trips,
+            "backoff_cycles": self.backoff_cycles,
+            "wasted_cycles": self.wasted_cycles,
+            "useful_cycles": self.useful_cycles,
+            "overhead_cycles": self.overhead_cycles,
+            "degraded_pipelines": list(self.degraded_pipelines),
+            "initial_label": self.initial_label,
+            "final_label": self.final_label,
+        }
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class ResilientExecutor:
+    """Runs one app under a fault plan with the resilience policy."""
+
+    def __init__(
+        self,
+        pre,
+        platform,
+        channel,
+        fault_plan: Optional[FaultPlan] = None,
+        policy: Optional[ResiliencePolicy] = None,
+    ):
+        self.pre = pre
+        self.platform = platform
+        self.channel = channel
+        self.fault_plan = fault_plan or FaultPlan()
+        self.policy = policy or ResiliencePolicy()
+
+    # ------------------------------------------------------------------
+    def run(self, app, max_iterations=None, functional: bool = True):
+        """Execute ``app`` to convergence or the iteration cap.
+
+        Mirrors :meth:`SystemSimulator.run` exactly on the fault-free
+        path; returns a :class:`RunReport` with ``health`` populated.
+        """
+        from repro.core.system import RunReport, SystemSimulator
+
+        policy = self.policy
+        injector = FaultInjector(self.fault_plan)
+        health = RunHealthReport()
+        plan = self.pre.plan
+        injector.bind_topology(
+            plan.accelerator.num_little, plan.accelerator.num_big
+        )
+        sim = SystemSimulator(plan, self.platform, self.channel, injector=injector)
+        health.initial_label = plan.accelerator.label
+
+        limit = (
+            max_iterations if max_iterations is not None else app.max_iterations
+        )
+        graph = app.graph
+        run = RunReport(
+            app_name=app.name,
+            graph_name=graph.name,
+            accel_label=plan.accelerator.label,
+            frequency_mhz=sim.frequency_mhz,
+            edges_per_iteration=plan.total_edges(),
+        )
+        props = app.init_props() if functional else None
+        store = CheckpointStore()
+        budget = policy.watchdog_budget(plan.estimated_makespan)
+
+        iteration = 0
+        while iteration < limit:
+            if functional and iteration % policy.checkpoint_interval == 0:
+                store.save(iteration, props, run.total_cycles)
+            attempt = 0
+            while True:
+                injector.now = run.total_cycles
+                try:
+                    report = sim.iteration_timing(graph.num_vertices)
+                    if report.total_cycles > budget:
+                        health.watchdog_trips += 1
+                        raise WatchdogTimeoutError(
+                            report.total_cycles,
+                            budget,
+                            victim=injector.spike_victim(),
+                        )
+                    new_props = (
+                        sim.functional_iteration(app, props)
+                        if functional
+                        else None
+                    )
+                    break
+                except ChannelFaultError as fault:
+                    # Permanent: no retry can help — degrade immediately.
+                    health.record(
+                        iteration, fault.category, str(fault), run.total_cycles
+                    )
+                    run.total_cycles += budget
+                    health.wasted_cycles += budget
+                    plan, sim, budget = self._degrade(
+                        plan, fault.victim, injector, health
+                    )
+                    props = self._restore(store, health, props, functional)
+                    attempt = 0
+                except FaultInjectedError as fault:
+                    health.record(
+                        iteration, fault.category, str(fault), run.total_cycles
+                    )
+                    wasted = self._wasted_cycles(fault, budget)
+                    run.total_cycles += wasted
+                    health.wasted_cycles += wasted
+                    attempt += 1
+                    if attempt > policy.max_retries:
+                        if fault.victim is None:
+                            raise ResilienceExhaustedError(
+                                f"iteration {iteration} failed "
+                                f"{attempt} times: {fault}"
+                            ) from fault
+                        plan, sim, budget = self._degrade(
+                            plan, fault.victim, injector, health
+                        )
+                        attempt = 0
+                    else:
+                        backoff = policy.backoff_cycles(attempt)
+                        run.total_cycles += backoff
+                        health.backoff_cycles += backoff
+                        health.retries += 1
+                    props = self._restore(store, health, props, functional)
+
+            run.iteration_reports.append(report)
+            run.total_cycles += report.total_cycles
+            run.iterations += 1
+            health.useful_cycles += report.total_cycles
+            iteration += 1
+            if functional:
+                if app.has_converged(props, new_props, run.iterations):
+                    props = new_props
+                    run.converged = True
+                    break
+                props = new_props
+
+        if functional:
+            run.props = props
+            run.result = app.finalize(props)
+        health.final_label = plan.accelerator.label
+        run.health = health
+        return run
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wasted_cycles(fault: FaultInjectedError, budget: float) -> float:
+        """Cycles lost to one failed attempt.
+
+        Stalls and watchdog trips burn the whole budget (the watchdog is
+        what reclaims the pipeline); a detected bit-flip is caught at the
+        end of the attempt's execution, also modelled as one budget.
+        """
+        if isinstance(fault, WatchdogTimeoutError):
+            return min(fault.measured_cycles, budget)
+        return budget
+
+    def _restore(self, store, health, props, functional):
+        """Roll vertex state back to the last checkpoint."""
+        if not functional:
+            return props
+        cp = store.restore()
+        health.checkpoint_restores += 1
+        return cp.props
+
+    def _degrade(self, plan, victim, injector, health):
+        """Retire ``victim``, re-plan onto the survivors, revalidate."""
+        from repro.core.system import SystemSimulator
+
+        survivors = plan.accelerator.total_pipelines - 1
+        if survivors < 1:
+            raise ResilienceExhaustedError(
+                "no surviving pipelines to re-plan onto"
+            )
+        kind, index = victim
+        injector.retire_pipeline(kind, index)
+        new_plan = build_schedule(self.pre.pset, self.pre.model, survivors)
+        new_plan.validate(expected_edges=plan.total_edges())
+        summary = plan_to_dict(new_plan)
+        if not verify_plan_against(summary, self.pre.pset, new_plan.accelerator):
+            raise ResilienceExhaustedError(
+                "re-planned schedule failed verification"
+            )
+        injector.bind_topology(
+            new_plan.accelerator.num_little, new_plan.accelerator.num_big
+        )
+        health.replans += 1
+        health.degraded_pipelines.append(f"{kind}{index}")
+        sim = SystemSimulator(
+            new_plan, self.platform, self.channel, injector=injector
+        )
+        budget = self.policy.watchdog_budget(new_plan.estimated_makespan)
+        return new_plan, sim, budget

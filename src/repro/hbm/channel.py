@@ -44,14 +44,26 @@ class HbmTimingParams:
 
 
 class HbmChannelModel:
-    """Timing oracle for one pseudo-channel."""
+    """Timing oracle for one pseudo-channel.
 
-    def __init__(self, params: HbmTimingParams = HbmTimingParams()):
+    ``fault_site`` is the injection hook of :mod:`repro.faults`: when set
+    (resilient runs only), every latency figure the channel charges is
+    passed through ``fault_site.scale_latency`` so latency-spike faults
+    inflate it while their window is active.  The default ``None`` keeps
+    the fault-free code path untouched.
+    """
+
+    def __init__(
+        self,
+        params: HbmTimingParams = HbmTimingParams(),
+        fault_site=None,
+    ):
         if params.max_outstanding < 1:
             raise ValueError("max_outstanding must be >= 1")
         if params.max_latency < params.min_latency:
             raise ValueError("max_latency must be >= min_latency")
         self.params = params
+        self.fault_site = fault_site
 
     def request_latency(self, stride_bytes) -> np.ndarray:
         """Latency (cycles) of a read whose address is ``stride_bytes``
@@ -63,7 +75,23 @@ class HbmChannelModel:
         stride = np.abs(np.asarray(stride_bytes, dtype=np.float64))
         p = self.params
         lat = p.min_latency + p.latency_per_stride_byte * stride
-        return np.clip(lat, p.min_latency, p.max_latency)
+        lat = np.clip(lat, p.min_latency, p.max_latency)
+        if self.fault_site is not None:
+            lat = self.fault_site.scale_latency(lat)
+        return lat
+
+    def base_latency(self) -> float:
+        """Best-case latency as currently observed at the channel.
+
+        Equals ``params.min_latency`` on a healthy channel; an active
+        latency-spike fault inflates it like every other latency figure.
+        The component simulators charge their fixed fill/drain latencies
+        through this accessor so faults reach them uniformly.
+        """
+        lat = self.params.min_latency
+        if self.fault_site is not None:
+            lat = float(self.fault_site.scale_latency(lat))
+        return lat
 
     def effective_request_cycles(self, stride_bytes) -> np.ndarray:
         """Steady-state cycles per request once the outstanding window
@@ -77,7 +105,10 @@ class HbmChannelModel:
         if num_blocks <= 0:
             return 0.0
         p = self.params
-        return p.min_latency + num_blocks / p.burst_blocks_per_cycle
+        cycles = p.min_latency + num_blocks / p.burst_blocks_per_cycle
+        if self.fault_site is not None:
+            cycles = float(self.fault_site.scale_latency(cycles))
+        return cycles
 
     def bandwidth_bytes_per_cycle(self) -> float:
         """Peak sequential bandwidth in bytes per kernel cycle."""

@@ -23,6 +23,12 @@ from typing import Dict, List, Optional
 from repro.arch.platform import PLATFORMS, FpgaPlatform, get_platform
 from repro.core.framework import PreprocessResult, ReGraph
 from repro.core.system import RunReport
+from repro.errors import (
+    AcceleratorReleasedError,
+    DeviceOutOfMemoryError,
+    NoGraphLoadedError,
+    UserInputError,
+)
 from repro.graph.coo import Graph
 from repro.hbm.capacity import CHANNEL_CAPACITY_BYTES
 
@@ -71,10 +77,10 @@ class AcceleratorHandle:
     def allocate(self, name: str, num_bytes: int, channels: List[int]):
         """Allocate a named buffer striped over the given channels."""
         if not self.programmed:
-            raise RuntimeError("accelerator released")
+            raise AcceleratorReleasedError("accelerator released")
         buffer = DeviceBuffer(name=name, num_bytes=num_bytes, channels=channels)
         if not buffer.fits():
-            raise MemoryError(
+            raise DeviceOutOfMemoryError(
                 f"buffer {name!r} needs {buffer.per_channel_bytes} B per "
                 f"channel, capacity is {CHANNEL_CAPACITY_BYTES}"
             )
@@ -89,7 +95,7 @@ class AcceleratorHandle:
     def load_graph(self, graph: Graph) -> PreprocessResult:
         """Preprocess and 'migrate' a graph onto the device."""
         if not self.programmed:
-            raise RuntimeError("accelerator released")
+            raise AcceleratorReleasedError("accelerator released")
         self._pre = self.framework.preprocess(graph)
         num_pipes = self._pre.plan.accelerator.total_pipelines
         self.allocate(
@@ -106,22 +112,31 @@ class AcceleratorHandle:
 
     # -- execution -------------------------------------------------------
     def execute(
-        self, app: str, root: int = 0, max_iterations: Optional[int] = None
+        self,
+        app: str,
+        root: int = 0,
+        max_iterations: Optional[int] = None,
+        fault_plan=None,
+        resilience=None,
     ) -> RunReport:
         """Enqueue an application and block until completion.
 
         ``app`` is any registry name (pagerank, bfs, closeness, wcc,
         sssp, radii); ``root`` is an input-graph vertex ID for the apps
-        that take one.
+        that take one.  ``fault_plan`` / ``resilience`` route the run
+        through the resilient execution layer (see
+        :meth:`repro.core.framework.ReGraph.run`).
         """
         from repro.apps.registry import get_app_spec
 
         if self._pre is None:
-            raise RuntimeError("no graph loaded; call load_graph() first")
+            raise NoGraphLoadedError(
+                "no graph loaded; call load_graph() first"
+            )
         try:
             spec = get_app_spec(app)
         except KeyError as exc:
-            raise ValueError(str(exc)) from exc
+            raise UserInputError(str(exc)) from exc
         internal_root = (
             self._pre.to_internal_vertex(root) if spec.takes_root else None
         )
@@ -129,6 +144,8 @@ class AcceleratorHandle:
             self._pre,
             lambda g: spec.build(g, root=internal_root),
             max_iterations=max_iterations,
+            fault_plan=fault_plan,
+            resilience=resilience,
         )
 
     def total_offload_seconds(self, run: RunReport) -> float:

@@ -1,0 +1,355 @@
+"""Fault-injection framework and resilient runtime: unit tests.
+
+Integration-level fault scenarios (dead channel mid-run, degradation
+correctness against the NumPy references) live in
+``test_integration_u50_robustness.py``; this module covers the building
+blocks — fault plans, checkpoints, watchdog/backoff arithmetic, the
+error hierarchy, zero-fault parity and seed determinism — plus the
+``faultsim`` CLI surface.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import PipelineConfig
+from repro.cli import main
+from repro.core.framework import ReGraph
+from repro.errors import (
+    AcceleratorReleasedError,
+    ChannelFaultError,
+    DataCorruptionError,
+    DeviceOutOfMemoryError,
+    FaultInjectedError,
+    PipelineStallError,
+    ReproError,
+    ResilienceExhaustedError,
+    UserInputError,
+    WatchdogTimeoutError,
+)
+from repro.faults import (
+    BitFlipFault,
+    CheckpointStore,
+    DeadChannelFault,
+    FaultInjector,
+    FaultPlan,
+    LatencySpikeFault,
+    PipelineStallFault,
+    ResiliencePolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return ReGraph(
+        "U50",
+        pipeline=PipelineConfig(gather_buffer_vertices=256),
+        num_pipelines=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def pre(framework, small_powerlaw):
+    return framework.preprocess(small_powerlaw)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_empty_by_default(self):
+        assert FaultPlan().is_empty
+        assert not FaultPlan(
+            bit_flips=(BitFlipFault(probability=0.1),)
+        ).is_empty
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan(
+            seed=42,
+            dead_channels=(DeadChannelFault(channel=3, onset_cycle=10.0),),
+            latency_spikes=(LatencySpikeFault(
+                channel=1, onset_cycle=5.0,
+                duration_cycles=99.0, multiplier=4.0,
+            ),),
+            bit_flips=(BitFlipFault(probability=0.25, detectable=False),),
+            stalls=(PipelineStallFault(probability=0.5, pipeline=2),),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_defaults(self):
+        assert FaultPlan.from_dict({}) == FaultPlan()
+
+
+# ----------------------------------------------------------------------
+# Error hierarchy
+# ----------------------------------------------------------------------
+class TestErrorHierarchy:
+    def test_fault_errors_are_repro_errors(self):
+        for cls in (ChannelFaultError, PipelineStallError,
+                    DataCorruptionError, WatchdogTimeoutError):
+            assert issubclass(cls, FaultInjectedError)
+            assert issubclass(cls, ReproError)
+
+    def test_builtin_bases_preserved(self):
+        # Callers that guarded with builtin exception types keep working.
+        assert issubclass(AcceleratorReleasedError, RuntimeError)
+        assert issubclass(DeviceOutOfMemoryError, MemoryError)
+        assert issubclass(UserInputError, ValueError)
+
+    def test_categories(self):
+        assert ChannelFaultError(0, ("little", 0)).category == "dead-channel"
+        assert DataCorruptionError("x").category == "bit-flip"
+        assert PipelineStallError("x").category == "pipeline-stall"
+        err = WatchdogTimeoutError(200.0, 100.0, victim=("big", 0))
+        assert err.category == "watchdog-timeout"
+        assert err.measured_cycles == 200.0 and err.victim == ("big", 0)
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+class TestCheckpointStore:
+    def test_save_restore_round_trip(self):
+        store = CheckpointStore(keep=2)
+        props = np.arange(8, dtype=np.float64)
+        store.save(3, props, 123.0)
+        props[:] = -1.0  # the snapshot must be an independent copy
+        cp = store.restore()
+        assert cp.iteration == 3 and cp.total_cycles == 123.0
+        np.testing.assert_array_equal(cp.props, np.arange(8))
+        assert store.saves == 1 and store.restores == 1
+
+    def test_keeps_only_recent(self):
+        store = CheckpointStore(keep=2)
+        for i in range(5):
+            store.save(i, np.full(2, float(i)), float(i))
+        assert store.latest().iteration == 4
+        assert len(store._stack) == 2
+
+    def test_restore_empty_raises(self):
+        with pytest.raises(ResilienceExhaustedError):
+            CheckpointStore().restore()
+
+    def test_file_round_trip(self, tmp_path):
+        store = CheckpointStore()
+        store.save(7, np.linspace(0, 1, 5), 99.5)
+        path = store.to_file(tmp_path / "ckpt.npz")
+        cp = CheckpointStore.from_file(path)
+        assert cp.iteration == 7 and cp.total_cycles == 99.5
+        np.testing.assert_allclose(cp.props, np.linspace(0, 1, 5))
+
+
+# ----------------------------------------------------------------------
+# Policy arithmetic
+# ----------------------------------------------------------------------
+class TestResiliencePolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = ResiliencePolicy(
+            backoff_base_cycles=100.0, backoff_factor=2.0
+        )
+        assert policy.backoff_cycles(1) == 100.0
+        assert policy.backoff_cycles(2) == 200.0
+        assert policy.backoff_cycles(3) == 400.0
+
+    def test_watchdog_budget_floor(self):
+        policy = ResiliencePolicy(
+            watchdog_slack=4.0, watchdog_floor_cycles=1000.0
+        )
+        assert policy.watchdog_budget(500.0) == 3000.0
+        assert policy.watchdog_budget(0.0) == 1000.0
+
+
+# ----------------------------------------------------------------------
+# Injector mechanics
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def test_channel_to_pipeline_mapping(self):
+        inj = FaultInjector(FaultPlan())
+        inj.bind_topology(num_little=4, num_big=2)
+        assert inj._pipeline_of_channel(0) == ("little", 0)
+        assert inj._pipeline_of_channel(7) == ("little", 3)
+        assert inj._pipeline_of_channel(8) == ("big", 0)
+        assert inj._pipeline_of_channel(11) == ("big", 1)
+        assert inj._pipeline_of_channel(12) is None
+
+    def test_dead_channel_raises_on_owner_only(self):
+        inj = FaultInjector(FaultPlan(
+            dead_channels=(DeadChannelFault(channel=2),)
+        ))
+        inj.bind_topology(num_little=2, num_big=1)
+        inj.enter_pipeline("little", 0)
+        inj.on_task("little")  # channel 2 belongs to little1, not little0
+        inj.enter_pipeline("little", 1)
+        with pytest.raises(ChannelFaultError) as exc:
+            inj.on_task("little")
+        assert exc.value.victim == ("little", 1)
+
+    def test_retired_channel_stops_faulting(self):
+        inj = FaultInjector(FaultPlan(
+            dead_channels=(DeadChannelFault(channel=0),)
+        ))
+        inj.bind_topology(num_little=2, num_big=1)
+        inj.retire_pipeline("little", 0)
+        inj.bind_topology(num_little=1, num_big=1)
+        assert not inj.timing_faults_active()
+        inj.enter_pipeline("little", 0)
+        inj.on_task("little")  # does not raise
+
+    def test_spike_scales_only_in_window_and_context(self):
+        inj = FaultInjector(FaultPlan(latency_spikes=(
+            LatencySpikeFault(
+                channel=0, onset_cycle=100.0,
+                duration_cycles=50.0, multiplier=10.0,
+            ),
+        )))
+        inj.bind_topology(num_little=1, num_big=0)
+        inj.enter_pipeline("little", 0)
+        inj.now = 120.0
+        assert inj.scale_latency(24.0) == 240.0
+        inj.now = 200.0  # window expired
+        assert inj.scale_latency(24.0) == 24.0
+        inj.now = 120.0
+        inj.exit_pipeline()  # Apply/Writer context is unscoped
+        assert inj.scale_latency(24.0) == 24.0
+
+    def test_silent_flip_changes_one_bit(self):
+        inj = FaultInjector(FaultPlan(
+            seed=5,
+            bit_flips=(BitFlipFault(probability=1.0, detectable=False),),
+        ))
+        buffer = np.zeros(16, dtype=np.float32)
+        out = inj.filter_buffer(buffer)
+        assert np.all(buffer == 0.0)  # input untouched
+        assert np.count_nonzero(
+            np.unpackbits(out.view(np.uint8) ^ buffer.view(np.uint8))
+        ) == 1
+
+    def test_detectable_flip_raises(self):
+        inj = FaultInjector(FaultPlan(
+            bit_flips=(BitFlipFault(probability=1.0),)
+        ))
+        with pytest.raises(DataCorruptionError):
+            inj.filter_buffer(np.ones(4))
+
+
+# ----------------------------------------------------------------------
+# Resilient execution through the framework
+# ----------------------------------------------------------------------
+class TestResilientRuns:
+    def test_zero_fault_plan_is_free(self, framework, pre):
+        base = framework.run_pagerank(pre, max_iterations=8)
+        res = framework.run_pagerank(
+            pre, max_iterations=8, fault_plan=FaultPlan()
+        )
+        assert res.total_cycles == base.total_cycles
+        assert res.iterations == base.iterations
+        np.testing.assert_array_equal(res.props, base.props)
+        assert res.health.fault_count == 0
+        assert res.health.overhead_cycles == 0.0
+
+    def test_watchdog_trips_on_latency_spike(self, framework, pre):
+        # 4L2B topology: big0 is global pipeline 4 -> channels 8/9.
+        plan = FaultPlan(seed=3, latency_spikes=(
+            LatencySpikeFault(
+                channel=8, duration_cycles=60_000.0, multiplier=50.0,
+            ),
+        ))
+        run = framework.run_pagerank(
+            pre, max_iterations=10, fault_plan=plan,
+            resilience=ResiliencePolicy(
+                watchdog_slack=2.0, watchdog_floor_cycles=100.0
+            ),
+        )
+        health = run.health
+        assert health.watchdog_trips >= 1
+        assert health.retries >= 1
+        assert health.backoff_cycles > 0.0
+        # The bounded spike was waited out, not degraded around.
+        assert health.replans == 0
+        assert run.converged
+
+    def test_unpinned_stall_exhausts_retries(self, framework, pre):
+        plan = FaultPlan(seed=2, stalls=(
+            PipelineStallFault(probability=1.0),
+        ))
+        with pytest.raises(ResilienceExhaustedError):
+            framework.run_pagerank(
+                pre, max_iterations=4, fault_plan=plan,
+                resilience=ResiliencePolicy(max_retries=1),
+            )
+
+    def test_health_report_serialises(self, framework, pre):
+        plan = FaultPlan(seed=7, bit_flips=(
+            BitFlipFault(probability=0.02),
+        ))
+        run = framework.run_pagerank(pre, max_iterations=6, fault_plan=plan)
+        d = run.health.to_dict()
+        assert d["retries"] == run.health.retries
+        assert len(d["faults"]) == run.health.fault_count
+        assert d["initial_label"] == "4L2B"
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        rate=st.sampled_from([0.0, 0.01, 0.05]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_identical_configuration_identical_history(
+        self, framework, pre, seed, rate
+    ):
+        plan = FaultPlan(
+            seed=seed,
+            bit_flips=(
+                (BitFlipFault(probability=rate),) if rate else ()
+            ),
+            stalls=(PipelineStallFault(probability=rate / 10, pipeline=0),),
+        )
+        runs = [
+            framework.run_pagerank(pre, max_iterations=5, fault_plan=plan)
+            for _ in range(2)
+        ]
+        assert runs[0].health.to_dict() == runs[1].health.to_dict()
+        assert runs[0].total_cycles == runs[1].total_cycles
+        np.testing.assert_array_equal(runs[0].props, runs[1].props)
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestFaultsimCli:
+    ARGS = [
+        "faultsim", "--dataset", "HD", "--scale", "0.02",
+        "--platform", "U50", "--pipelines", "6",
+        "--buffer-vertices", "256", "--iterations", "20",
+    ]
+
+    def test_faultsim_smoke(self, capsys):
+        code = main(self.ARGS + ["--dead-channel", "0",
+                                 "--bit-flip-rate", "0.01"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clean run:" in out and "faulted run:" in out
+        assert "re-plans" in out and "overhead:" in out
+
+    def test_faultsim_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            self.ARGS + ["--spike-channel", "3", "--stall-rate", "0.1"]
+        )
+        assert args.command == "faultsim"
+        assert args.spike_channel == 3
+
+    def test_bad_dataset_exits_2(self, capsys):
+        assert main(["run", "--dataset", "NO_SUCH_KEY"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "\n" == err[err.index("\n"):]
+
+    def test_unreadable_edge_list_exits_2(self, capsys):
+        assert main(["preprocess", "--edge-list", "/no/such/file"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_missing_source_still_systemexit(self):
+        # SystemExit from argument validation is not swallowed.
+        with pytest.raises(SystemExit):
+            main(["faultsim"])

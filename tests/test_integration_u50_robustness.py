@@ -114,6 +114,102 @@ class TestDegenerateGraphs:
         np.testing.assert_array_equal(run.props, bfs_reference(g, 0))
 
 
+class TestFaultScenarios:
+    """End-to-end fault injection: the accelerator still gets the
+    right answer while the health report shows what was absorbed."""
+
+    @pytest.fixture(scope="class")
+    def framework(self):
+        return ReGraph(
+            "U50",
+            pipeline=PipelineConfig(gather_buffer_vertices=256),
+            num_pipelines=6,
+        )
+
+    @pytest.fixture(scope="class")
+    def pre(self, framework, small_powerlaw):
+        return framework.preprocess(small_powerlaw)
+
+    def test_dead_channel_mid_run_still_converges(
+        self, framework, pre, small_powerlaw
+    ):
+        from repro.faults import DeadChannelFault, FaultPlan
+
+        plan = FaultPlan(seed=7, dead_channels=(
+            DeadChannelFault(channel=0, onset_cycle=6000.0),
+        ))
+        run = framework.run_pagerank(
+            pre, max_iterations=30, fault_plan=plan
+        )
+        assert run.converged
+        health = run.health
+        assert health.replans >= 1
+        assert health.degraded_pipelines == ["little0"]
+        assert health.initial_label != health.final_label
+        ref = pagerank_reference(small_powerlaw, iterations=run.iterations)
+        assert np.max(np.abs(run.result - ref)) < 1e-3
+
+    def test_detected_bit_flips_are_retried(
+        self, framework, pre, small_powerlaw
+    ):
+        from repro.faults import BitFlipFault, FaultPlan
+
+        plan = FaultPlan(seed=9, bit_flips=(
+            BitFlipFault(probability=0.05),
+        ))
+        run = framework.run_pagerank(pre, max_iterations=20, fault_plan=plan)
+        clean = framework.run_pagerank(pre, max_iterations=20)
+        health = run.health
+        assert health.retries > 0
+        assert health.checkpoint_restores == health.retries
+        assert all(f.category == "bit-flip" for f in health.faults)
+        # Retried iterations resume from checkpoints: the fixed point
+        # is bit-identical to the fault-free run.
+        np.testing.assert_array_equal(run.props, clean.props)
+
+    def test_dead_channel_plus_flips_acceptance(
+        self, framework, pre, small_powerlaw
+    ):
+        """The ISSUE acceptance scenario: a dead channel *and* a 1%
+        detectable bit-flip rate, absorbed within 1e-3 of reference."""
+        from repro.faults import BitFlipFault, DeadChannelFault, FaultPlan
+
+        plan = FaultPlan(
+            seed=7,
+            dead_channels=(DeadChannelFault(channel=0, onset_cycle=6000.0),),
+            bit_flips=(BitFlipFault(probability=0.01),),
+        )
+        run = framework.run_pagerank(pre, max_iterations=30, fault_plan=plan)
+        assert run.converged
+        health = run.health
+        assert health.fault_count >= 2
+        assert health.replans >= 1 and health.checkpoint_restores >= 1
+        ref = pagerank_reference(small_powerlaw, iterations=run.iterations)
+        assert np.max(np.abs(run.result - ref)) < 1e-3
+
+    def test_degraded_pagerank_matches_reference(
+        self, framework, pre, small_powerlaw
+    ):
+        from repro.faults import DeadChannelFault, FaultPlan
+
+        # Kill a channel from cycle 0: the whole run executes degraded.
+        plan = FaultPlan(dead_channels=(DeadChannelFault(channel=2),))
+        run = framework.run_pagerank(pre, max_iterations=30, fault_plan=plan)
+        assert run.health.final_label != "4L2B"
+        ref = pagerank_reference(small_powerlaw, iterations=run.iterations)
+        assert np.max(np.abs(run.result - ref)) < 1e-3
+
+    def test_bfs_survives_pinned_stalls(self, framework, pre, small_powerlaw):
+        from repro.faults import FaultPlan, PipelineStallFault
+
+        plan = FaultPlan(seed=4, stalls=(
+            PipelineStallFault(probability=0.2, pipeline=1),
+        ))
+        run = framework.run_bfs(pre, root=0, fault_plan=plan)
+        ref = bfs_reference(small_powerlaw, 0)
+        np.testing.assert_array_equal(run.props, ref)
+
+
 class TestSchedulerProperty:
     @given(
         st.integers(10, 200),
