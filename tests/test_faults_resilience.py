@@ -304,13 +304,23 @@ class TestResilientRuns:
             ),
             stalls=(PipelineStallFault(probability=rate / 10, pipeline=0),),
         )
-        runs = [
-            framework.run_pagerank(pre, max_iterations=5, fault_plan=plan)
-            for _ in range(2)
-        ]
-        assert runs[0].health.to_dict() == runs[1].health.to_dict()
-        assert runs[0].total_cycles == runs[1].total_cycles
-        np.testing.assert_array_equal(runs[0].props, runs[1].props)
+
+        def outcome():
+            # A heavy fault rate may deterministically exhaust retries;
+            # identical config must then fail identically too.
+            try:
+                run = framework.run_pagerank(
+                    pre, max_iterations=5, fault_plan=plan
+                )
+            except ResilienceExhaustedError as exc:
+                return ("exhausted", str(exc))
+            return (run.health.to_dict(), run.total_cycles, run.props)
+
+        first, second = outcome(), outcome()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+        if len(first) == 3:
+            np.testing.assert_array_equal(first[2], second[2])
 
 
 # ----------------------------------------------------------------------
