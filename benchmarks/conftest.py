@@ -5,42 +5,45 @@ instantiated with ``scale = 1/32`` and the Gather PE buffer shrinks from
 65,536 to 2,048 destination vertices, preserving the partition-count
 ratio (V / U) of the full-size experiments — which is what determines the
 dense/sparse structure the heterogeneous pipelines exploit.
+
+The setup constants and factories live in :mod:`tests.helpers`, shared
+with the test suite so both exercise identical configurations.
 """
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
 
-from repro.arch.config import PipelineConfig
-from repro.core.framework import ReGraph
+# The benchmarks directory is not a package; make the repo root (and
+# with it the ``tests`` package) importable when pytest targets only
+# this directory.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
 from repro.graph.datasets import load_dataset
 
-#: Scale factor applied to every dataset stand-in.
-BENCH_SCALE = 1.0 / 32.0
+from tests.helpers import (  # noqa: E402  (path bootstrap above)
+    BENCH_BUFFERS,
+    BENCH_SCALE,
+    SWEEP_GRAPHS,
+    bench_framework,
+    bench_pipeline_config,
+)
 
-#: Gather buffer scaled by the same factor (65,536 / 32).
-BENCH_BUFFER_U280 = 2048
-BENCH_BUFFER_U50 = 1024
+#: Re-exported for the bench modules that import them from conftest.
+BENCH_BUFFER_U280 = BENCH_BUFFERS["U280"]
+BENCH_BUFFER_U50 = BENCH_BUFFERS["U50"]
 
-#: Graphs used by the throughput sweeps (kept small enough to simulate).
-SWEEP_GRAPHS = ("R21", "GG", "HD", "PK", "HW", "OR")
-
-
-def bench_pipeline_config(platform: str = "U280") -> PipelineConfig:
-    """The Sec. VI-A pipeline config at benchmark scale."""
-    buffer_vertices = (
-        BENCH_BUFFER_U280 if platform == "U280" else BENCH_BUFFER_U50
-    )
-    return PipelineConfig(gather_buffer_vertices=buffer_vertices)
-
-
-def bench_framework(platform: str = "U280", num_pipelines=None) -> ReGraph:
-    """A ReGraph instance at benchmark scale."""
-    return ReGraph(
-        platform,
-        pipeline=bench_pipeline_config(platform),
-        num_pipelines=num_pipelines,
-    )
+__all__ = [
+    "BENCH_BUFFER_U280",
+    "BENCH_BUFFER_U50",
+    "BENCH_SCALE",
+    "SWEEP_GRAPHS",
+    "bench_framework",
+    "bench_pipeline_config",
+]
 
 
 @pytest.fixture(scope="session")

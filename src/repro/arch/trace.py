@@ -8,8 +8,8 @@ combination balances or does not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro.arch.big_pipeline import BigPipelineSim
 from repro.arch.little_pipeline import LittlePipelineSim
@@ -19,12 +19,22 @@ from repro.sched.plan import SchedulingPlan
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One task execution on one pipeline."""
+    """One task execution on one pipeline.
+
+    ``partition_indices`` and ``num_edges`` tie the event back to the
+    scheduling plan, which is what lets the conformance checker
+    (:mod:`repro.check.invariants`) prove coverage — every planned task
+    executed exactly once — and bound the implied channel bandwidth.
+    """
 
     pipeline: str
     task_label: str
     start_cycle: float
     end_cycle: float
+    #: destination-interval partition indices this task covered
+    partition_indices: Tuple[int, ...] = field(default=())
+    #: edges the task streamed (0 when unknown, e.g. hand-built events)
+    num_edges: int = 0
 
     @property
     def duration(self) -> float:
@@ -100,6 +110,8 @@ def trace_plan(
                     task_label=f"p{task.partition.index}.{task_idx}",
                     start_cycle=clock,
                     end_cycle=clock + timing.total_cycles,
+                    partition_indices=(task.partition.index,),
+                    num_edges=task.num_edges,
                 )
             )
             clock += timing.total_cycles
@@ -116,6 +128,10 @@ def trace_plan(
                     task_label=f"{label}.{task_idx}",
                     start_cycle=clock,
                     end_cycle=clock + timing.total_cycles,
+                    partition_indices=tuple(
+                        p.index for p in task.partitions
+                    ),
+                    num_edges=task.num_edges,
                 )
             )
             clock += timing.total_cycles

@@ -1,0 +1,265 @@
+"""Trace invariant checker.
+
+Audits a task-level :class:`~repro.arch.trace.ExecutionTrace` against the
+:class:`~repro.sched.plan.SchedulingPlan` it claims to execute and the
+physical models it must respect.  Enforced invariants:
+
+* **well-formed timeline** — every event has finite, non-negative cycles
+  and positive duration;
+* **no overlap** — a pipeline never runs two tasks at once;
+* **coverage** — every planned task produced exactly one event on its
+  pipeline, in order, with matching partition indices and edge counts,
+  and the trace covers exactly the plan's edges (every planned partition
+  executed, none twice);
+* **channel ceiling** — no task moves its edge stream faster than one
+  HBM pseudo-channel physically can (Sec. III-A: one 512-bit block per
+  cycle);
+* **resource feasibility** — the plan's accelerator fits the platform's
+  Table II capacities (LUT below the practical 80% cap, BRAM/URAM within
+  capacity).
+
+Each check returns :class:`Violation` records instead of raising, so the
+``repro check`` CLI can report all failures at once;
+:func:`assert_trace_invariants` wraps them into a single
+:class:`~repro.errors.ConformanceError` for test use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.platform import FpgaPlatform
+from repro.arch.resources import report as resource_report
+from repro.arch.trace import ExecutionTrace
+from repro.errors import ConformanceError
+from repro.graph.coo import EDGE_BYTES, VERTEX_WORD_BYTES
+from repro.hbm.channel import HbmChannelModel
+from repro.sched.plan import SchedulingPlan
+from repro.check.tolerances import DEFAULT_BANDS, ToleranceBands
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant: which rule, where, and the evidence."""
+
+    rule: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.subject}: {self.detail}"
+
+
+def _events_by_pipeline(trace: ExecutionTrace) -> dict:
+    by_pipe: dict = {}
+    for event in trace.events:
+        by_pipe.setdefault(event.pipeline, []).append(event)
+    return by_pipe
+
+
+# ----------------------------------------------------------------------
+# Individual invariants
+# ----------------------------------------------------------------------
+def check_monotone_cycles(
+    trace: ExecutionTrace, bands: ToleranceBands = DEFAULT_BANDS
+) -> List[Violation]:
+    """Cycles are finite, non-negative, and every event ends after it
+    starts."""
+    violations = []
+    for event in trace.events:
+        if not (
+            np.isfinite(event.start_cycle) and np.isfinite(event.end_cycle)
+        ):
+            violations.append(Violation(
+                "monotone-cycles", event.pipeline,
+                f"task {event.task_label} has non-finite cycles "
+                f"[{event.start_cycle}, {event.end_cycle}]",
+            ))
+            continue
+        if event.start_cycle < -bands.cycle_eps:
+            violations.append(Violation(
+                "monotone-cycles", event.pipeline,
+                f"task {event.task_label} starts at negative cycle "
+                f"{event.start_cycle}",
+            ))
+        if event.duration <= 0:
+            violations.append(Violation(
+                "monotone-cycles", event.pipeline,
+                f"task {event.task_label} has non-positive duration "
+                f"{event.duration}",
+            ))
+    return violations
+
+
+def check_no_overlap(
+    trace: ExecutionTrace, bands: ToleranceBands = DEFAULT_BANDS
+) -> List[Violation]:
+    """No pipeline ever executes two tasks simultaneously."""
+    violations = []
+    for pipe, events in _events_by_pipeline(trace).items():
+        ordered = sorted(events, key=lambda e: (e.start_cycle, e.end_cycle))
+        for prev, nxt in zip(ordered, ordered[1:]):
+            if nxt.start_cycle < prev.end_cycle - bands.cycle_eps:
+                violations.append(Violation(
+                    "no-overlap", pipe,
+                    f"task {nxt.task_label} starts at {nxt.start_cycle} "
+                    f"before {prev.task_label} ends at {prev.end_cycle}",
+                ))
+    return violations
+
+
+def check_coverage(
+    trace: ExecutionTrace, plan: SchedulingPlan
+) -> List[Violation]:
+    """Every planned task ran exactly once, on its pipeline, in order.
+
+    Joins the trace to the plan via the ``little[i]``/``big[i]`` pipeline
+    names; per-task identity is (partition indices, edge count), which
+    also proves every planned partition executed exactly once and that
+    the trace moved exactly the plan's edges.
+    """
+    violations = []
+    by_pipe = _events_by_pipeline(trace)
+    planned: dict = {}
+    for pipe, task in plan.iter_tasks():
+        planned.setdefault(pipe, []).append(task)
+
+    for pipe, tasks in planned.items():
+        events = sorted(
+            by_pipe.pop(pipe, []), key=lambda e: e.start_cycle
+        )
+        if len(events) != len(tasks):
+            violations.append(Violation(
+                "coverage", pipe,
+                f"plan has {len(tasks)} task(s), trace has "
+                f"{len(events)} event(s)",
+            ))
+            continue
+        for ordinal, (task, event) in enumerate(zip(tasks, events)):
+            if event.partition_indices != task.partition_indices:
+                violations.append(Violation(
+                    "coverage", pipe,
+                    f"task #{ordinal} covers partitions "
+                    f"{event.partition_indices}, plan says "
+                    f"{task.partition_indices}",
+                ))
+            elif event.num_edges != task.num_edges:
+                violations.append(Violation(
+                    "coverage", pipe,
+                    f"task #{ordinal} moved {event.num_edges} edges, "
+                    f"plan says {task.num_edges}",
+                ))
+    for pipe in by_pipe:
+        violations.append(Violation(
+            "coverage", pipe, "trace has events for an unplanned pipeline",
+        ))
+
+    traced_edges = sum(e.num_edges for e in trace.events)
+    if not violations and traced_edges != plan.total_edges():
+        violations.append(Violation(
+            "coverage", "plan",
+            f"trace moved {traced_edges} edges, plan covers "
+            f"{plan.total_edges()}",
+        ))
+    return violations
+
+
+def check_channel_bandwidth(
+    trace: ExecutionTrace,
+    channel: Optional[HbmChannelModel] = None,
+    weighted: bool = False,
+    bands: ToleranceBands = DEFAULT_BANDS,
+) -> List[Violation]:
+    """No task streams its edge list faster than one pseudo-channel.
+
+    Each pipeline's edge list lives on a single pseudo-channel
+    (:mod:`repro.runtime.host` layout), so an event of ``E`` edges may
+    not finish in fewer cycles than the channel needs to move
+    ``E * S_e`` bytes at peak sequential bandwidth.
+    """
+    channel = channel or HbmChannelModel()
+    edge_bytes = EDGE_BYTES + (VERTEX_WORD_BYTES if weighted else 0)
+    violations = []
+    for event in trace.events:
+        if event.num_edges <= 0 or event.duration <= 0:
+            continue
+        floor = channel.min_cycles_for_bytes(event.num_edges * edge_bytes)
+        if event.duration < floor * (1.0 - bands.bandwidth_rel) - bands.cycle_eps:
+            implied = event.num_edges * edge_bytes / event.duration
+            violations.append(Violation(
+                "channel-bandwidth", event.pipeline,
+                f"task {event.task_label} implies "
+                f"{implied:.2f} B/cycle on its edge channel, ceiling is "
+                f"{channel.bandwidth_bytes_per_cycle():.2f}",
+            ))
+    return violations
+
+
+def check_resource_feasibility(
+    plan: SchedulingPlan,
+    platform: FpgaPlatform,
+    bands: ToleranceBands = DEFAULT_BANDS,
+) -> List[Violation]:
+    """The plan's accelerator fits the platform's Table II capacities."""
+    rep = resource_report(plan.accelerator, platform)
+    violations = []
+    for label, util, cap in [
+        ("LUT", rep.lut_util, bands.max_lut_util),
+        ("FF", rep.ff_util, 1.0),
+        ("BRAM", rep.bram_util, 1.0),
+        ("URAM", rep.uram_util, 1.0),
+    ]:
+        if util > cap:
+            violations.append(Violation(
+                "resource-feasibility", plan.accelerator.label,
+                f"{label} utilisation {util:.1%} exceeds the "
+                f"{cap:.0%} cap on {platform.name}",
+            ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def check_trace(
+    trace: ExecutionTrace,
+    plan: Optional[SchedulingPlan] = None,
+    platform: Optional[FpgaPlatform] = None,
+    channel: Optional[HbmChannelModel] = None,
+    weighted: bool = False,
+    bands: ToleranceBands = DEFAULT_BANDS,
+) -> List[Violation]:
+    """Run every applicable invariant; returns all violations found.
+
+    ``plan`` enables the coverage check, ``platform`` the resource
+    check; trace-local invariants always run.
+    """
+    violations = check_monotone_cycles(trace, bands)
+    violations += check_no_overlap(trace, bands)
+    violations += check_channel_bandwidth(trace, channel, weighted, bands)
+    if plan is not None:
+        violations += check_coverage(trace, plan)
+    if plan is not None and platform is not None:
+        violations += check_resource_feasibility(plan, platform, bands)
+    return violations
+
+
+def assert_trace_invariants(
+    trace: ExecutionTrace,
+    plan: Optional[SchedulingPlan] = None,
+    platform: Optional[FpgaPlatform] = None,
+    channel: Optional[HbmChannelModel] = None,
+    weighted: bool = False,
+    bands: ToleranceBands = DEFAULT_BANDS,
+) -> None:
+    """Raise :class:`~repro.errors.ConformanceError` listing every
+    violated invariant; no-op on a conformant trace."""
+    violations = check_trace(trace, plan, platform, channel, weighted, bands)
+    if violations:
+        lines = "\n  ".join(str(v) for v in violations)
+        raise ConformanceError(
+            f"{len(violations)} trace invariant violation(s):\n  {lines}"
+        )

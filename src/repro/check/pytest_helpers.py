@@ -1,0 +1,63 @@
+"""Plugin-style helpers letting any test opt into invariant enforcement.
+
+Import-light on purpose: no pytest dependency here, just callables that
+raise :class:`~repro.errors.ConformanceError` (an ``AssertionError``
+subclass, so pytest renders violations as plain test failures).  The
+``conformance`` fixture in ``tests/conftest.py`` hands tests a
+:class:`ConformanceChecker` bound to their framework under test; any
+integration test can add one line —
+
+    conformance.check_run(pre, framework)
+
+— and every future regression in trace structure, channel ceilings,
+resource budgets or model agreement fails that test too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.trace import trace_plan
+from repro.check.invariants import assert_trace_invariants
+from repro.check.oracles import model_oracle
+from repro.check.tolerances import DEFAULT_BANDS, ToleranceBands
+from repro.errors import ConformanceError
+
+
+class ConformanceChecker:
+    """One-call invariant/oracle enforcement for tests."""
+
+    def __init__(self, bands: ToleranceBands = DEFAULT_BANDS):
+        self.bands = bands
+
+    def check_plan(
+        self, plan, platform=None, channel=None,
+        expected_edges: Optional[int] = None, weighted: bool = False,
+    ) -> None:
+        """Validate a plan structurally and audit one traced iteration."""
+        plan.validate(expected_edges=expected_edges)
+        trace = trace_plan(plan, channel)
+        assert_trace_invariants(
+            trace, plan=plan, platform=platform, channel=channel,
+            weighted=weighted, bands=self.bands,
+        )
+
+    def check_model(self, plan, channel=None, subject: str = "plan") -> None:
+        """Assert the Eq. 1-4 estimates agree with the simulators."""
+        for result in model_oracle(plan, channel, self.bands, subject):
+            if not result.passed:
+                raise ConformanceError(str(result))
+
+    def check_run(self, pre, framework, weighted: bool = False) -> None:
+        """Full enforcement for a preprocessed graph: plan invariants,
+        traced-iteration invariants, and model agreement."""
+        self.check_plan(
+            pre.plan,
+            platform=framework.platform,
+            channel=framework.channel,
+            expected_edges=pre.graph.num_edges,
+            weighted=weighted,
+        )
+        self.check_model(
+            pre.plan, framework.channel, subject=pre.graph.name
+        )

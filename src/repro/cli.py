@@ -10,7 +10,8 @@ Fig. 8:
 * ``codegen``   — emit the accelerator artifact bundles;
 * ``shuhai``    — characterise the HBM channel model;
 * ``selfcheck`` — run the post-install correctness matrix;
-* ``faultsim``  — inject faults and exercise the resilient runtime.
+* ``faultsim``  — inject faults and exercise the resilient runtime;
+* ``check``     — run the conformance oracles and trace invariants.
 
 Graphs come either from ``--dataset KEY`` (synthetic Table III stand-ins,
 with ``--scale``) or ``--edge-list FILE``.
@@ -288,6 +289,37 @@ def cmd_faultsim(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from repro.check import ORACLE_APPS, run_conformance
+
+    apps = None
+    if args.app:
+        apps = ORACLE_APPS if "all" in args.app else tuple(args.app)
+    graphs = None
+    if args.edge_list or args.dataset:
+        graphs = [_load_graph(args)]
+    report = run_conformance(
+        device=args.device,
+        apps=apps,
+        graphs=graphs,
+        buffer_vertices=args.buffer_vertices,
+        num_pipelines=args.pipelines,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    print(format_table(
+        ["check", "subject", "status", "detail"],
+        report.rows(),
+        title=f"conformance on {report.device} "
+              f"(apps: {', '.join(report.apps)})",
+    ))
+    failed_oracles = sum(not r.passed for r in report.results)
+    print(f"{report.num_checks - failed_oracles}/{report.num_checks} "
+          f"oracle checks passed, "
+          f"{len(report.violations)} invariant violation(s)")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -358,6 +390,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="retries per iteration before degrading")
     p.add_argument("--slack", type=float, default=8.0,
                    help="watchdog budget = slack * predicted makespan")
+
+    p = sub.add_parser(
+        "check",
+        help="run the conformance oracles and trace invariants",
+    )
+    p.add_argument("--device", default="U280",
+                   help="platform to check (U280 or U50, case-insensitive)")
+    p.add_argument("--app", action="append",
+                   help="oracle app to cross-check (repeatable; 'all' or "
+                        "default = every oracle app)")
+    p.add_argument("--dataset", help="Table III key to check instead of "
+                                     "the seed suite")
+    p.add_argument("--edge-list", help="edge-list file to check instead of "
+                                       "the seed suite")
+    p.add_argument("--scale", type=float, default=1 / 32,
+                   help="dataset scale factor (default 1/32)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="seed of the generated conformance graphs")
+    p.add_argument("--buffer-vertices", type=int, default=256,
+                   help="destination vertices per Gather PE for the check")
+    p.add_argument("--pipelines", type=int, default=4)
+    p.add_argument("--quick", action="store_true",
+                   help="single-graph smoke suite instead of the full one")
     return parser
 
 
@@ -370,6 +425,7 @@ _COMMANDS = {
     "shuhai": cmd_shuhai,
     "selfcheck": cmd_selfcheck,
     "faultsim": cmd_faultsim,
+    "check": cmd_check,
 }
 
 

@@ -212,6 +212,14 @@ class SystemSimulator:
         """Timing of one iteration (cached when no fault is active)."""
         return self._timing_pass(num_vertices)
 
+    def iteration_trace(self):
+        """Task-level :class:`~repro.arch.trace.ExecutionTrace` of one
+        iteration, simulated with this simulator's channel model — the
+        record the conformance checker audits."""
+        from repro.arch.trace import trace_plan
+
+        return trace_plan(self.plan, self.channel)
+
     def functional_iteration(self, app, props: np.ndarray) -> np.ndarray:
         """One functional iteration: UDFs, global merge, Apply."""
         return self._functional_pass(app, props)

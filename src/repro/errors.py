@@ -105,3 +105,15 @@ class WatchdogTimeoutError(FaultInjectedError):
 
 class ResilienceExhaustedError(ReproError):
     """Retries and degradation could not absorb the injected faults."""
+
+
+# ----------------------------------------------------------------------
+# Conformance checking (repro.check)
+# ----------------------------------------------------------------------
+class ConformanceError(ReproError, AssertionError):
+    """A differential oracle or trace invariant was violated.
+
+    Derives from ``AssertionError`` so the pytest helpers in
+    :mod:`repro.check.pytest_helpers` surface violations as ordinary
+    test failures.
+    """

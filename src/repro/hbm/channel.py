@@ -113,3 +113,11 @@ class HbmChannelModel:
     def bandwidth_bytes_per_cycle(self) -> float:
         """Peak sequential bandwidth in bytes per kernel cycle."""
         return BLOCK_BYTES * self.params.burst_blocks_per_cycle
+
+    def min_cycles_for_bytes(self, num_bytes: float) -> float:
+        """Lower bound on the cycles one channel needs to move
+        ``num_bytes`` — the physical ceiling no simulated task may beat.
+        """
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.bandwidth_bytes_per_cycle()

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Iterator, List, Tuple
 
 from repro.arch.config import AcceleratorConfig
 from repro.graph.partition import Partition
@@ -21,6 +21,11 @@ class LittleTask:
         """Edges this task processes."""
         return self.partition.num_edges
 
+    @property
+    def partition_indices(self) -> Tuple[int, ...]:
+        """Destination-interval indices this task covers."""
+        return (self.partition.index,)
+
 
 @dataclass(frozen=True)
 class BigTask:
@@ -37,6 +42,11 @@ class BigTask:
     def num_edges(self) -> int:
         """Edges this task processes."""
         return sum(p.num_edges for p in self.partitions)
+
+    @property
+    def partition_indices(self) -> Tuple[int, ...]:
+        """Destination-interval indices this task covers."""
+        return tuple(p.index for p in self.partitions)
 
 
 @dataclass
@@ -83,6 +93,20 @@ class SchedulingPlan:
         if not busy:
             return 1.0
         return max(busy) / (sum(busy) / len(busy))
+
+    def iter_tasks(self) -> Iterator[Tuple[str, object]]:
+        """Yield ``(pipeline_name, task)`` pairs in execution order.
+
+        Pipeline names match the ``little[i]`` / ``big[i]`` labels used
+        by :func:`repro.arch.trace.trace_plan`, so a trace can be joined
+        back to the plan task-by-task.
+        """
+        for idx, tasks in enumerate(self.little_tasks):
+            for task in tasks:
+                yield f"little[{idx}]", task
+        for idx, tasks in enumerate(self.big_tasks):
+            for task in tasks:
+                yield f"big[{idx}]", task
 
     def total_edges(self) -> int:
         """Edges covered by the plan (must equal the graph's E)."""

@@ -1,24 +1,53 @@
 """Shared fixtures: small graphs, channel/config instances, models.
 
 Fixtures are session-scoped where construction is deterministic and
-read-only, keeping the few-hundred-test suite fast.
+read-only, keeping the few-hundred-test suite fast.  Graph/device setup
+lives in :mod:`tests.helpers` (shared with the benchmark suite);
+hypothesis strategies live in :mod:`tests.strategies`.
+
+Markers: every test is ``tier1`` unless marked ``slow`` — ``pytest -m
+tier1`` is the fast verification suite, ``pytest -m slow`` the heavy
+property suite (its own CI job).  Set ``HYPOTHESIS_PROFILE=ci`` for the
+derandomized, reproducible profile the conformance job uses.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
-from repro.arch.config import PipelineConfig
-from repro.graph.coo import Graph
-from repro.graph.generators import erdos_renyi_graph, power_law_graph, rmat_graph
+from repro.check import ConformanceChecker
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    power_law_graph,
+    rmat_graph,
+)
 from repro.graph.partition import partition_graph
 from repro.graph.reorder import degree_based_grouping
 from repro.hbm.channel import HbmChannelModel
 from repro.model.calibrate import calibrate_performance_model
 
-#: Buffer size small enough that test graphs produce many partitions.
-TEST_BUFFER_VERTICES = 512
+from tests.helpers import (
+    TEST_BUFFER_VERTICES,
+    fig1_graph,
+    make_pipeline_config,
+)
+
+# Reproducible hypothesis runs: the ci profile is derandomized and
+# prints the failing example blob so any failure replays exactly.
+settings.register_profile("ci", derandomize=True, print_blob=True)
+settings.register_profile("dev", print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def pytest_collection_modifyitems(config, items):
+    """Everything not marked ``slow`` is the tier-1 fast suite."""
+    for item in items:
+        if "slow" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)
 
 
 @pytest.fixture(scope="session")
@@ -29,7 +58,7 @@ def channel():
 @pytest.fixture(scope="session")
 def config():
     """Pipeline configuration with a test-sized gather buffer."""
-    return PipelineConfig(gather_buffer_vertices=TEST_BUFFER_VERTICES)
+    return make_pipeline_config(TEST_BUFFER_VERTICES)
 
 
 @pytest.fixture(scope="session")
@@ -41,9 +70,7 @@ def perf_model(config, channel):
 @pytest.fixture(scope="session")
 def tiny_graph():
     """The Fig. 1 example graph: 6 vertices, 8 edges, hand-built."""
-    src = [0, 0, 1, 2, 3, 4, 4, 5]
-    dst = [1, 3, 2, 0, 4, 2, 5, 0]
-    return Graph(6, src, dst, name="fig1")
+    return fig1_graph()
 
 
 @pytest.fixture(scope="session")
@@ -80,3 +107,14 @@ def rmat_partitions(dbg_rmat, config):
 def rng():
     """Fresh deterministic RNG per test."""
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def conformance():
+    """Opt-in invariant enforcement for integration tests.
+
+    Call ``conformance.check_run(pre, framework)`` after any end-to-end
+    run to assert trace invariants, resource budgets and model
+    agreement on top of the test's own expectations.
+    """
+    return ConformanceChecker()

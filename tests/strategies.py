@@ -1,0 +1,142 @@
+"""Reusable hypothesis strategies for the property-based test layer.
+
+One vocabulary of generators shared by every property suite: raw edge
+lists, COO graphs (optionally weighted), partition sets, scheduling
+plans and fault plans.  Strategies are deliberately small — property
+tests here run full DBG + scheduling + simulation per example, so the
+value of each example is in its *shape* (skew, empty partitions, self
+loops, parallel edges), not its size.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.arch.config import PipelineConfig
+from repro.faults.plan import (
+    BitFlipFault,
+    DeadChannelFault,
+    FaultPlan,
+    LatencySpikeFault,
+    PipelineStallFault,
+)
+from repro.graph.coo import Graph
+from repro.graph.partition import partition_graph
+from repro.hbm.channel import HbmChannelModel
+from repro.model.calibrate import calibrate_performance_model
+from repro.sched.scheduler import build_schedule
+
+#: Shared small pipeline config for plan-producing strategies.
+STRATEGY_CONFIG = PipelineConfig(gather_buffer_vertices=32)
+
+#: One calibrated model reused across all drawn plans (calibration is
+#: deterministic and depends only on the config + channel).
+STRATEGY_MODEL = calibrate_performance_model(
+    STRATEGY_CONFIG, HbmChannelModel()
+)
+
+
+@st.composite
+def edge_lists(draw, min_vertices=2, max_vertices=64, max_edges=200):
+    """Random ``(num_vertices, src, dst)`` triples."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    m = draw(st.integers(1, max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return n, src, dst
+
+
+@st.composite
+def graphs(
+    draw,
+    min_vertices=4,
+    max_vertices=80,
+    max_edges=300,
+    weighted=False,
+    name="prop",
+):
+    """Random COO graphs, optionally with positive integer weights."""
+    n, src, dst = draw(
+        edge_lists(min_vertices, max_vertices, max_edges)
+    )
+    weights = None
+    if weighted:
+        weights = draw(
+            st.lists(
+                st.integers(1, 31), min_size=len(src), max_size=len(src)
+            )
+        )
+    return Graph(n, src, dst, weights=weights, name=name)
+
+
+def weighted_graphs(**kwargs):
+    """Random weighted graphs (SSSP/SpMV-shaped inputs)."""
+    return graphs(weighted=True, **kwargs)
+
+
+@st.composite
+def partition_sets(draw, interval_range=(1, 16), **graph_kwargs):
+    """A graph partitioned at a drawn destination-interval size."""
+    graph = draw(graphs(**graph_kwargs))
+    interval = draw(st.integers(*interval_range))
+    return partition_graph(graph, interval)
+
+
+@st.composite
+def scheduling_plans(draw, max_pipelines=4, **graph_kwargs):
+    """A full model-guided scheduling plan over a random graph.
+
+    Uses :data:`STRATEGY_CONFIG`'s interval so plan and model agree, the
+    way the framework builds them; returns ``(graph, plan)``.
+    """
+    graph = draw(graphs(**graph_kwargs))
+    num_pipelines = draw(st.integers(1, max_pipelines))
+    pset = partition_graph(graph, STRATEGY_CONFIG.partition_vertices)
+    plan = build_schedule(pset, STRATEGY_MODEL, num_pipelines)
+    return graph, plan
+
+
+@st.composite
+def fault_plans(draw, max_channels=8):
+    """Random deterministic fault plans over a small channel space."""
+    dead = draw(st.lists(
+        st.builds(
+            DeadChannelFault,
+            channel=st.integers(0, max_channels - 1),
+            onset_cycle=st.floats(0, 1e6, allow_nan=False),
+        ),
+        max_size=2, unique_by=lambda f: f.channel,
+    ))
+    spikes = draw(st.lists(
+        st.builds(
+            LatencySpikeFault,
+            channel=st.integers(0, max_channels - 1),
+            onset_cycle=st.floats(0, 1e6, allow_nan=False),
+            duration_cycles=st.floats(1, 1e6, allow_nan=False),
+            multiplier=st.floats(1, 64, allow_nan=False),
+        ),
+        max_size=2,
+    ))
+    flips = draw(st.lists(
+        st.builds(
+            BitFlipFault,
+            probability=st.floats(0, 1, allow_nan=False),
+            detectable=st.booleans(),
+        ),
+        max_size=1,
+    ))
+    stalls = draw(st.lists(
+        st.builds(
+            PipelineStallFault,
+            probability=st.floats(0, 1, allow_nan=False),
+            pipeline=st.one_of(st.none(), st.integers(0, 3)),
+        ),
+        max_size=1,
+    ))
+    return FaultPlan(
+        seed=draw(st.integers(0, 2**16)),
+        dead_channels=tuple(dead),
+        latency_spikes=tuple(spikes),
+        bit_flips=tuple(flips),
+        stalls=tuple(stalls),
+    )

@@ -1,0 +1,244 @@
+"""The trace invariant checker catches corrupted traces and bad models.
+
+Every test here corrupts one thing — an event timeline, a coverage
+record, a bandwidth figure, a model coefficient — and asserts the
+checker names the violated rule.  The clean-trace tests pin down that
+the seed configurations themselves are conformant (no false positives).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.trace import ExecutionTrace, TraceEvent, trace_plan
+from repro.check import (
+    DEFAULT_BANDS,
+    ConformanceChecker,
+    assert_trace_invariants,
+    check_channel_bandwidth,
+    check_coverage,
+    check_monotone_cycles,
+    check_no_overlap,
+    check_resource_feasibility,
+    check_trace,
+    model_oracle,
+)
+from repro.errors import ConformanceError
+from repro.graph.coo import EDGE_BYTES
+from repro.graph.generators import rmat_graph
+from repro.sched.scheduler import build_schedule
+
+from tests.helpers import make_framework
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return make_framework("U280", buffer_vertices=256, num_pipelines=4)
+
+
+@pytest.fixture(scope="module")
+def pre(framework):
+    return framework.preprocess(rmat_graph(10, 8, seed=3, name="inv-rmat"))
+
+
+@pytest.fixture(scope="module")
+def trace(pre, framework):
+    return trace_plan(pre.plan, framework.channel)
+
+
+def _rules(violations):
+    return {v.rule for v in violations}
+
+
+class TestCleanTrace:
+    def test_seed_plan_is_conformant(self, trace, pre, framework):
+        violations = check_trace(
+            trace,
+            plan=pre.plan,
+            platform=framework.platform,
+            channel=framework.channel,
+        )
+        assert violations == []
+
+    def test_assert_helper_is_silent(self, trace, pre, framework):
+        assert_trace_invariants(
+            trace,
+            plan=pre.plan,
+            platform=framework.platform,
+            channel=framework.channel,
+        )
+
+    def test_checker_accepts_seed_run(self, pre, framework):
+        ConformanceChecker().check_run(pre, framework)
+
+
+class TestCorruptedTimeline:
+    def test_overlap_detected(self):
+        trace = ExecutionTrace(events=[
+            TraceEvent("little[0]", "a", 0.0, 100.0),
+            TraceEvent("little[0]", "b", 50.0, 150.0),
+        ])
+        assert _rules(check_no_overlap(trace)) == {"no-overlap"}
+
+    def test_same_pipeline_back_to_back_ok(self):
+        trace = ExecutionTrace(events=[
+            TraceEvent("little[0]", "a", 0.0, 100.0),
+            TraceEvent("little[0]", "b", 100.0, 150.0),
+        ])
+        assert check_no_overlap(trace) == []
+
+    def test_distinct_pipelines_may_overlap(self):
+        trace = ExecutionTrace(events=[
+            TraceEvent("little[0]", "a", 0.0, 100.0),
+            TraceEvent("big[0]", "b", 10.0, 90.0),
+        ])
+        assert check_no_overlap(trace) == []
+
+    def test_negative_start_detected(self):
+        trace = ExecutionTrace(
+            events=[TraceEvent("little[0]", "a", -5.0, 10.0)]
+        )
+        assert _rules(check_monotone_cycles(trace)) == {"monotone-cycles"}
+
+    def test_nonpositive_duration_detected(self):
+        trace = ExecutionTrace(
+            events=[TraceEvent("little[0]", "a", 30.0, 30.0)]
+        )
+        assert _rules(check_monotone_cycles(trace)) == {"monotone-cycles"}
+
+    def test_nonfinite_cycles_detected(self):
+        trace = ExecutionTrace(
+            events=[TraceEvent("little[0]", "a", 0.0, float("inf"))]
+        )
+        assert _rules(check_monotone_cycles(trace)) == {"monotone-cycles"}
+
+
+class TestCorruptedCoverage:
+    def test_dropped_task_detected(self, trace, pre):
+        corrupted = ExecutionTrace(events=trace.events[:-1])
+        assert "coverage" in _rules(check_coverage(corrupted, pre.plan))
+
+    def test_duplicated_task_detected(self, trace, pre):
+        dup = trace.events[0]
+        shifted = dataclasses.replace(
+            dup,
+            start_cycle=trace.makespan + 1.0,
+            end_cycle=trace.makespan + 1.0 + dup.duration,
+        )
+        corrupted = ExecutionTrace(events=trace.events + [shifted])
+        assert "coverage" in _rules(check_coverage(corrupted, pre.plan))
+
+    def test_wrong_partition_detected(self, trace, pre):
+        first = trace.events[0]
+        swapped = dataclasses.replace(
+            first,
+            partition_indices=tuple(
+                i + 1000 for i in first.partition_indices
+            ),
+        )
+        corrupted = ExecutionTrace(events=[swapped] + trace.events[1:])
+        assert "coverage" in _rules(check_coverage(corrupted, pre.plan))
+
+    def test_wrong_edge_count_detected(self, trace, pre):
+        first = trace.events[0]
+        inflated = dataclasses.replace(first, num_edges=first.num_edges + 7)
+        corrupted = ExecutionTrace(events=[inflated] + trace.events[1:])
+        assert "coverage" in _rules(check_coverage(corrupted, pre.plan))
+
+    def test_unplanned_pipeline_detected(self, trace, pre):
+        rogue = TraceEvent("little[99]", "ghost", 0.0, 10.0)
+        corrupted = ExecutionTrace(events=trace.events + [rogue])
+        assert "coverage" in _rules(check_coverage(corrupted, pre.plan))
+
+
+class TestBandwidthCeiling:
+    def test_impossible_throughput_detected(self, framework):
+        # 10,000 edges in 10 cycles: orders of magnitude beyond one
+        # pseudo-channel's sequential peak.
+        trace = ExecutionTrace(events=[
+            TraceEvent(
+                "little[0]", "burst", 0.0, 10.0,
+                partition_indices=(0,), num_edges=10_000,
+            )
+        ])
+        violations = check_channel_bandwidth(trace, framework.channel)
+        assert _rules(violations) == {"channel-bandwidth"}
+
+    def test_exactly_at_ceiling_passes(self, framework):
+        edges = 4096
+        floor = framework.channel.min_cycles_for_bytes(edges * EDGE_BYTES)
+        trace = ExecutionTrace(events=[
+            TraceEvent(
+                "little[0]", "peak", 0.0, floor,
+                partition_indices=(0,), num_edges=edges,
+            )
+        ])
+        assert check_channel_bandwidth(trace, framework.channel) == []
+
+    def test_zero_edge_events_ignored(self, framework):
+        trace = ExecutionTrace(
+            events=[TraceEvent("little[0]", "idle", 0.0, 1.0)]
+        )
+        assert check_channel_bandwidth(trace, framework.channel) == []
+
+
+class TestResourceFeasibility:
+    def test_seed_plan_fits(self, pre, framework):
+        assert check_resource_feasibility(pre.plan, framework.platform) == []
+
+    def test_shrunken_budget_detected(self, pre, framework):
+        tight = dataclasses.replace(DEFAULT_BANDS, max_lut_util=1e-6)
+        violations = check_resource_feasibility(
+            pre.plan, framework.platform, bands=tight
+        )
+        assert _rules(violations) == {"resource-feasibility"}
+
+
+class TestMisScaledModel:
+    """A corrupted model coefficient must fail the differential oracle."""
+
+    def test_clean_model_agrees(self, pre, framework):
+        results = model_oracle(pre.plan, framework.channel)
+        assert all(r.passed for r in results)
+
+    def test_inflated_constant_detected(self, pre, framework):
+        bad_model = dataclasses.replace(
+            framework.model,
+            const_little=framework.model.const_little * 50,
+            const_big=framework.model.const_big * 50,
+        )
+        bad_plan = build_schedule(
+            pre.pset, bad_model, framework.num_pipelines
+        )
+        results = model_oracle(bad_plan, framework.channel)
+        assert any(not r.passed for r in results)
+
+    def test_checker_raises_on_bad_model(self, pre, framework):
+        bad_model = dataclasses.replace(
+            framework.model,
+            const_little=framework.model.const_little * 50,
+            const_big=framework.model.const_big * 50,
+        )
+        bad_plan = build_schedule(
+            pre.pset, bad_model, framework.num_pipelines
+        )
+        checker = ConformanceChecker()
+        with pytest.raises(ConformanceError):
+            checker.check_model(bad_plan, framework.channel)
+
+
+class TestAssertHelper:
+    def test_lists_every_violation(self, trace, pre, framework):
+        rogue = TraceEvent("little[99]", "ghost", -1.0, -0.5)
+        corrupted = ExecutionTrace(events=trace.events + [rogue])
+        with pytest.raises(ConformanceError) as excinfo:
+            assert_trace_invariants(
+                corrupted, plan=pre.plan, channel=framework.channel
+            )
+        message = str(excinfo.value)
+        assert "monotone-cycles" in message
+        assert "coverage" in message
+
+    def test_is_an_assertion_error(self):
+        # pytest renders ConformanceError as a plain test failure.
+        assert issubclass(ConformanceError, AssertionError)

@@ -1,0 +1,182 @@
+"""Metamorphic properties of the model, scheduler and channel (slow suite).
+
+Each property states a monotonicity or equivalence law the system must
+obey for *every* input, then lets hypothesis hunt for counterexamples:
+
+* growing the edge set never shrinks the modelled work;
+* the pipeline combination changes timing, never answers;
+* a strictly more capable channel never gets slower;
+* more pipelines never lengthen the modelled makespan;
+* every drawn scheduling plan produces an invariant-clean trace;
+* fault plans survive their serialisation round-trip.
+
+Run with ``pytest -m slow``; the tier-1 suite excludes these by default.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.reference import bfs_reference
+from repro.arch.trace import trace_plan
+from repro.check import check_trace
+from repro.faults.plan import FaultPlan
+from repro.graph.coo import Graph
+from repro.graph.partition import partition_graph
+from repro.hbm.channel import HbmChannelModel, HbmTimingParams
+from repro.sched.scheduler import build_schedule
+
+from tests.helpers import make_framework
+from tests.strategies import (
+    STRATEGY_CONFIG,
+    STRATEGY_MODEL,
+    edge_lists,
+    fault_plans,
+    graphs,
+    scheduling_plans,
+)
+
+pytestmark = pytest.mark.slow
+
+_CHANNEL = HbmChannelModel()
+
+
+def _total_modelled_work(graph):
+    """Modelled little-pipeline cycles to stream every edge once."""
+    if graph.num_edges == 0:
+        return 0.0
+    return float(STRATEGY_MODEL.edge_costs_little(graph.src).sum())
+
+
+class TestWorkMonotonicity:
+    """Adding edges never reduces the total modelled work."""
+
+    @given(edge_lists(max_vertices=48, max_edges=150),
+           edge_lists(max_vertices=48, max_edges=50))
+    @settings(max_examples=40, deadline=None)
+    def test_edge_superset_never_cheaper(self, base, extra):
+        n1, src1, dst1 = base
+        n2, src2, dst2 = extra
+        n = max(n1, n2)
+        small = Graph(n, src1, dst1)
+        grown = Graph(n, src1 + src2, dst1 + dst2)
+        assert grown.num_edges > small.num_edges
+        assert (
+            _total_modelled_work(grown)
+            >= _total_modelled_work(small) - 1e-9
+        )
+
+    @given(edge_lists(max_vertices=48, max_edges=150),
+           edge_lists(max_vertices=48, max_edges=50))
+    @settings(max_examples=40, deadline=None)
+    def test_edge_superset_never_shrinks_plan(self, base, extra):
+        n1, src1, dst1 = base
+        n2, src2, dst2 = extra
+        n = max(n1, n2)
+        small = Graph(n, src1, dst1)
+        grown = Graph(n, src1 + src2, dst1 + dst2)
+        interval = STRATEGY_CONFIG.partition_vertices
+        plan_small = build_schedule(
+            partition_graph(small, interval), STRATEGY_MODEL, 2
+        )
+        plan_grown = build_schedule(
+            partition_graph(grown, interval), STRATEGY_MODEL, 2
+        )
+        assert plan_grown.total_edges() >= plan_small.total_edges()
+
+
+class TestCombinationInvariance:
+    """Swapping Big and Little pipelines changes cycles, never answers.
+
+    All arithmetic on the datapath is integer or fixed-point, so the
+    answers are bitwise identical across combinations — not merely
+    close.
+    """
+
+    @given(graphs(max_vertices=48, max_edges=160), st.integers(0, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_bfs_identical_across_combos(self, graph, root_seed):
+        root = root_seed % graph.num_vertices
+        fw = make_framework("U280", buffer_vertices=32, num_pipelines=3)
+        ref = bfs_reference(graph, root)
+        for combo in [(3, 0), (0, 3), (2, 1)]:
+            pre = fw.preprocess(graph, forced_combo=combo)
+            run = fw.run_bfs(pre, root=root)
+            np.testing.assert_array_equal(run.props, ref)
+
+    @given(graphs(max_vertices=40, max_edges=120))
+    @settings(max_examples=10, deadline=None)
+    def test_pagerank_identical_across_combos(self, graph):
+        fw = make_framework("U280", buffer_vertices=32, num_pipelines=3)
+        baseline = None
+        for combo in [(3, 0), (0, 3), (2, 1)]:
+            pre = fw.preprocess(graph, forced_combo=combo)
+            run = fw.run_pagerank(pre, max_iterations=3)
+            if baseline is None:
+                baseline = run.result
+            else:
+                np.testing.assert_array_equal(run.result, baseline)
+
+
+class TestChannelMonotonicity:
+    """A strictly more capable channel never slows anything down."""
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_doubling_outstanding_never_slower(self, strides):
+        arr = np.array(strides, dtype=np.float64)
+        base = HbmChannelModel(HbmTimingParams(max_outstanding=16))
+        wide = HbmChannelModel(HbmTimingParams(max_outstanding=32))
+        assert np.all(
+            wide.effective_request_cycles(arr)
+            <= base.effective_request_cycles(arr) + 1e-9
+        )
+
+    @given(st.integers(0, 1 << 16))
+    @settings(max_examples=60, deadline=None)
+    def test_doubling_burst_rate_never_slower(self, num_blocks):
+        base = HbmChannelModel(HbmTimingParams(burst_blocks_per_cycle=1.0))
+        fast = HbmChannelModel(HbmTimingParams(burst_blocks_per_cycle=2.0))
+        assert (
+            fast.burst_cycles(num_blocks)
+            <= base.burst_cycles(num_blocks) + 1e-9
+        )
+        assert (
+            fast.bandwidth_bytes_per_cycle()
+            == 2 * base.bandwidth_bytes_per_cycle()
+        )
+
+
+class TestPipelineScaling:
+    """Doubling the pipeline count never increases the modelled makespan."""
+
+    @given(graphs(max_vertices=64, max_edges=250), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_more_pipelines_never_longer(self, graph, k):
+        pset = partition_graph(graph, STRATEGY_CONFIG.partition_vertices)
+        narrow = build_schedule(pset, STRATEGY_MODEL, k)
+        wide = build_schedule(pset, STRATEGY_MODEL, 2 * k)
+        assert (
+            wide.estimated_makespan
+            <= narrow.estimated_makespan + 1e-6
+        )
+
+
+class TestDrawnPlansAreConformant:
+    """Every plan the strategies produce yields an invariant-clean trace."""
+
+    @given(scheduling_plans(max_pipelines=4, max_vertices=64, max_edges=250))
+    @settings(max_examples=20, deadline=None)
+    def test_trace_invariants_hold(self, drawn):
+        graph, plan = drawn
+        plan.validate(expected_edges=graph.num_edges)
+        trace = trace_plan(plan, _CHANNEL)
+        assert check_trace(trace, plan=plan, channel=_CHANNEL) == []
+
+
+class TestFaultPlanRoundTrip:
+    @given(fault_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_to_dict_from_dict_is_identity(self, plan):
+        assert FaultPlan.from_dict(plan.to_dict()) == plan

@@ -87,3 +87,73 @@ class TestCommands:
     def test_missing_graph_source_exits(self):
         with pytest.raises(SystemExit):
             main(["preprocess"])
+
+    def test_check_quick(self, capsys):
+        code = main(["check", "--device", "u280", "--app", "pagerank",
+                     "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "oracle checks passed" in out
+        assert "violation" in out
+
+
+class TestErrorPaths:
+    """The CLI's exit-code contract: usage errors exit 2 via argparse,
+    user errors (bad keys, unreadable files, unrecoverable fault
+    scenarios) print one line on stderr and return 2 — never a
+    traceback."""
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bad_dataset_key_returns_2(self, capsys):
+        assert main(["run", "--dataset", "NOPE"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "NOPE" in err
+
+    def test_missing_edge_list_returns_2(self, tmp_path, capsys):
+        missing = tmp_path / "does-not-exist.el"
+        assert main(["run", "--edge-list", str(missing)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_malformed_edge_list_returns_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.el"
+        bad.write_text("0 1\nnot an edge\n")
+        assert main(["run", "--edge-list", str(bad),
+                     "--buffer-vertices", "4", "--pipelines", "2"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_check_unknown_app_returns_2(self, capsys):
+        assert main(["check", "--app", "nope", "--quick"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown oracle app" in err
+
+    def test_faultsim_exhaustion_returns_2(self, capsys):
+        # Every drain attempt flips a bit; one retry cannot absorb that,
+        # so the resilient runtime gives up -> ResilienceExhaustedError
+        # -> exit code 2 (the documented unrecoverable-scenario contract).
+        code = main(
+            ["faultsim", "--dataset", "GG", "--scale", "0.005",
+             "--buffer-vertices", "256", "--pipelines", "2",
+             "--bit-flip-rate", "1.0", "--retries", "1"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "failed" in err
+
+    def test_faultsim_dead_channel_degrades_but_succeeds(self, capsys):
+        # A dead channel is survivable: the runtime retires the victim
+        # pipeline and re-plans onto the rest, so the exit code stays 0.
+        code = main(
+            ["faultsim", "--dataset", "GG", "--scale", "0.005",
+             "--buffer-vertices", "256", "--pipelines", "2",
+             "--dead-channel", "0", "--retries", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out

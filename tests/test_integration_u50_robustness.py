@@ -26,6 +26,11 @@ class TestU50EndToEnd:
         ref = pagerank_reference(small_powerlaw, iterations=run.iterations)
         assert np.max(np.abs(run.result - ref)) < 1e-3
 
+    def test_u50_plan_is_conformant(
+        self, framework, small_powerlaw, conformance
+    ):
+        conformance.check_run(framework.preprocess(small_powerlaw), framework)
+
     def test_u50_buffer_default(self):
         fw = ReGraph("U50")
         assert fw.pipeline.gather_buffer_vertices == 32_768

@@ -14,22 +14,10 @@ from repro.hbm.channel import HbmChannelModel
 from repro.utils.fixed_point import FixedPointFormat
 from repro.utils.prefix import balanced_chunk_bounds, running_release_times
 
+from tests.strategies import edge_lists
+
 _CHANNEL = HbmChannelModel()
 _CONFIG = PipelineConfig(gather_buffer_vertices=256)
-
-
-@st.composite
-def edge_lists(draw, max_vertices=64, max_edges=200):
-    """Random (num_vertices, src, dst) triples."""
-    n = draw(st.integers(2, max_vertices))
-    m = draw(st.integers(1, max_edges))
-    src = draw(
-        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
-    )
-    dst = draw(
-        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
-    )
-    return n, src, dst
 
 
 class TestGraphProperties:

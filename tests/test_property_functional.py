@@ -11,26 +11,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps.reference import bfs_reference, pagerank_reference
-from repro.arch.config import PipelineConfig
-from repro.core.framework import ReGraph
-from repro.graph.coo import Graph
+
+from tests.helpers import make_framework
+from tests.strategies import graphs as random_graphs
 
 
 def _framework():
-    return ReGraph(
-        "U280",
-        pipeline=PipelineConfig(gather_buffer_vertices=32),
-        num_pipelines=3,
-    )
-
-
-@st.composite
-def random_graphs(draw):
-    n = draw(st.integers(4, 80))
-    m = draw(st.integers(1, 300))
-    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
-    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
-    return Graph(n, src, dst, name="prop")
+    return make_framework("U280", buffer_vertices=32, num_pipelines=3)
 
 
 class TestEndToEndEquivalence:
