@@ -1,0 +1,78 @@
+"""Chaos-soak benchmark: campaign survival and resilience overhead.
+
+Runs one bounded seeded campaign per intensity preset and reports, per
+intensity: survival rate, how many cells actually absorbed faults, the
+fault/retry/re-plan/breaker-trip totals, and the mean resilience
+overhead across fault-hit cells.  The light campaign doubles as the
+survival gate — the survivable fault envelope must yield zero failures.
+"""
+
+from repro.chaos import CampaignConfig, generate_cells, run_cell
+from repro.reporting import format_table, write_report
+
+CAMPAIGN_SEED = 11
+CELLS_PER_INTENSITY = 12
+
+
+def _soak(intensity: str):
+    config = CampaignConfig(
+        seed=CAMPAIGN_SEED, cells=CELLS_PER_INTENSITY, intensity=intensity
+    )
+    return [run_cell(cell) for cell in generate_cells(config)]
+
+
+def test_chaos_soak_survival(benchmark):
+    results = {}
+
+    def run_all():
+        results.clear()
+        for intensity in ("light", "moderate", "heavy"):
+            results[intensity] = _soak(intensity)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for intensity, cell_results in results.items():
+        survived = sum(r.survived for r in cell_results)
+        faults = sum(len(r.health.get("faults", [])) for r in cell_results)
+        hit = [r for r in cell_results if r.health.get("faults")]
+        retries = sum(r.health.get("retries", 0) for r in cell_results)
+        replans = sum(r.health.get("replans", 0) for r in cell_results)
+        trips = sum(r.health.get("breaker_trips", 0) for r in cell_results)
+        overhead = (
+            sum(r.health.get("overhead_cycles", 0.0) for r in hit)
+            / max(sum(
+                r.total_cycles - r.health.get("overhead_cycles", 0.0)
+                for r in hit
+            ), 1.0)
+        )
+        rows.append([
+            intensity,
+            f"{survived}/{len(cell_results)}",
+            str(len(hit)),
+            str(faults),
+            str(retries),
+            str(replans),
+            str(trips),
+            f"{overhead:.1%}",
+        ])
+    text = format_table(
+        ["intensity", "survived", "fault-hit cells", "faults",
+         "retries", "re-plans", "breaker trips", "overhead"],
+        rows,
+        title=f"chaos soak: {CELLS_PER_INTENSITY} cells/intensity, "
+              f"seed {CAMPAIGN_SEED}",
+    )
+    write_report("chaos_soak", text)
+
+    # The survivable envelope means exactly that: no failures, at any
+    # intensity, and breaker state present on every single cell.
+    for intensity, cell_results in results.items():
+        for result in cell_results:
+            assert result.survived, (intensity, result.cell_id, result.detail)
+            assert result.health.get("channel_breakers"), result.cell_id
+    # Escalating intensity must actually escalate injected pressure.
+    light = sum(len(r.health.get("faults", [])) for r in results["light"])
+    heavy = sum(len(r.health.get("faults", [])) for r in results["heavy"])
+    assert heavy >= light

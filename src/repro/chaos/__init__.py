@@ -1,0 +1,72 @@
+"""Chaos campaigns: randomized fault soak testing with oracles.
+
+The subsystem that drives PR 1 (fault injection + resilient execution)
+and PR 2 (conformance oracles + trace invariants) *together* at scale:
+
+* :mod:`repro.chaos.spec`     — cell/graph value objects (JSON round-trip);
+* :mod:`repro.chaos.generate` — seeded randomized cell matrices;
+* :mod:`repro.chaos.campaign` — the execution engine + failure digests;
+* :mod:`repro.chaos.oracles`  — correctness checks on surviving runs;
+* :mod:`repro.chaos.shrink`   — ddmin fault-plan minimisation;
+* :mod:`repro.chaos.bundle`   — replayable repro bundles.
+"""
+
+from repro.chaos.bundle import (
+    BUNDLE_SCHEMA,
+    ReplayResult,
+    load_bundle,
+    make_bundle,
+    replay_bundle,
+    write_bundle,
+)
+from repro.chaos.campaign import (
+    DEFAULT_CHAOS_POLICY,
+    CampaignReport,
+    CellResult,
+    failure_digest,
+    result_digest,
+    run_campaign,
+    run_cell,
+)
+from repro.chaos.generate import (
+    CAMPAIGN_APPS,
+    INTENSITIES,
+    CampaignConfig,
+    generate_cells,
+)
+from repro.chaos.shrink import (
+    ShrinkResult,
+    ddmin,
+    flatten_plan,
+    rebuild_plan,
+    shrink_cell,
+)
+from repro.chaos.spec import GRAPH_KINDS, CellSpec, GraphSpec
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "CAMPAIGN_APPS",
+    "CampaignConfig",
+    "CampaignReport",
+    "CellResult",
+    "CellSpec",
+    "DEFAULT_CHAOS_POLICY",
+    "GRAPH_KINDS",
+    "GraphSpec",
+    "INTENSITIES",
+    "ReplayResult",
+    "ShrinkResult",
+    "ddmin",
+    "failure_digest",
+    "flatten_plan",
+    "generate_cells",
+    "load_bundle",
+    "make_bundle",
+    "rebuild_plan",
+    "replay_bundle",
+    "result_digest",
+    "run_campaign",
+    "run_cell",
+    "shrink_cell",
+    "write_bundle",
+]

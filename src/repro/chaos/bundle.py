@@ -1,0 +1,121 @@
+"""Replayable repro bundles: a failure as a single JSON file.
+
+A bundle carries everything needed to re-execute a failing cell with no
+access to the campaign that found it: the cell spec (device, app, graph
+*recipe*, original fault plan), the resilience policy, the shrunk
+minimal plan, and the failure digest the replay must reproduce.  Replay
+goes through the same :func:`repro.chaos.campaign.run_cell` primitive
+the campaign used, so a digest match means the failure — not merely *a*
+failure — was reproduced bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import UserInputError
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import ResiliencePolicy
+from repro.check.tolerances import DEFAULT_BANDS, ToleranceBands
+from repro.chaos.campaign import CellResult, run_cell
+from repro.chaos.shrink import ShrinkResult
+from repro.chaos.spec import CellSpec
+
+#: Bundle schema identifier; bump on incompatible layout changes.
+BUNDLE_SCHEMA = "regraph-chaos-repro/v1"
+
+
+def _failure_dict(result: CellResult) -> dict:
+    return {
+        "status": result.status,
+        "category": result.category,
+        "detail": result.detail,
+        "digest": result.digest,
+    }
+
+
+def make_bundle(
+    cell: CellSpec,
+    result: CellResult,
+    policy: ResiliencePolicy,
+    shrunk: Optional[ShrinkResult] = None,
+) -> dict:
+    """The bundle dict for one failing cell.
+
+    ``failure`` is the outcome the replay must reproduce: the shrunk
+    plan's outcome when shrinking ran, the original otherwise.
+    """
+    replay_failure = shrunk.result if shrunk is not None else result
+    return {
+        "schema": BUNDLE_SCHEMA,
+        "cell": cell.to_dict(),
+        "policy": policy.to_dict(),
+        "shrunk_plan": (
+            shrunk.plan.to_dict() if shrunk is not None else None
+        ),
+        "failure": _failure_dict(replay_failure),
+        "original_failure": _failure_dict(result),
+        "shrink": shrunk.stats() if shrunk is not None else None,
+    }
+
+
+def write_bundle(
+    bundle_dir: str,
+    cell: CellSpec,
+    result: CellResult,
+    policy: ResiliencePolicy,
+    shrunk: Optional[ShrinkResult] = None,
+) -> str:
+    """Write the bundle to ``bundle_dir/<cell_id>.repro.json``."""
+    os.makedirs(bundle_dir, exist_ok=True)
+    path = os.path.join(bundle_dir, f"{cell.cell_id}.repro.json")
+    with open(path, "w") as fh:
+        json.dump(make_bundle(cell, result, policy, shrunk), fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_bundle(path: str) -> dict:
+    """Read and schema-check a bundle file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    schema = data.get("schema")
+    if schema != BUNDLE_SCHEMA:
+        raise UserInputError(
+            f"{path}: unsupported bundle schema {schema!r} "
+            f"(expected {BUNDLE_SCHEMA})"
+        )
+    return data
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one bundle."""
+
+    reproduced: bool
+    expected_digest: str
+    actual_digest: str
+    result: CellResult
+
+
+def replay_bundle(
+    bundle, bands: ToleranceBands = DEFAULT_BANDS
+) -> ReplayResult:
+    """Re-execute a bundle (dict or path) and compare failure digests."""
+    if isinstance(bundle, str):
+        bundle = load_bundle(bundle)
+    cell = CellSpec.from_dict(bundle["cell"])
+    if bundle.get("shrunk_plan") is not None:
+        cell = cell.with_plan(FaultPlan.from_dict(bundle["shrunk_plan"]))
+    policy = ResiliencePolicy.from_dict(bundle.get("policy", {}))
+    result = run_cell(cell, policy=policy, bands=bands)
+    expected = bundle["failure"]["digest"]
+    return ReplayResult(
+        reproduced=(result.digest == expected),
+        expected_digest=expected,
+        actual_digest=result.digest,
+        result=result,
+    )

@@ -1,0 +1,301 @@
+"""The campaign engine: execute cells, classify outcomes, digest failures.
+
+``run_cell`` is the single execution primitive everything else reuses —
+the soak loop, the delta-debugging predicate, and bundle replay all call
+it, which is what makes "replays to the identical failure digest" a
+meaningful guarantee: there is exactly one code path from a cell spec to
+an outcome.
+
+Outcome classification:
+
+* ``ok``          — the run survived and every chaos oracle passed;
+* ``conformance`` — the run survived but an oracle failed (wrong answer,
+  invariant violation, inconsistent health report);
+* ``crash``       — the resilient executor gave up
+  (:class:`~repro.errors.ReproError` escaped: watchdog exhaustion,
+  unrecoverable fault, scheduling failure).
+
+Every outcome carries a **failure digest**: SHA-256 over the canonical
+JSON of ``{status, category, detail, result digest}``.  Cells are
+deterministic in their spec, so replaying a cell must reproduce its
+digest bit-for-bit — the repro-bundle contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.config import PipelineConfig
+from repro.core.framework import ReGraph
+from repro.errors import ReproError, UserInputError
+from repro.faults.resilience import ResiliencePolicy
+from repro.check.tolerances import DEFAULT_BANDS, ToleranceBands
+from repro.chaos.oracles import validate_cell
+from repro.chaos.spec import CellSpec
+
+#: Campaign default: breakers trip fast (threshold 3) so soak runs
+#: exercise them, while retry-only faults (detectable flips) get enough
+#: attempts that survivable schedules never exhaust by bad luck.
+DEFAULT_CHAOS_POLICY = ResiliencePolicy(max_retries=6, breaker_threshold=3)
+
+
+def result_digest(run) -> str:
+    """SHA-256 over the run's property array (dtype + shape + bytes)."""
+    if run is None or run.props is None:
+        return ""
+    array = np.ascontiguousarray(run.props)
+    h = hashlib.sha256()
+    h.update(str(array.dtype).encode())
+    h.update(str(array.shape).encode())
+    h.update(array.tobytes())
+    return h.hexdigest()
+
+
+def failure_digest(
+    status: str, category: str, detail: str, result: str
+) -> str:
+    """Canonical digest of one cell outcome."""
+    payload = json.dumps(
+        {
+            "status": status,
+            "category": category,
+            "detail": detail,
+            "result": result,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell execution."""
+
+    cell_id: str
+    status: str
+    category: str = ""
+    detail: str = ""
+    digest: str = ""
+    violations: List[str] = field(default_factory=list)
+    health: dict = field(default_factory=dict)
+    iterations: int = 0
+    total_cycles: float = 0.0
+
+    @property
+    def survived(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def signature(self) -> Tuple[str, str]:
+        """What shrinking matches on: the *kind* of failure, not its
+        cycle-exact detail (removing fault events shifts cycle counts)."""
+        return (self.status, self.category)
+
+    def to_dict(self) -> dict:
+        return {
+            "cell_id": self.cell_id,
+            "status": self.status,
+            "category": self.category,
+            "detail": self.detail,
+            "digest": self.digest,
+            "violations": list(self.violations),
+            "health": dict(self.health),
+            "iterations": self.iterations,
+            "total_cycles": self.total_cycles,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CellResult":
+        return CellResult(
+            cell_id=str(data["cell_id"]),
+            status=str(data["status"]),
+            category=str(data.get("category", "")),
+            detail=str(data.get("detail", "")),
+            digest=str(data.get("digest", "")),
+            violations=list(data.get("violations", [])),
+            health=dict(data.get("health", {})),
+            iterations=int(data.get("iterations", 0)),
+            total_cycles=float(data.get("total_cycles", 0.0)),
+        )
+
+
+def _framework(cell: CellSpec) -> ReGraph:
+    return ReGraph(
+        cell.device,
+        pipeline=PipelineConfig(
+            gather_buffer_vertices=cell.buffer_vertices
+        ),
+        num_pipelines=cell.num_pipelines,
+    )
+
+
+def _execute(cell: CellSpec, framework: ReGraph, graph, policy):
+    """Dispatch the cell's app through the resilient execution layer."""
+    kwargs = dict(
+        max_iterations=cell.max_iterations,
+        fault_plan=cell.fault_plan,
+        resilience=policy,
+    )
+    if cell.app == "pagerank":
+        return framework.run_pagerank(graph, **kwargs)
+    if cell.app == "bfs":
+        return framework.run_bfs(graph, root=cell.root, **kwargs)
+    if cell.app == "closeness":
+        return framework.run_closeness(graph, root=cell.root, **kwargs)
+    if cell.app == "sssp":
+        from repro.apps.sssp import SingleSourceShortestPaths
+
+        pre = framework.preprocess(graph)
+        internal_root = pre.to_internal_vertex(cell.root)
+        return framework.run(
+            pre,
+            lambda g: SingleSourceShortestPaths(g, root=internal_root),
+            **kwargs,
+        )
+    if cell.app == "wcc":
+        from repro.apps.wcc import WeaklyConnectedComponents
+
+        return framework.run(graph, WeaklyConnectedComponents, **kwargs)
+    raise UserInputError(f"no chaos dispatch for app {cell.app!r}")
+
+
+def run_cell(
+    cell: CellSpec,
+    policy: Optional[ResiliencePolicy] = None,
+    bands: ToleranceBands = DEFAULT_BANDS,
+) -> CellResult:
+    """Execute one cell and classify its outcome (deterministic)."""
+    policy = policy if policy is not None else DEFAULT_CHAOS_POLICY
+    graph = cell.graph.build()
+    if cell.app == "wcc":
+        from repro.apps.wcc import symmetrized
+
+        graph = symmetrized(graph)
+    framework = _framework(cell)
+    try:
+        run = _execute(cell, framework, graph, policy)
+    except ReproError as exc:
+        category = exc.__class__.__name__
+        detail = str(exc)
+        return CellResult(
+            cell_id=cell.cell_id,
+            status="crash",
+            category=category,
+            detail=detail,
+            digest=failure_digest("crash", category, detail, ""),
+        )
+    violations = validate_cell(cell, graph, framework, run, bands)
+    status = "ok" if not violations else "conformance"
+    category = "" if not violations else violations[0].split(":", 1)[0]
+    detail = "" if not violations else "; ".join(violations)
+    return CellResult(
+        cell_id=cell.cell_id,
+        status=status,
+        category=category,
+        detail=detail,
+        digest=failure_digest(status, category, detail, result_digest(run)),
+        violations=violations,
+        health=run.health.to_dict() if run.health is not None else {},
+        iterations=run.iterations,
+        total_cycles=run.total_cycles,
+    )
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of one campaign."""
+
+    config: dict
+    cells: List[dict] = field(default_factory=list)
+    results: List[CellResult] = field(default_factory=list)
+    bundles: List[str] = field(default_factory=list)
+
+    @property
+    def survived(self) -> int:
+        return sum(r.survived for r in self.results)
+
+    @property
+    def failed(self) -> int:
+        return len(self.results) - self.survived
+
+    @property
+    def passed(self) -> bool:
+        return self.failed == 0
+
+    def fault_counts(self) -> dict:
+        """Faults absorbed across surviving cells, by category."""
+        counts: dict = {}
+        for result in self.results:
+            for fault in result.health.get("faults", []):
+                category = fault.get("category", "?")
+                counts[category] = counts.get(category, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "cells": self.cells,
+            "results": [r.to_dict() for r in self.results],
+            "bundles": list(self.bundles),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CampaignReport":
+        return CampaignReport(
+            config=dict(data.get("config", {})),
+            cells=list(data.get("cells", [])),
+            results=[
+                CellResult.from_dict(r) for r in data.get("results", [])
+            ],
+            bundles=list(data.get("bundles", [])),
+        )
+
+
+def run_campaign(
+    config,
+    policy: Optional[ResiliencePolicy] = None,
+    bands: ToleranceBands = DEFAULT_BANDS,
+    bundle_dir: Optional[str] = None,
+    shrink_failures: bool = True,
+    max_probes: int = 48,
+    progress=None,
+) -> CampaignReport:
+    """Run every cell of a campaign; shrink + bundle each failure.
+
+    ``progress`` is an optional ``(index, total, CellResult) -> None``
+    callback (the CLI uses it for per-cell lines).
+    """
+    from repro.chaos.generate import generate_cells
+
+    policy = policy if policy is not None else DEFAULT_CHAOS_POLICY
+    cells = generate_cells(config)
+    report = CampaignReport(
+        config=config.to_dict(), cells=[c.to_dict() for c in cells]
+    )
+    for index, cell in enumerate(cells):
+        result = run_cell(cell, policy=policy, bands=bands)
+        report.results.append(result)
+        if progress is not None:
+            progress(index, len(cells), result)
+        if not result.survived and bundle_dir is not None:
+            from repro.chaos.bundle import write_bundle
+            from repro.chaos.shrink import shrink_cell
+
+            if shrink_failures:
+                shrunk = shrink_cell(
+                    cell, result, policy=policy, bands=bands,
+                    max_probes=max_probes,
+                )
+            else:
+                shrunk = None
+            path = write_bundle(
+                bundle_dir, cell, result, policy, shrunk=shrunk
+            )
+            report.bundles.append(path)
+    return report

@@ -1,0 +1,155 @@
+"""Chaos oracles: is a run that *survived* its faults actually correct?
+
+Three layers of scrutiny on every surviving cell:
+
+1. **Result oracle** — the faulted run's answer against the pure-Python
+   reference, with the same comparison semantics as
+   :func:`repro.check.oracles.functional_oracle` (exact for BFS / SSSP /
+   closeness / WCC-as-partition, fixed-point band for PageRank).  Faults
+   absorbed by checkpoint-retry resume bit-exactly, and degradation
+   re-plans work without touching the functional iteration, so surviving
+   a fault is *never* a licence for a wrong answer.
+2. **Trace invariants** — the final scheduling plan (post-degradation)
+   replayed through :func:`repro.check.invariants.check_trace`: monotone
+   cycles, no overlap, edge coverage, bandwidth and resource caps must
+   hold for whatever topology the run ended on.
+3. **Health audit** — the :class:`RunHealthReport` must be internally
+   consistent: breaker state covers every channel of the original
+   topology, and each re-plan names exactly one degraded pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.apps.reference import (
+    bfs_reference,
+    closeness_reference,
+    pagerank_reference,
+    sssp_reference,
+    wcc_reference,
+)
+from repro.arch.trace import trace_plan
+from repro.check.invariants import check_trace
+from repro.check.oracles import _component_canonical
+from repro.check.tolerances import DEFAULT_BANDS, ToleranceBands
+from repro.chaos.spec import CellSpec
+from repro.graph.coo import Graph
+
+
+def result_violations(
+    cell: CellSpec,
+    graph: Graph,
+    run,
+    bands: ToleranceBands = DEFAULT_BANDS,
+) -> List[str]:
+    """Compare the faulted run's answer with the reference algorithm.
+
+    ``graph`` is the graph actually executed (already symmetrized for
+    WCC, already weighted for SSSP).
+    """
+    app = cell.app
+    if app == "pagerank":
+        ref = pagerank_reference(graph, iterations=run.iterations)
+        atol = bands.pagerank_atol(
+            graph.out_degrees().max() if graph.num_edges else 1,
+            run.iterations,
+        )
+        err = float(np.max(np.abs(run.result - ref)))
+        if err > atol:
+            return [f"result: max |rank - ref| = {err:.2e} > atol {atol:.2e}"]
+        return []
+    if app == "bfs":
+        ref = bfs_reference(graph, cell.root)
+        bad = int(np.count_nonzero(run.props != ref))
+        if bad:
+            return [f"result: {bad} BFS level mismatch(es) "
+                    f"of {graph.num_vertices}"]
+        return []
+    if app == "closeness":
+        ref = closeness_reference(graph, cell.root)
+        err = abs(float(run.result) - ref)
+        if err > 1e-9:
+            return [f"result: |closeness - ref| = {err:.2e} > 1e-9"]
+        return []
+    if app == "sssp":
+        ref = sssp_reference(graph, cell.root)
+        bad = int(np.count_nonzero(run.props != ref))
+        if bad:
+            return [f"result: {bad} SSSP distance mismatch(es) "
+                    f"of {graph.num_vertices}"]
+        return []
+    if app == "wcc":
+        ref = wcc_reference(graph)
+        bad = int(np.count_nonzero(
+            _component_canonical(run.props) != _component_canonical(ref)
+        ))
+        if bad:
+            return [f"result: {bad} WCC component mismatch(es) "
+                    f"of {graph.num_vertices}"]
+        return []
+    return [f"result: no chaos oracle for app {app!r}"]
+
+
+def trace_violations(
+    framework, graph: Graph, run, bands: ToleranceBands = DEFAULT_BANDS
+) -> List[str]:
+    """Replay the final (possibly degraded) plan through the invariant
+    checker — the schedule the run converged on must itself conform."""
+    plan = run.final_plan
+    if plan is None:
+        return ["trace: run carries no final plan to check"]
+    trace = trace_plan(plan, framework.channel)
+    violations = check_trace(
+        trace,
+        plan=plan,
+        platform=framework.platform,
+        channel=framework.channel,
+        weighted=graph.weights is not None,
+        bands=bands,
+    )
+    return [f"trace: {v}" for v in violations]
+
+
+def health_violations(cell: CellSpec, run) -> List[str]:
+    """Audit the health report's internal consistency."""
+    health = run.health
+    if health is None:
+        return ["health: resilient run returned no health report"]
+    problems = []
+    expected_channels = 2 * cell.num_pipelines
+    if len(health.channel_breakers) != expected_channels:
+        problems.append(
+            f"health: breaker state covers {len(health.channel_breakers)} "
+            f"channels, expected {expected_channels}"
+        )
+    if health.replans != len(health.degraded_pipelines):
+        problems.append(
+            f"health: {health.replans} re-plans but "
+            f"{len(health.degraded_pipelines)} degraded pipeline(s)"
+        )
+    open_states = sum(
+         1 for s in health.channel_breakers.values() if s["state"] == "open"
+    )
+    if health.breaker_trips > 0 and open_states == 0:
+        problems.append(
+            f"health: {health.breaker_trips} breaker trip(s) recorded "
+            f"but no channel reported open"
+        )
+    return problems
+
+
+def validate_cell(
+    cell: CellSpec,
+    graph: Graph,
+    framework,
+    run,
+    bands: ToleranceBands = DEFAULT_BANDS,
+) -> List[str]:
+    """All chaos-oracle violations for one surviving cell (empty = ok)."""
+    violations = result_violations(cell, graph, run, bands)
+    violations += trace_violations(framework, graph, run, bands)
+    violations += health_violations(cell, run)
+    return violations

@@ -1,0 +1,154 @@
+"""Fault-plan shrinking: ddmin over the plan's fault events.
+
+When a cell fails, the raw fault plan usually mixes the one event that
+matters with noise that doesn't.  We run Zeller-style delta debugging
+(*ddmin*: try chunks, then complements, double granularity when stuck)
+over the flattened event list, keeping the plan's seed fixed so the
+injector draws the same random stream for whatever events remain.
+
+The predicate matches on the failure **signature** ``(status,
+category)`` rather than the full digest: removing events shifts cycle
+counts embedded in failure details, but the *kind* of failure is what
+the minimal plan must preserve.  A probe budget bounds worst-case cost —
+once exhausted, the current (still-failing) plan is returned and the
+bundle records ``exhausted: true``.
+
+An empty plan is probed first: if the failure reproduces with no faults
+at all, the bug is in the runtime, not the fault schedule, and the
+shrink reports zero events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.check.tolerances import DEFAULT_BANDS, ToleranceBands
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import ResiliencePolicy
+from repro.chaos.campaign import CellResult, run_cell
+from repro.chaos.spec import CellSpec
+
+#: FaultPlan tuple fields, in flattening order.
+PLAN_FIELDS = ("dead_channels", "latency_spikes", "bit_flips", "stalls")
+
+#: A flattened fault event: (plan field, fault dataclass).
+Event = Tuple[str, object]
+
+
+def flatten_plan(plan: FaultPlan) -> List[Event]:
+    """The plan's events as one flat, order-stable list."""
+    return [
+        (name, fault)
+        for name in PLAN_FIELDS
+        for fault in getattr(plan, name)
+    ]
+
+
+def rebuild_plan(seed: int, events: List[Event]) -> FaultPlan:
+    """Reassemble a plan (same seed) from a subset of flattened events."""
+    groups = {name: [] for name in PLAN_FIELDS}
+    for name, fault in events:
+        groups[name].append(fault)
+    return FaultPlan(
+        seed=seed,
+        **{name: tuple(faults) for name, faults in groups.items()},
+    )
+
+
+def _chunks(events: List[Event], n: int) -> List[List[Event]]:
+    size = -(-len(events) // n)
+    return [events[i:i + size] for i in range(0, len(events), size)]
+
+
+def ddmin(
+    events: List[Event], fails: Callable[[List[Event]], bool]
+) -> List[Event]:
+    """Minimise ``events`` while ``fails`` holds (1-minimal up to the
+    predicate's probe budget)."""
+    n = 2
+    while len(events) >= 2:
+        chunks = _chunks(events, n)
+        reduced = False
+        for chunk in chunks:
+            if fails(chunk):
+                events = chunk
+                n = 2
+                reduced = True
+                break
+        if not reduced:
+            for i in range(len(chunks)):
+                complement = [
+                    e for j, c in enumerate(chunks) if j != i for e in c
+                ]
+                if fails(complement):
+                    events = complement
+                    n = max(n - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if n >= len(events):
+                break
+            n = min(len(events), 2 * n)
+    return events
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of shrinking one failing cell."""
+
+    plan: FaultPlan
+    result: CellResult
+    probes: int
+    original_events: int
+    shrunk_events: int
+    exhausted: bool = False
+
+    def stats(self) -> dict:
+        return {
+            "probes": self.probes,
+            "original_events": self.original_events,
+            "shrunk_events": self.shrunk_events,
+            "exhausted": self.exhausted,
+        }
+
+
+def shrink_cell(
+    cell: CellSpec,
+    failure: CellResult,
+    policy: Optional[ResiliencePolicy] = None,
+    bands: ToleranceBands = DEFAULT_BANDS,
+    max_probes: int = 48,
+) -> ShrinkResult:
+    """Delta-debug ``cell``'s fault plan down to a minimal failing plan."""
+    signature = failure.signature
+    seed = cell.fault_plan.seed
+    state = {"probes": 0, "exhausted": False}
+
+    def fails(events: List[Event]) -> bool:
+        if state["probes"] >= max_probes:
+            state["exhausted"] = True
+            return False
+        state["probes"] += 1
+        trial = cell.with_plan(rebuild_plan(seed, events))
+        return run_cell(trial, policy=policy, bands=bands).signature \
+            == signature
+
+    events = flatten_plan(cell.fault_plan)
+    if fails([]):
+        # The failure is not fault-induced: a no-fault run reproduces it.
+        events = []
+    else:
+        events = ddmin(events, fails)
+    shrunk_plan = rebuild_plan(seed, events)
+    shrunk_result = run_cell(
+        cell.with_plan(shrunk_plan), policy=policy, bands=bands
+    )
+    return ShrinkResult(
+        plan=shrunk_plan,
+        result=shrunk_result,
+        probes=state["probes"],
+        original_events=len(flatten_plan(cell.fault_plan)),
+        shrunk_events=len(events),
+        exhausted=state["exhausted"],
+    )

@@ -1,0 +1,159 @@
+"""Declarative cell descriptions for chaos campaigns.
+
+A campaign is a matrix of **cells**; each cell pins one
+``{device, app, graph, fault plan}`` combination.  Both
+:class:`GraphSpec` and :class:`CellSpec` are value objects with exact
+dict round-trips, so a cell (and therefore a failure) is fully
+describable by a JSON blob — the property the repro bundles rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import UserInputError
+from repro.faults.plan import FaultPlan
+from repro.graph.coo import Graph
+
+#: Generator families a cell may draw its graph from.
+GRAPH_KINDS = ("rmat", "powerlaw", "uniform")
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A graph described by its generator inputs, not its edges.
+
+    ``build()`` is deterministic: the same spec always yields the same
+    COO arrays, which is what makes a repro bundle self-contained — it
+    ships the recipe, not megabytes of edge list.
+    """
+
+    kind: str
+    vertices: int
+    edges: int
+    seed: int
+    exponent: float = 1.8
+    weighted: bool = False
+
+    def __post_init__(self):
+        if self.kind not in GRAPH_KINDS:
+            raise UserInputError(
+                f"unknown graph kind {self.kind!r}; expected one of "
+                f"{GRAPH_KINDS}"
+            )
+        if self.vertices < 2 or self.edges < 1:
+            raise UserInputError(
+                f"degenerate graph spec: {self.vertices} vertices, "
+                f"{self.edges} edges"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}{self.vertices}s{self.seed}"
+
+    def build(self) -> Graph:
+        """Materialise the graph (deterministic in the spec)."""
+        from repro.check.runner import with_random_weights
+        from repro.graph.generators import (
+            erdos_renyi_graph,
+            power_law_graph,
+            rmat_graph,
+        )
+
+        if self.kind == "rmat":
+            scale = max((self.vertices - 1).bit_length(), 2)
+            factor = max(self.edges // (1 << scale), 1)
+            graph = rmat_graph(scale, factor, seed=self.seed, name=self.name)
+        elif self.kind == "powerlaw":
+            graph = power_law_graph(
+                self.vertices, self.edges, exponent=self.exponent,
+                seed=self.seed, name=self.name,
+            )
+        else:
+            graph = erdos_renyi_graph(
+                self.vertices, self.edges, seed=self.seed, name=self.name
+            )
+        if self.weighted:
+            graph = with_random_weights(graph, seed=self.seed)
+        return graph
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "vertices": self.vertices,
+            "edges": self.edges,
+            "seed": self.seed,
+            "exponent": self.exponent,
+            "weighted": self.weighted,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "GraphSpec":
+        return GraphSpec(
+            kind=str(data["kind"]),
+            vertices=int(data["vertices"]),
+            edges=int(data["edges"]),
+            seed=int(data["seed"]),
+            exponent=float(data.get("exponent", 1.8)),
+            weighted=bool(data.get("weighted", False)),
+        )
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One campaign cell: everything needed to re-execute it exactly."""
+
+    cell_id: str
+    device: str
+    app: str
+    graph: GraphSpec
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    root: int = 0
+    max_iterations: Optional[int] = 30
+    buffer_vertices: int = 256
+    num_pipelines: int = 4
+
+    def with_plan(self, plan: FaultPlan) -> "CellSpec":
+        """The same cell under a different fault plan (used by shrinking)."""
+        return CellSpec(
+            cell_id=self.cell_id,
+            device=self.device,
+            app=self.app,
+            graph=self.graph,
+            fault_plan=plan,
+            root=self.root,
+            max_iterations=self.max_iterations,
+            buffer_vertices=self.buffer_vertices,
+            num_pipelines=self.num_pipelines,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "cell_id": self.cell_id,
+            "device": self.device,
+            "app": self.app,
+            "graph": self.graph.to_dict(),
+            "fault_plan": self.fault_plan.to_dict(),
+            "root": self.root,
+            "max_iterations": self.max_iterations,
+            "buffer_vertices": self.buffer_vertices,
+            "num_pipelines": self.num_pipelines,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CellSpec":
+        max_iterations = data.get("max_iterations", 30)
+        return CellSpec(
+            cell_id=str(data["cell_id"]),
+            device=str(data["device"]),
+            app=str(data["app"]),
+            graph=GraphSpec.from_dict(data["graph"]),
+            fault_plan=FaultPlan.from_dict(data.get("fault_plan", {})),
+            root=int(data.get("root", 0)),
+            max_iterations=(
+                None if max_iterations is None else int(max_iterations)
+            ),
+            buffer_vertices=int(data.get("buffer_vertices", 256)),
+            num_pipelines=int(data.get("num_pipelines", 4)),
+        )

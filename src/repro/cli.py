@@ -11,7 +11,8 @@ Fig. 8:
 * ``shuhai``    — characterise the HBM channel model;
 * ``selfcheck`` — run the post-install correctness matrix;
 * ``faultsim``  — inject faults and exercise the resilient runtime;
-* ``check``     — run the conformance oracles and trace invariants.
+* ``check``     — run the conformance oracles and trace invariants;
+* ``chaos``     — randomized fault soak campaigns (run/replay/report).
 
 Graphs come either from ``--dataset KEY`` (synthetic Table III stand-ins,
 with ``--scale``) or ``--edge-list FILE``.
@@ -210,6 +211,11 @@ def cmd_faultsim(args) -> int:
     framework = _framework(args)
     pre = framework.preprocess(graph)
 
+    # --fault-seed defaults to the graph seed so one --seed value pins
+    # the whole invocation; the effective pair is printed either way.
+    fault_seed = (
+        args.fault_seed if args.fault_seed is not None else args.seed
+    )
     dead = tuple(
         DeadChannelFault(channel=c, onset_cycle=args.onset)
         for c in (args.dead_channel or [])
@@ -237,7 +243,7 @@ def cmd_faultsim(args) -> int:
             multiplier=args.spike_multiplier,
         ),)
     fault_plan = FaultPlan(
-        seed=args.fault_seed,
+        seed=fault_seed,
         dead_channels=dead,
         latency_spikes=spikes,
         bit_flips=flips,
@@ -269,6 +275,8 @@ def cmd_faultsim(args) -> int:
           f"(seed {fault_plan.seed}): {len(dead)} dead channel(s), "
           f"{len(spikes)} latency spike(s), {len(flips)} bit-flip model(s), "
           f"{len(stalls)} stall model(s)")
+    print(f"seeds: graph={args.seed} fault={fault_seed} "
+          f"(reproduce with --seed {args.seed} --fault-seed {fault_seed})")
     print(f"clean run:   {clean.iterations} iterations, "
           f"{clean.total_cycles:,.0f} cycles, {clean.mteps:,.0f} MTEPS")
     print(f"faulted run: {run.iterations} iterations, "
@@ -283,7 +291,14 @@ def cmd_faultsim(args) -> int:
     print(f"absorbed: {health.fault_count} faults, {health.retries} retries, "
           f"{health.replans} re-plans, "
           f"{health.checkpoint_restores} checkpoint restores, "
-          f"{health.watchdog_trips} watchdog trips")
+          f"{health.watchdog_trips} watchdog trips, "
+          f"{health.breaker_trips} breaker trips")
+    open_channels = [
+        ch for ch, state in health.channel_breakers.items()
+        if state["state"] == "open"
+    ]
+    if open_channels:
+        print(f"open breakers: channel(s) {', '.join(open_channels)}")
     print(f"overhead: {health.overhead_cycles:,.0f} cycles "
           f"({health.overhead_fraction:.1%} of useful work)")
     return 0
@@ -317,6 +332,114 @@ def cmd_check(args) -> int:
     print(f"{report.num_checks - failed_oracles}/{report.num_checks} "
           f"oracle checks passed, "
           f"{len(report.violations)} invariant violation(s)")
+    return 0 if report.passed else 1
+
+
+def cmd_chaos(args) -> int:
+    if args.chaos_command == "run":
+        return _chaos_run(args)
+    if args.chaos_command == "replay":
+        return _chaos_replay(args)
+    return _chaos_report(args)
+
+
+def _print_campaign_summary(report) -> None:
+    rows = []
+    for result in report.results:
+        health = result.health
+        rows.append((
+            result.cell_id,
+            result.status,
+            len(health.get("faults", [])),
+            health.get("replans", 0),
+            health.get("breaker_trips", 0),
+            result.detail[:60] if result.detail else "",
+        ))
+    print(format_table(
+        ["cell", "status", "faults", "re-plans", "breaker trips", "detail"],
+        rows,
+        title=f"chaos campaign: {report.survived}/{len(report.results)} "
+              f"cells survived",
+    ))
+    counts = report.fault_counts()
+    if counts:
+        absorbed = ", ".join(
+            f"{n} {cat}" for cat, n in sorted(counts.items())
+        )
+        print(f"faults absorbed: {absorbed}")
+    for path in report.bundles:
+        print(f"repro bundle: {path}")
+
+
+def _chaos_run(args) -> int:
+    import json
+
+    from repro.chaos import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        seed=args.chaos_seed,
+        cells=args.cells,
+        devices=tuple(args.device or ["U280", "U50"]),
+        intensity=args.intensity,
+        buffer_vertices=args.buffer_vertices,
+        num_pipelines=args.pipelines or 4,
+        max_iterations=args.iterations,
+    )
+    print(f"chaos campaign: {config.cells} cells, seed {config.seed}, "
+          f"intensity {config.intensity}, "
+          f"devices {'/'.join(config.devices)}")
+
+    def progress(index, total, result):
+        if not result.survived:
+            print(f"  [{index + 1}/{total}] {result.cell_id}: "
+                  f"{result.status} ({result.category})")
+
+    report = run_campaign(
+        config,
+        bundle_dir=args.bundle_dir,
+        shrink_failures=not args.no_shrink,
+        max_probes=args.max_probes,
+        progress=progress,
+    )
+    _print_campaign_summary(report)
+    if args.report_json:
+        with open(args.report_json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"report written to {args.report_json}")
+    return 0 if report.passed else 1
+
+
+def _chaos_replay(args) -> int:
+    from repro.chaos import load_bundle, replay_bundle
+
+    bundle = load_bundle(args.bundle)
+    cell = bundle["cell"]
+    shrink = bundle.get("shrink")
+    print(f"replaying {cell['cell_id']}: {cell['app']} on "
+          f"{cell['device']} ({cell['graph']['kind']} graph, "
+          f"{cell['graph']['vertices']} vertices)")
+    if shrink:
+        print(f"shrunk plan: {shrink['original_events']} -> "
+              f"{shrink['shrunk_events']} fault event(s) "
+              f"in {shrink['probes']} probes")
+    replay = replay_bundle(bundle)
+    print(f"outcome: {replay.result.status}"
+          + (f" ({replay.result.category})" if replay.result.category else ""))
+    print(f"expected digest: {replay.expected_digest}")
+    print(f"actual digest:   {replay.actual_digest}")
+    print("failure reproduced bit-for-bit" if replay.reproduced
+          else "DIGEST MISMATCH: failure did not reproduce")
+    return 0 if replay.reproduced else 1
+
+
+def _chaos_report(args) -> int:
+    import json
+
+    from repro.chaos import CampaignReport
+
+    with open(args.report) as fh:
+        report = CampaignReport.from_dict(json.load(fh))
+    _print_campaign_summary(report)
     return 0 if report.passed else 1
 
 
@@ -366,8 +489,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["pagerank", "bfs", "closeness"])
     p.add_argument("--root", type=int, default=0)
     p.add_argument("--iterations", type=int, default=None)
-    p.add_argument("--fault-seed", type=int, default=0,
-                   help="seed of the fault injector's RNG")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="seed of the fault injector's RNG "
+                        "(default: the graph --seed)")
     p.add_argument("--dead-channel", type=int, action="append",
                    metavar="CH",
                    help="pseudo-channel that dies at --onset (repeatable)")
@@ -413,6 +537,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pipelines", type=int, default=4)
     p.add_argument("--quick", action="store_true",
                    help="single-graph smoke suite instead of the full one")
+
+    p = sub.add_parser(
+        "chaos",
+        help="randomized fault soak campaigns with conformance oracles",
+    )
+    chaos_sub = p.add_subparsers(dest="chaos_command", required=True)
+
+    pr = chaos_sub.add_parser(
+        "run", help="generate and execute a seeded campaign"
+    )
+    pr.add_argument("--cells", type=int, default=50,
+                    help="number of campaign cells (default 50)")
+    pr.add_argument("--chaos-seed", type=int, default=0,
+                    help="campaign seed: determines every cell exactly")
+    pr.add_argument("--device", action="append",
+                    choices=["U280", "U50"],
+                    help="device(s) to cycle through (repeatable; "
+                         "default both)")
+    pr.add_argument("--intensity", default="moderate",
+                    choices=["light", "moderate", "heavy"],
+                    help="fault-envelope preset per cell")
+    pr.add_argument("--buffer-vertices", type=int, default=256,
+                    help="destination vertices per Gather PE")
+    pr.add_argument("--pipelines", type=int, default=4)
+    pr.add_argument("--iterations", type=int, default=30,
+                    help="per-cell iteration cap")
+    pr.add_argument("--bundle-dir", default=None,
+                    help="directory for repro bundles of failing cells")
+    pr.add_argument("--report-json", default=None,
+                    help="write the full campaign report as JSON")
+    pr.add_argument("--no-shrink", action="store_true",
+                    help="bundle failures without delta-debugging them")
+    pr.add_argument("--max-probes", type=int, default=48,
+                    help="probe budget per shrink (default 48)")
+
+    pp = chaos_sub.add_parser(
+        "replay", help="re-execute a repro bundle and verify its digest"
+    )
+    pp.add_argument("bundle", help="path to a .repro.json bundle")
+
+    pp = chaos_sub.add_parser(
+        "report", help="summarise a campaign report JSON"
+    )
+    pp.add_argument("report", help="path written by chaos run --report-json")
     return parser
 
 
@@ -426,6 +594,7 @@ _COMMANDS = {
     "selfcheck": cmd_selfcheck,
     "faultsim": cmd_faultsim,
     "check": cmd_check,
+    "chaos": cmd_chaos,
 }
 
 

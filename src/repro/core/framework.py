@@ -123,6 +123,7 @@ class ReGraph:
         functional: bool = True,
         fault_plan=None,
         resilience=None,
+        breakers=None,
     ) -> RunReport:
         """Deploy and execute an app (Fig. 8 step 5).
 
@@ -136,6 +137,11 @@ class ReGraph:
         absorbed by watchdog/retry/checkpoint/degrade and accounted in
         ``run.health``.  With both left ``None`` the plain simulator runs
         — bit-for-bit the historical code path.
+
+        ``breakers`` optionally shares a
+        :class:`~repro.faults.resilience.CircuitBreakerBank` across runs
+        so repeatedly-faulting channels stay degraded between executions
+        (the host runtime passes its per-handle bank here).
         """
         pre = (
             graph_or_pre
@@ -149,6 +155,7 @@ class ReGraph:
             executor = ResilientExecutor(
                 pre, self.platform, self.channel,
                 fault_plan=fault_plan, policy=resilience,
+                breakers=breakers,
             )
             run = executor.run(
                 app, max_iterations=max_iterations, functional=functional
@@ -178,6 +185,7 @@ class ReGraph:
         functional = kwargs.pop("functional", True)
         fault_plan = kwargs.pop("fault_plan", None)
         resilience = kwargs.pop("resilience", None)
+        breakers = kwargs.pop("breakers", None)
         return self.run(
             graph_or_pre,
             lambda g: PageRank(g, **kwargs),
@@ -185,6 +193,7 @@ class ReGraph:
             functional=functional,
             fault_plan=fault_plan,
             resilience=resilience,
+            breakers=breakers,
         )
 
     def run_bfs(self, graph_or_pre, root: int = 0, **kwargs) -> RunReport:

@@ -73,6 +73,9 @@ class RunReport:
     #: :class:`repro.faults.resilience.RunHealthReport` when the run used
     #: the resilient execution layer; None for plain runs.
     health: Optional[object] = None
+    #: :class:`repro.sched.scheduler.SchedulingPlan` the final iterations
+    #: executed under (differs from the initial plan after degradation).
+    final_plan: Optional[object] = None
 
     @property
     def total_seconds(self) -> float:
@@ -245,6 +248,7 @@ class SystemSimulator:
             accel_label=self.plan.accelerator.label,
             frequency_mhz=self.frequency_mhz,
             edges_per_iteration=self.plan.total_edges(),
+            final_plan=self.plan,
         )
         props = app.init_props() if functional else None
         for _ in range(limit):

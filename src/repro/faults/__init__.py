@@ -22,8 +22,10 @@ from repro.faults.plan import (
     PipelineStallFault,
 )
 from repro.faults.resilience import (
+    ChannelBreakerState,
     Checkpoint,
     CheckpointStore,
+    CircuitBreakerBank,
     FaultRecord,
     ResiliencePolicy,
     ResilientExecutor,
@@ -32,8 +34,10 @@ from repro.faults.resilience import (
 
 __all__ = [
     "BitFlipFault",
+    "ChannelBreakerState",
     "Checkpoint",
     "CheckpointStore",
+    "CircuitBreakerBank",
     "DeadChannelFault",
     "FaultInjector",
     "FaultPlan",

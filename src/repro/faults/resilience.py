@@ -20,6 +20,14 @@ iteration in a fault-handling loop:
   the remaining partitions onto the survivors (``M + N`` shrinks) via the
   model-guided scheduler, and revalidates the new plan with
   :func:`repro.sched.serialize.verify_plan_against`.
+* **Per-channel circuit breakers** — every fault attributable to a
+  pseudo-channel charges that channel's :class:`CircuitBreakerBank`
+  entry; a channel whose failure count reaches the policy threshold has
+  its breaker *opened* and its pipeline is permanently degraded instead
+  of being retried forever.  A bank can be shared across runs (the host
+  runtime and the chaos campaign engine do this), in which case channels
+  opened by an earlier run are retired before the next run's first
+  iteration.
 
 Everything the run survived is accounted in a :class:`RunHealthReport`
 attached to the returned :class:`~repro.core.system.RunReport`.  With an
@@ -30,9 +38,10 @@ resilience is idle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -40,6 +49,7 @@ from repro.errors import (
     ChannelFaultError,
     FaultInjectedError,
     ResilienceExhaustedError,
+    UserInputError,
     WatchdogTimeoutError,
 )
 from repro.faults.injector import FaultInjector
@@ -50,7 +60,14 @@ from repro.sched.serialize import plan_to_dict, verify_plan_against
 
 @dataclass(frozen=True)
 class ResiliencePolicy:
-    """Tunables of the resilient execution layer."""
+    """Tunables of the resilient execution layer.
+
+    Every field is validated at construction: a policy that could loop
+    forever (negative retries), never advance simulated time (zero or
+    negative backoff) or never fire the watchdog (non-finite budget
+    factors) raises :class:`~repro.errors.UserInputError` immediately
+    instead of silently mis-executing a run.
+    """
 
     #: Retries per iteration before escalating to degradation / giving up.
     max_retries: int = 3
@@ -63,6 +80,56 @@ class ResiliencePolicy:
     watchdog_floor_cycles: float = 10_000.0
     #: Snapshot vertex state every this many iterations.
     checkpoint_interval: int = 1
+    #: Faults attributed to one channel before its breaker opens and the
+    #: owning pipeline is degraded instead of retried again.
+    breaker_threshold: int = 5
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise UserInputError(
+                f"max_retries must be >= 0, got {self.max_retries} "
+                "(negative retries would loop forever)"
+            )
+        if (
+            not math.isfinite(self.backoff_base_cycles)
+            or self.backoff_base_cycles <= 0
+        ):
+            raise UserInputError(
+                "backoff_base_cycles must be a positive finite cycle "
+                f"count, got {self.backoff_base_cycles} (zero/negative "
+                "backoff never advances simulated time, so bounded fault "
+                "windows never expire)"
+            )
+        if not math.isfinite(self.backoff_factor) or self.backoff_factor < 1.0:
+            raise UserInputError(
+                f"backoff_factor must be finite and >= 1, got "
+                f"{self.backoff_factor} (a shrinking backoff never "
+                "advances simulated time past a fault window)"
+            )
+        if not math.isfinite(self.watchdog_slack) or self.watchdog_slack <= 0:
+            raise UserInputError(
+                f"watchdog_slack must be a positive finite factor, got "
+                f"{self.watchdog_slack} (a non-finite slack means the "
+                "watchdog never fires)"
+            )
+        if (
+            not math.isfinite(self.watchdog_floor_cycles)
+            or self.watchdog_floor_cycles < 0
+        ):
+            raise UserInputError(
+                "watchdog_floor_cycles must be a non-negative finite "
+                f"cycle count, got {self.watchdog_floor_cycles}"
+            )
+        if self.checkpoint_interval < 1:
+            raise UserInputError(
+                f"checkpoint_interval must be >= 1, got "
+                f"{self.checkpoint_interval}"
+            )
+        if self.breaker_threshold < 1:
+            raise UserInputError(
+                f"breaker_threshold must be >= 1, got "
+                f"{self.breaker_threshold}"
+            )
 
     def backoff_cycles(self, attempt: int) -> float:
         """Exponential backoff charged before retry ``attempt`` (1-based)."""
@@ -74,6 +141,15 @@ class ResiliencePolicy:
             self.watchdog_slack * max(estimated_makespan, 0.0)
             + self.watchdog_floor_cycles
         )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable description (used by chaos repro bundles)."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "ResiliencePolicy":
+        """Rebuild a policy from :meth:`to_dict` output."""
+        return ResiliencePolicy(**data)
 
 
 # ----------------------------------------------------------------------
@@ -148,6 +224,135 @@ class CheckpointStore:
 
 
 # ----------------------------------------------------------------------
+# Per-channel circuit breakers
+# ----------------------------------------------------------------------
+@dataclass
+class ChannelBreakerState:
+    """Failure history of one pseudo-channel.
+
+    ``state`` is ``"closed"`` (healthy) or ``"open"`` (the channel
+    faulted past the threshold, or hosted a permanent fault, and its
+    pipeline must not be retried).  ``retired`` records that the owning
+    pipeline has already been degraded *in the current run* — it resets
+    at every run start so a shared bank re-applies its open breakers to
+    each new run's full topology.
+    """
+
+    channel: int
+    failures: int = 0
+    state: str = "closed"
+    last_category: str = ""
+    opened_at_cycle: Optional[float] = None
+    retired: bool = False
+
+    @property
+    def is_open(self) -> bool:
+        """True once the breaker has opened (permanently, per bank)."""
+        return self.state == "open"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot of this breaker."""
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "last_category": self.last_category,
+            "opened_at_cycle": self.opened_at_cycle,
+        }
+
+
+class CircuitBreakerBank:
+    """Per-channel circuit breakers shared by one run or one campaign.
+
+    Channel ids use the host-runtime layout of the topology *at fault
+    time* (pipeline ``g`` owns channels ``2g``/``2g+1``); after a
+    degradation re-plan the surviving pipelines renumber, so breaker
+    entries name capacity lost rather than physical silicon — the same
+    modelling convention the injector's retired-channel set uses.
+    """
+
+    def __init__(self, threshold: int = 5):
+        if threshold < 1:
+            raise UserInputError(
+                f"breaker threshold must be >= 1, got {threshold}"
+            )
+        self.threshold = threshold
+        self._states: Dict[int, ChannelBreakerState] = {}
+        self.trips = 0
+
+    def ensure(self, channels: Iterable[int]) -> None:
+        """Register (closed) breakers for every channel of a topology."""
+        for channel in channels:
+            self._states.setdefault(
+                channel, ChannelBreakerState(channel=channel)
+            )
+
+    def state(self, channel: int) -> ChannelBreakerState:
+        """The breaker of ``channel`` (registered on first touch)."""
+        return self._states.setdefault(
+            channel, ChannelBreakerState(channel=channel)
+        )
+
+    def record_failure(
+        self, channel: int, category: str, cycle: float
+    ) -> bool:
+        """Charge one fault to ``channel``; True when the breaker opens
+        *on this call* (closed -> open transition)."""
+        st = self.state(channel)
+        st.failures += 1
+        st.last_category = category
+        if st.is_open:
+            return False
+        if st.failures >= self.threshold:
+            st.state = "open"
+            st.opened_at_cycle = cycle
+            self.trips += 1
+            return True
+        return False
+
+    def force_open(self, channel: int, category: str, cycle: float) -> bool:
+        """Open a breaker immediately (permanent faults skip the count)."""
+        st = self.state(channel)
+        st.failures += 1
+        st.last_category = category
+        if st.is_open:
+            return False
+        st.state = "open"
+        st.opened_at_cycle = cycle
+        self.trips += 1
+        return True
+
+    def is_open(self, channel: int) -> bool:
+        """Whether ``channel``'s breaker has opened."""
+        st = self._states.get(channel)
+        return st is not None and st.is_open
+
+    def open_unretired_channels(self) -> List[int]:
+        """Open breakers whose pipeline has not been retired this run."""
+        return sorted(
+            ch for ch, st in self._states.items()
+            if st.is_open and not st.retired
+        )
+
+    def mark_retired(self, channels: Iterable[int]) -> None:
+        """Record that these channels' pipeline was degraded this run."""
+        for channel in channels:
+            self.state(channel).retired = True
+
+    def reset_retired(self) -> None:
+        """Start-of-run reset so open breakers re-apply to the fresh
+        topology (shared banks only; per-run banks start empty)."""
+        for st in self._states.values():
+            st.retired = False
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Per-channel state for :class:`RunHealthReport` serialisation."""
+        return {
+            str(ch): self._states[ch].to_dict()
+            for ch in sorted(self._states)
+        }
+
+
+# ----------------------------------------------------------------------
 # Health accounting
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -175,6 +380,11 @@ class RunHealthReport:
     degraded_pipelines: List[str] = field(default_factory=list)
     initial_label: str = ""
     final_label: str = ""
+    #: Breakers that transitioned closed -> open during this run.
+    breaker_trips: int = 0
+    #: Per-channel circuit-breaker snapshot (every channel of the run's
+    #: initial topology appears, healthy ones as ``closed``/0 failures).
+    channel_breakers: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def fault_count(self) -> int:
@@ -220,6 +430,10 @@ class RunHealthReport:
             "degraded_pipelines": list(self.degraded_pipelines),
             "initial_label": self.initial_label,
             "final_label": self.final_label,
+            "breaker_trips": self.breaker_trips,
+            "channel_breakers": {
+                ch: dict(state) for ch, state in self.channel_breakers.items()
+            },
         }
 
 
@@ -236,12 +450,20 @@ class ResilientExecutor:
         channel,
         fault_plan: Optional[FaultPlan] = None,
         policy: Optional[ResiliencePolicy] = None,
+        breakers: Optional[CircuitBreakerBank] = None,
     ):
         self.pre = pre
         self.platform = platform
         self.channel = channel
         self.fault_plan = fault_plan or FaultPlan()
         self.policy = policy or ResiliencePolicy()
+        #: Shared across runs when provided (host runtime / campaigns);
+        #: a fresh per-run bank otherwise.
+        self.breakers = (
+            breakers
+            if breakers is not None
+            else CircuitBreakerBank(self.policy.breaker_threshold)
+        )
 
     # ------------------------------------------------------------------
     def run(self, app, max_iterations=None, functional: bool = True):
@@ -277,6 +499,26 @@ class ResilientExecutor:
         store = CheckpointStore()
         budget = policy.watchdog_budget(plan.estimated_makespan)
 
+        bank = self.breakers
+        bank.reset_retired()
+        bank.ensure(range(2 * plan.accelerator.total_pipelines))
+        # Breakers opened by earlier runs on a shared bank: their
+        # channels are never retried — retire the owning pipelines
+        # before the first iteration.
+        for channel in bank.open_unretired_channels():
+            victim = self._victim_of_channel(channel, plan)
+            if victim is None:
+                continue
+            victim = self._clamp_victim(victim, plan)
+            health.record(
+                0, "breaker-open",
+                f"channel {channel} breaker open at run start; retiring "
+                f"pipeline {victim[0]}{victim[1]}",
+                run.total_cycles,
+            )
+            bank.mark_retired(self._victim_channels(victim, plan))
+            plan, sim, budget = self._degrade(plan, victim, injector, health)
+
         iteration = 0
         while iteration < limit:
             if functional and iteration % policy.checkpoint_interval == 0:
@@ -306,6 +548,13 @@ class ResilientExecutor:
                     )
                     run.total_cycles += budget
                     health.wasted_cycles += budget
+                    if bank.force_open(
+                        fault.channel, fault.category, run.total_cycles
+                    ):
+                        health.breaker_trips += 1
+                    bank.mark_retired(
+                        self._victim_channels(fault.victim, plan)
+                    )
                     plan, sim, budget = self._degrade(
                         plan, fault.victim, injector, health
                     )
@@ -319,12 +568,26 @@ class ResilientExecutor:
                     run.total_cycles += wasted
                     health.wasted_cycles += wasted
                     attempt += 1
-                    if attempt > policy.max_retries:
-                        if fault.victim is None:
+                    breaker_open = False
+                    for ch in self._fault_channels(fault, plan):
+                        if bank.record_failure(
+                            ch, fault.category, run.total_cycles
+                        ):
+                            health.breaker_trips += 1
+                        if bank.is_open(ch):
+                            breaker_open = True
+                    degradable = fault.victim is not None
+                    if attempt > policy.max_retries or (
+                        breaker_open and degradable
+                    ):
+                        if not degradable:
                             raise ResilienceExhaustedError(
                                 f"iteration {iteration} failed "
                                 f"{attempt} times: {fault}"
                             ) from fault
+                        bank.mark_retired(
+                            self._victim_channels(fault.victim, plan)
+                        )
                         plan, sim, budget = self._degrade(
                             plan, fault.victim, injector, health
                         )
@@ -352,7 +615,9 @@ class ResilientExecutor:
             run.props = props
             run.result = app.finalize(props)
         health.final_label = plan.accelerator.label
+        health.channel_breakers = bank.snapshot()
         run.health = health
+        run.final_plan = plan
         return run
 
     # ------------------------------------------------------------------
@@ -367,6 +632,50 @@ class ResilientExecutor:
         if isinstance(fault, WatchdogTimeoutError):
             return min(fault.measured_cycles, budget)
         return budget
+
+    # -- channel <-> pipeline mapping (host-runtime layout) ------------
+    @staticmethod
+    def _victim_of_channel(channel: int, plan) -> Optional[Tuple[str, int]]:
+        """Map a pseudo-channel onto its owning pipeline in ``plan``."""
+        g = channel // 2
+        acc = plan.accelerator
+        if g < acc.num_little:
+            return ("little", g)
+        g -= acc.num_little
+        if g < acc.num_big:
+            return ("big", g)
+        return None
+
+    @staticmethod
+    def _victim_channels(
+        victim: Optional[Tuple[str, int]], plan
+    ) -> List[int]:
+        """The two pseudo-channels a pipeline owns in ``plan``."""
+        if victim is None:
+            return []
+        kind, index = victim
+        g = index if kind == "little" else plan.accelerator.num_little + index
+        return [2 * g, 2 * g + 1]
+
+    def _fault_channels(self, fault: FaultInjectedError, plan) -> List[int]:
+        """Channels a fault is attributable to (empty when unpinned)."""
+        if isinstance(fault, ChannelFaultError):
+            return [fault.channel]
+        return self._victim_channels(fault.victim, plan)
+
+    @staticmethod
+    def _clamp_victim(victim: Tuple[str, int], plan) -> Tuple[str, int]:
+        """Coerce a victim named against an earlier topology into a
+        pipeline that exists in ``plan`` (re-plans rebuild the combo from
+        scratch, so only capacity — not identity — matters)."""
+        kind, index = victim
+        acc = plan.accelerator
+        if kind == "little" and acc.num_little == 0:
+            kind = "little" if acc.num_big == 0 else "big"
+        if kind == "big" and acc.num_big == 0:
+            kind = "little"
+        count = acc.num_little if kind == "little" else acc.num_big
+        return (kind, min(index, max(count - 1, 0)))
 
     def _restore(self, store, health, props, functional):
         """Roll vertex state back to the last checkpoint."""

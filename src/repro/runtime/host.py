@@ -72,6 +72,12 @@ class AcceleratorHandle:
     migration_seconds: float = 0.0
     buffers: Dict[str, DeviceBuffer] = field(default_factory=dict)
     _pre: Optional[PreprocessResult] = None
+    #: Per-channel circuit breakers shared across ``execute`` calls on
+    #: this handle: a channel that keeps faulting stays open (and its
+    #: pipeline degraded) for the lifetime of the context, like a real
+    #: host runtime blacklisting a flaky HBM channel.  Created lazily on
+    #: the first resilient ``execute``.
+    breakers: Optional[object] = None
 
     # -- buffer management --------------------------------------------
     def allocate(self, name: str, num_bytes: int, channels: List[int]):
@@ -140,12 +146,22 @@ class AcceleratorHandle:
         internal_root = (
             self._pre.to_internal_vertex(root) if spec.takes_root else None
         )
+        if fault_plan is not None or resilience is not None:
+            if self.breakers is None:
+                from repro.faults.resilience import (
+                    CircuitBreakerBank,
+                    ResiliencePolicy,
+                )
+
+                policy = resilience or ResiliencePolicy()
+                self.breakers = CircuitBreakerBank(policy.breaker_threshold)
         return self.framework.run(
             self._pre,
             lambda g: spec.build(g, root=internal_root),
             max_iterations=max_iterations,
             fault_plan=fault_plan,
             resilience=resilience,
+            breakers=self.breakers,
         )
 
     def total_offload_seconds(self, run: RunReport) -> float:
@@ -157,6 +173,7 @@ class AcceleratorHandle:
         self.programmed = False
         self.buffers.clear()
         self._pre = None
+        self.breakers = None
 
 
 def init_accelerator(

@@ -1,0 +1,190 @@
+"""Fault-plan shrinking and repro bundles.
+
+Includes the ISSUE acceptance regression fixture: a deliberately-failing
+cell (an unpinned always-stall buried in noise events) that must shrink
+to a minimal one-event plan whose bundle replays to the identical
+failure digest.
+"""
+
+import pytest
+
+from repro.chaos import (
+    BUNDLE_SCHEMA,
+    CellSpec,
+    DEFAULT_CHAOS_POLICY,
+    GraphSpec,
+    ddmin,
+    flatten_plan,
+    load_bundle,
+    make_bundle,
+    rebuild_plan,
+    replay_bundle,
+    run_cell,
+    shrink_cell,
+    write_bundle,
+)
+from repro.errors import UserInputError
+from repro.faults.plan import (
+    BitFlipFault,
+    DeadChannelFault,
+    FaultPlan,
+    LatencySpikeFault,
+    PipelineStallFault,
+)
+
+#: The regression fixture: one fatal event (unpinned always-stall, which
+#: no retry budget survives) buried under three survivable noise events.
+REGRESSION_PLAN = FaultPlan(
+    seed=3,
+    dead_channels=(DeadChannelFault(channel=1, onset_cycle=4000.0),),
+    latency_spikes=(LatencySpikeFault(channel=2, onset_cycle=1000.0),),
+    bit_flips=(BitFlipFault(probability=0.01),),
+    stalls=(PipelineStallFault(probability=1.0, pipeline=None),),
+)
+
+
+def regression_cell() -> CellSpec:
+    return CellSpec(
+        cell_id="regress-0", device="U280", app="pagerank",
+        graph=GraphSpec(kind="rmat", vertices=512, edges=4096, seed=5),
+        fault_plan=REGRESSION_PLAN,
+    )
+
+
+# ----------------------------------------------------------------------
+# Event flattening
+# ----------------------------------------------------------------------
+class TestFlatten:
+    def test_round_trip(self):
+        events = flatten_plan(REGRESSION_PLAN)
+        assert len(events) == 4
+        assert rebuild_plan(REGRESSION_PLAN.seed, events) == REGRESSION_PLAN
+
+    def test_subset_rebuild(self):
+        events = flatten_plan(REGRESSION_PLAN)
+        only_stall = [e for e in events if e[0] == "stalls"]
+        plan = rebuild_plan(REGRESSION_PLAN.seed, only_stall)
+        assert plan.dead_channels == () and plan.bit_flips == ()
+        assert plan.stalls == REGRESSION_PLAN.stalls
+        assert plan.seed == REGRESSION_PLAN.seed
+
+
+# ----------------------------------------------------------------------
+# ddmin on synthetic predicates
+# ----------------------------------------------------------------------
+class TestDdmin:
+    def test_single_culprit(self):
+        events = [("e", i) for i in range(8)]
+        result = ddmin(events, lambda evs: ("e", 5) in evs)
+        assert result == [("e", 5)]
+
+    def test_pair_of_culprits(self):
+        events = [("e", i) for i in range(10)]
+        need = {("e", 2), ("e", 7)}
+        result = ddmin(events, lambda evs: need <= set(evs))
+        assert set(result) == need
+
+    def test_everything_needed_stays(self):
+        events = [("e", i) for i in range(4)]
+        result = ddmin(events, lambda evs: len(evs) == 4)
+        assert result == events
+
+
+# ----------------------------------------------------------------------
+# Shrinking real cells
+# ----------------------------------------------------------------------
+class TestShrinkCell:
+    def test_regression_fixture_shrinks_to_one_event(self):
+        cell = regression_cell()
+        failure = run_cell(cell)
+        assert failure.status == "crash"
+        assert failure.category == "ResilienceExhaustedError"
+
+        shrunk = shrink_cell(cell, failure)
+        assert shrunk.original_events == 4
+        assert shrunk.shrunk_events == 1
+        assert not shrunk.exhausted
+        assert shrunk.plan.stalls == REGRESSION_PLAN.stalls
+        assert shrunk.plan.dead_channels == ()
+        # The minimal plan still fails the same way.
+        assert shrunk.result.signature == failure.signature
+
+    def test_probe_budget_caps_work(self):
+        cell = regression_cell()
+        failure = run_cell(cell)
+        shrunk = shrink_cell(cell, failure, max_probes=1)
+        assert shrunk.exhausted
+        assert shrunk.probes == 1
+        # Whatever it settled on must still carry the failure.
+        assert shrunk.result.signature == failure.signature
+
+    def test_non_fault_failure_shrinks_to_empty(self, monkeypatch):
+        # If the failure reproduces with zero fault events, the bug is
+        # in the runtime and the shrink must say so (empty plan).
+        import repro.chaos.shrink as shrink_mod
+
+        cell = regression_cell()
+        failure = run_cell(cell)
+
+        def always_fails(trial, policy=None, bands=None):
+            return failure
+
+        monkeypatch.setattr(shrink_mod, "run_cell", always_fails)
+        shrunk = shrink_mod.shrink_cell(cell, failure)
+        assert shrunk.shrunk_events == 0
+        assert shrunk.plan.is_empty
+
+
+# ----------------------------------------------------------------------
+# Bundles
+# ----------------------------------------------------------------------
+class TestBundles:
+    def test_acceptance_shrink_bundle_replay(self, tmp_path):
+        """ISSUE acceptance: shrink a deliberately-failing cell, write
+        its bundle, replay it to the *identical* failure digest."""
+        cell = regression_cell()
+        failure = run_cell(cell)
+        shrunk = shrink_cell(cell, failure)
+        path = write_bundle(
+            str(tmp_path), cell, failure, DEFAULT_CHAOS_POLICY,
+            shrunk=shrunk,
+        )
+
+        bundle = load_bundle(path)
+        assert bundle["schema"] == BUNDLE_SCHEMA
+        assert bundle["shrink"]["shrunk_events"] == 1
+        assert bundle["original_failure"]["digest"] == failure.digest
+
+        replay = replay_bundle(path)
+        assert replay.reproduced
+        assert replay.actual_digest == bundle["failure"]["digest"]
+        assert replay.result.status == "crash"
+
+    def test_unshrunk_bundle_replays_original(self, tmp_path):
+        cell = regression_cell()
+        failure = run_cell(cell)
+        path = write_bundle(
+            str(tmp_path), cell, failure, DEFAULT_CHAOS_POLICY
+        )
+        bundle = load_bundle(path)
+        assert bundle["shrunk_plan"] is None
+        replay = replay_bundle(path)
+        assert replay.reproduced
+        assert replay.actual_digest == failure.digest
+
+    def test_bundle_is_self_contained(self):
+        # make_bundle output must survive a JSON round trip unchanged.
+        import json
+
+        cell = regression_cell()
+        failure = run_cell(cell)
+        bundle = make_bundle(cell, failure, DEFAULT_CHAOS_POLICY)
+        assert json.loads(json.dumps(bundle)) == bundle
+
+    def test_bad_schema_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.repro.json"
+        path.write_text(json.dumps({"schema": "something/v99"}))
+        with pytest.raises(UserInputError, match="schema"):
+            load_bundle(str(path))

@@ -31,6 +31,7 @@ from repro.errors import (
 from repro.faults import (
     BitFlipFault,
     CheckpointStore,
+    CircuitBreakerBank,
     DeadChannelFault,
     FaultInjector,
     FaultPlan,
@@ -139,6 +140,32 @@ class TestCheckpointStore:
         assert cp.iteration == 7 and cp.total_cycles == 99.5
         np.testing.assert_allclose(cp.props, np.linspace(0, 1, 5))
 
+    def test_keep_bounds_memory_for_any_keep(self):
+        for keep in (1, 3):
+            store = CheckpointStore(keep=keep)
+            for i in range(10):
+                store.save(i, np.array([float(i)]), float(i))
+            assert len(store._stack) == keep
+            # Pruning drops the oldest, never the newest.
+            assert store.latest().iteration == 9
+            assert store._stack[0].iteration == 10 - keep
+
+    def test_file_round_trip_is_bit_exact(self, tmp_path):
+        # Awkward irrational values: any lossy serialisation would show.
+        rng = np.random.default_rng(3)
+        props = np.sqrt(rng.random(64, dtype=np.float64)) * 1e-17
+        store = CheckpointStore()
+        store.save(12, props, 1234.5678)
+        cp = CheckpointStore.from_file(store.to_file(tmp_path / "c.npz"))
+        assert cp.iteration == 12
+        assert cp.total_cycles == 1234.5678
+        assert cp.props.dtype == props.dtype
+        assert cp.props.tobytes() == props.tobytes()
+
+    def test_restore_empty_message_names_the_problem(self):
+        with pytest.raises(ResilienceExhaustedError, match="checkpoint"):
+            CheckpointStore().restore()
+
 
 # ----------------------------------------------------------------------
 # Policy arithmetic
@@ -158,6 +185,88 @@ class TestResiliencePolicy:
         )
         assert policy.watchdog_budget(500.0) == 3000.0
         assert policy.watchdog_budget(0.0) == 1000.0
+
+    @pytest.mark.parametrize("kwargs,needle", [
+        ({"max_retries": -1}, "max_retries"),
+        ({"backoff_base_cycles": 0.0}, "backoff_base_cycles"),
+        ({"backoff_base_cycles": -5.0}, "backoff_base_cycles"),
+        ({"backoff_base_cycles": float("nan")}, "backoff_base_cycles"),
+        ({"backoff_factor": 0.5}, "backoff_factor"),
+        ({"backoff_factor": float("inf")}, "backoff_factor"),
+        ({"watchdog_slack": 0.0}, "watchdog_slack"),
+        ({"watchdog_slack": float("nan")}, "watchdog_slack"),
+        ({"watchdog_slack": float("inf")}, "watchdog_slack"),
+        ({"watchdog_floor_cycles": -1.0}, "watchdog_floor_cycles"),
+        ({"checkpoint_interval": 0}, "checkpoint_interval"),
+        ({"breaker_threshold": 0}, "breaker_threshold"),
+    ])
+    def test_invalid_fields_rejected_at_construction(self, kwargs, needle):
+        with pytest.raises(UserInputError, match=needle):
+            ResiliencePolicy(**kwargs)
+
+    def test_boundary_values_accepted(self):
+        # Edges of the valid ranges must construct fine.
+        ResiliencePolicy(max_retries=0)
+        ResiliencePolicy(backoff_factor=1.0)
+        ResiliencePolicy(watchdog_floor_cycles=0.0)
+        ResiliencePolicy(checkpoint_interval=1, breaker_threshold=1)
+
+    def test_dict_round_trip(self):
+        policy = ResiliencePolicy(
+            max_retries=7, backoff_base_cycles=123.0, breaker_threshold=2
+        )
+        assert ResiliencePolicy.from_dict(policy.to_dict()) == policy
+
+
+# ----------------------------------------------------------------------
+# Circuit breakers
+# ----------------------------------------------------------------------
+class TestCircuitBreakerBank:
+    def test_opens_at_threshold(self):
+        bank = CircuitBreakerBank(threshold=3)
+        assert not bank.record_failure(4, "pipeline-stall", 10.0)
+        assert not bank.record_failure(4, "pipeline-stall", 20.0)
+        assert bank.record_failure(4, "pipeline-stall", 30.0)  # 3rd opens
+        assert bank.is_open(4)
+        assert bank.trips == 1
+        # Further failures keep it open without re-tripping.
+        assert not bank.record_failure(4, "pipeline-stall", 40.0)
+        assert bank.trips == 1
+
+    def test_force_open_skips_the_count(self):
+        bank = CircuitBreakerBank(threshold=5)
+        assert bank.force_open(2, "dead-channel", 100.0)
+        assert bank.is_open(2)
+        state = bank.state(2)
+        assert state.opened_at_cycle == 100.0
+        assert state.last_category == "dead-channel"
+        # Idempotent.
+        assert not bank.force_open(2, "dead-channel", 200.0)
+        assert bank.trips == 1
+
+    def test_retirement_cycle(self):
+        bank = CircuitBreakerBank(threshold=1)
+        bank.record_failure(0, "pipeline-stall", 1.0)
+        assert bank.open_unretired_channels() == [0]
+        bank.mark_retired([0, 1])
+        assert bank.open_unretired_channels() == []
+        # A new run re-applies open breakers to the fresh topology.
+        bank.reset_retired()
+        assert bank.open_unretired_channels() == [0]
+
+    def test_snapshot_covers_ensured_channels(self):
+        bank = CircuitBreakerBank(threshold=2)
+        bank.ensure(range(4))
+        bank.record_failure(3, "bit-flip", 5.0)
+        snap = bank.snapshot()
+        assert sorted(snap) == ["0", "1", "2", "3"]
+        assert snap["3"]["failures"] == 1
+        assert snap["3"]["state"] == "closed"
+        assert snap["0"]["state"] == "closed"
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(UserInputError):
+            CircuitBreakerBank(threshold=0)
 
 
 # ----------------------------------------------------------------------
@@ -279,6 +388,50 @@ class TestResilientRuns:
                 resilience=ResiliencePolicy(max_retries=1),
             )
 
+    def test_every_health_report_carries_breaker_state(self, framework, pre):
+        # U50 6-pipeline topology: 12 pseudo-channels, all reported even
+        # when nothing faulted.
+        run = framework.run_pagerank(
+            pre, max_iterations=4, fault_plan=FaultPlan()
+        )
+        breakers = run.health.channel_breakers
+        assert sorted(breakers) == sorted(str(c) for c in range(12))
+        assert all(s["state"] == "closed" for s in breakers.values())
+        assert run.health.breaker_trips == 0
+
+    def test_dead_channel_force_opens_breaker(self, framework, pre):
+        plan = FaultPlan(dead_channels=(
+            DeadChannelFault(channel=0, onset_cycle=6000.0),
+        ))
+        run = framework.run_pagerank(pre, max_iterations=20, fault_plan=plan)
+        health = run.health
+        assert health.breaker_trips == 1
+        assert health.channel_breakers["0"]["state"] == "open"
+        assert health.channel_breakers["0"]["last_category"] == "dead-channel"
+        assert health.channel_breakers["1"]["state"] == "closed"
+
+    def test_breaker_degrades_before_retries_exhaust(self, framework, pre):
+        # A persistent pinned stall with a huge retry budget: without
+        # breakers the executor would retry forever-ish; the breaker
+        # opens after 2 failures and degrades the pipeline instead.
+        plan = FaultPlan(seed=6, stalls=(
+            PipelineStallFault(probability=1.0, pipeline=1),
+        ))
+        run = framework.run_pagerank(
+            pre, max_iterations=6, fault_plan=plan,
+            resilience=ResiliencePolicy(
+                max_retries=50, breaker_threshold=2
+            ),
+        )
+        health = run.health
+        assert health.breaker_trips >= 1
+        assert health.replans >= 1
+        assert health.retries < 50
+        assert any(
+            s["state"] == "open" for s in health.channel_breakers.values()
+        )
+        assert run.converged
+
     def test_health_report_serialises(self, framework, pre):
         plan = FaultPlan(seed=7, bit_flips=(
             BitFlipFault(probability=0.02),
@@ -288,6 +441,8 @@ class TestResilientRuns:
         assert d["retries"] == run.health.retries
         assert len(d["faults"]) == run.health.fault_count
         assert d["initial_label"] == "4L2B"
+        assert d["breaker_trips"] == run.health.breaker_trips
+        assert d["channel_breakers"] == run.health.channel_breakers
 
     @given(
         seed=st.integers(min_value=0, max_value=2**32 - 1),
@@ -340,6 +495,25 @@ class TestFaultsimCli:
         assert code == 0
         assert "clean run:" in out and "faulted run:" in out
         assert "re-plans" in out and "overhead:" in out
+        assert "breaker trips" in out
+
+    def test_faultsim_prints_effective_seeds(self, capsys):
+        # --fault-seed defaults to the graph --seed; the printed line is
+        # enough to reproduce the invocation.
+        code = main(self.ARGS + ["--seed", "9", "--stall-rate", "0.05",
+                                 "--stall-pipeline", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "seeds: graph=9 fault=9" in out
+        assert "--seed 9 --fault-seed 9" in out
+
+    def test_faultsim_explicit_fault_seed_wins(self, capsys):
+        code = main(self.ARGS + ["--seed", "9", "--fault-seed", "13",
+                                 "--stall-rate", "0.05",
+                                 "--stall-pipeline", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "seeds: graph=9 fault=13" in out
 
     def test_faultsim_parses(self):
         from repro.cli import build_parser

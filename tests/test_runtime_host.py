@@ -87,3 +87,49 @@ class TestExecution:
         handle.release()
         with pytest.raises(RuntimeError):
             handle.load_graph(small_rmat)
+
+
+class TestPersistentBreakers:
+    """The handle's circuit-breaker bank outlives individual executes:
+    a channel blacklisted in one run stays blacklisted in the next."""
+
+    def test_plain_execute_creates_no_bank(self, handle, small_rmat):
+        handle.load_graph(small_rmat)
+        handle.execute("pagerank", max_iterations=2)
+        assert handle.breakers is None
+
+    def test_bank_persists_across_executes(self, handle, small_rmat):
+        from repro.faults import DeadChannelFault, FaultPlan
+
+        handle.load_graph(small_rmat)
+        plan = FaultPlan(dead_channels=(
+            DeadChannelFault(channel=0, onset_cycle=2000.0),
+        ))
+        first = handle.execute("pagerank", max_iterations=10,
+                               fault_plan=plan)
+        bank = handle.breakers
+        assert bank is not None
+        assert first.health.breaker_trips == 1
+        assert first.health.channel_breakers["0"]["state"] == "open"
+
+        # Same handle, fresh run, *empty* fault plan: the open breaker
+        # degrades channel 0's pipeline at run start, before any fault.
+        second = handle.execute("pagerank", max_iterations=10,
+                                fault_plan=FaultPlan())
+        assert handle.breakers is bank
+        assert second.health.replans >= 1
+        assert any(
+            f.category == "breaker-open" for f in second.health.faults
+        )
+        assert second.health.channel_breakers["0"]["state"] == "open"
+
+    def test_release_drops_the_bank(self, handle, small_rmat):
+        from repro.faults import DeadChannelFault, FaultPlan
+
+        handle.load_graph(small_rmat)
+        handle.execute("pagerank", max_iterations=5, fault_plan=FaultPlan(
+            dead_channels=(DeadChannelFault(channel=0),)
+        ))
+        assert handle.breakers is not None
+        handle.release()
+        assert handle.breakers is None
