@@ -1,0 +1,94 @@
+"""Fleet-throughput benchmark: pool-size scaling of the serving runtime.
+
+Serves one fixed, seeded job stream (clean jobs, all submitted at t=0 so
+the pool is the only bottleneck) through fleets of 1, 2 and 4 replicas
+and reports jobs per *virtual* second plus p50/p99 modelled latency per
+pool size.  The gate: a 4-replica pool must deliver > 1.5x the
+single-replica throughput — placement and dispatch must actually use
+the extra cards, not serialise onto one.
+"""
+
+from repro.chaos.spec import GraphSpec
+from repro.fleet import FleetPolicy, FleetRuntime, Job, make_replica
+from repro.reporting import format_table, write_report
+
+POOL_SIZES = (1, 2, 4)
+#: Devices by pool position: mixed U280/U50, like a real deployment.
+POOL_DEVICES = ("U280", "U50", "U280", "U50")
+NUM_JOBS = 24
+JOB_APPS = ("pagerank", "bfs", "closeness", "wcc")
+ITERATIONS = 8
+MIN_SPEEDUP_1_TO_4 = 1.5
+
+
+def _jobs():
+    return [
+        Job(
+            job_id=f"bench{i:03d}",
+            app=JOB_APPS[i % len(JOB_APPS)],
+            graph=GraphSpec(
+                kind="uniform",
+                vertices=512 + 128 * (i % 3),
+                edges=(512 + 128 * (i % 3)) * 6,
+                seed=100 + i,
+            ),
+            max_iterations=ITERATIONS,
+            submit_time=0.0,
+        )
+        for i in range(NUM_JOBS)
+    ]
+
+
+def _serve(pool_size: int):
+    pool = [
+        make_replica(f"r{i}", POOL_DEVICES[i % len(POOL_DEVICES)])
+        for i in range(pool_size)
+    ]
+    runtime = FleetRuntime(
+        pool, FleetPolicy(max_queue_depth=NUM_JOBS, hedge_enabled=False)
+    )
+    return runtime.run(_jobs())
+
+
+def test_fleet_throughput_scaling(benchmark):
+    reports = {}
+
+    def run_all():
+        reports.clear()
+        for size in POOL_SIZES:
+            reports[size] = _serve(size)
+        return reports
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for size in POOL_SIZES:
+        report = reports[size]
+        latency = report.latency_percentiles()
+        rows.append([
+            str(size),
+            f"{report.completed}/{NUM_JOBS}",
+            f"{report.jobs_per_second:,.0f}",
+            f"{report.makespan_seconds * 1e3:.2f}",
+            f"{latency['p50'] * 1e3:.2f}",
+            f"{latency['p99'] * 1e3:.2f}",
+        ])
+    text = format_table(
+        ["replicas", "completed", "jobs/s (virtual)", "makespan ms",
+         "p50 ms", "p99 ms"],
+        rows,
+        title=f"fleet throughput: {NUM_JOBS} clean jobs, "
+              f"pool sizes {'/'.join(map(str, POOL_SIZES))}",
+    )
+    write_report("fleet_throughput", text)
+
+    for size, report in reports.items():
+        assert report.completed == NUM_JOBS, (size, report.to_dict())
+        assert report.passed, size
+    # The scaling gate: 4 replicas must beat 1 by a real margin.
+    speedup = reports[4].jobs_per_second / reports[1].jobs_per_second
+    assert speedup > MIN_SPEEDUP_1_TO_4, (
+        f"1 -> 4 replicas sped throughput up only {speedup:.2f}x"
+    )
+    # More replicas never slows the fleet down.
+    assert reports[2].jobs_per_second >= reports[1].jobs_per_second

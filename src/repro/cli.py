@@ -12,7 +12,9 @@ Fig. 8:
 * ``selfcheck`` — run the post-install correctness matrix;
 * ``faultsim``  — inject faults and exercise the resilient runtime;
 * ``check``     — run the conformance oracles and trace invariants;
-* ``chaos``     — randomized fault soak campaigns (run/replay/report).
+* ``chaos``     — randomized fault soak campaigns (run/replay/report);
+* ``fleet``     — serve a seeded job stream over a replica pool while
+  killing replicas mid-campaign (run/status/report).
 
 Graphs come either from ``--dataset KEY`` (synthetic Table III stand-ins,
 with ``--scale``) or ``--edge-list FILE``.
@@ -443,6 +445,136 @@ def _chaos_report(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_fleet(args) -> int:
+    if args.fleet_command == "run":
+        return _fleet_run(args)
+    if args.fleet_command == "status":
+        return _fleet_status(args)
+    return _fleet_report(args)
+
+
+def _parse_kill(spec: str):
+    """``INDEX@SECONDS`` (or ``rINDEX@SECONDS``) -> ReplicaKill."""
+    from repro.errors import UserInputError
+    from repro.fleet import ReplicaKill
+
+    try:
+        target, _, when = spec.partition("@")
+        if not when:
+            raise ValueError("missing '@'")
+        replica_id = target if target.startswith("r") else f"r{int(target)}"
+        return ReplicaKill(replica_id=replica_id, at_seconds=float(when))
+    except (ValueError, TypeError) as exc:
+        raise UserInputError(
+            f"bad --kill spec {spec!r} (expected INDEX@SECONDS, "
+            f"e.g. 1@0.002): {exc}"
+        ) from exc
+
+
+def _print_fleet_summary(report) -> None:
+    rows = [
+        (
+            r["replica_id"], r["device"], r["state"],
+            r["jobs_completed"], r["jobs_failed"], r["repairs"],
+            r["retired_reason"][:40],
+        )
+        for r in report.replicas
+    ]
+    print(format_table(
+        ["replica", "device", "state", "done", "failed", "repairs", "note"],
+        rows,
+        title=f"fleet: {report.completed}/{len(report.jobs)} jobs completed "
+              f"({report.rejected} shed, {report.failed} failed, "
+              f"{report.lost} lost)",
+    ))
+    latency = report.latency_percentiles()
+    counters = report.counters
+    print(f"makespan {report.makespan_seconds * 1e3:.2f} ms virtual, "
+          f"{report.jobs_per_second:.0f} jobs/s, "
+          f"latency p50 {latency['p50'] * 1e3:.2f} ms / "
+          f"p99 {latency['p99'] * 1e3:.2f} ms")
+    print(f"failovers {counters.get('failovers', 0)}, "
+          f"hedges {counters.get('hedges', 0)} "
+          f"({counters.get('hedge_wins', 0)} won), "
+          f"canaries {counters.get('canaries', 0)} "
+          f"({counters.get('repairs', 0)} repairs), "
+          f"replica kills {counters.get('kills', 0)}")
+    print("soak PASSED: zero jobs lost, all completions conformance-clean"
+          if report.passed else "soak FAILED")
+
+
+def _fleet_run(args) -> int:
+    import json
+
+    from repro.chaos.fleet_soak import FleetSoakConfig, run_fleet_soak
+    from repro.fleet import FleetPolicy
+
+    config = FleetSoakConfig(
+        seed=args.fleet_seed,
+        jobs=args.jobs,
+        replicas=tuple(args.replica or ["U280", "U280", "U50"]),
+        intensity=args.intensity,
+        kills=tuple(_parse_kill(s) for s in (args.kill or [])),
+        random_kills=args.kills,
+        buffer_vertices=args.buffer_vertices,
+        num_pipelines=args.pipelines or 4,
+        max_iterations=args.iterations,
+    )
+    policy = FleetPolicy(
+        max_queue_depth=args.max_queue_depth,
+        rate_limit_jobs_per_second=args.rate_limit,
+        max_attempts=args.max_attempts,
+        hedge_enabled=not args.no_hedge,
+    )
+    print(f"fleet soak: {config.jobs} jobs over "
+          f"{len(config.replicas)} replicas "
+          f"({'/'.join(config.replicas)}), seed {config.seed}, "
+          f"intensity {config.intensity}")
+    result = run_fleet_soak(config, policy)
+    for kill in result.kills:
+        print(f"  kill: {kill.replica_id} at t={kill.at_seconds * 1e3:.2f} ms")
+    _print_fleet_summary(result.report)
+    if args.report_json:
+        with open(args.report_json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"report written to {args.report_json}")
+    return 0 if result.report.passed else 1
+
+
+def _load_fleet_report(path):
+    import json
+
+    from repro.chaos.fleet_soak import FleetSoakResult
+    from repro.fleet import FleetReport
+
+    with open(path) as fh:
+        data = json.load(fh)
+    if "report" in data:
+        return FleetSoakResult.from_dict(data).report
+    return FleetReport.from_dict(data)
+
+
+def _fleet_status(args) -> int:
+    report = _load_fleet_report(args.report)
+    for r in report.replicas:
+        note = f" ({r['retired_reason']})" if r.get("retired_reason") else ""
+        print(f"{r['replica_id']} [{r['device']}] {r['state']}{note}: "
+              f"{r['jobs_completed']} done, {r['jobs_failed']} failed, "
+              f"{r['open_breakers']} open breaker(s)")
+    admission = report.admission
+    print(f"admission: {admission.get('admitted', 0)}/"
+          f"{admission.get('submitted', 0)} admitted, "
+          f"{admission.get('shed_queue_depth', 0)} shed on queue depth, "
+          f"{admission.get('shed_rate_limit', 0)} rate-limited")
+    return 0
+
+
+def _fleet_report(args) -> int:
+    report = _load_fleet_report(args.report)
+    _print_fleet_summary(report)
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -581,6 +713,59 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="summarise a campaign report JSON"
     )
     pp.add_argument("report", help="path written by chaos run --report-json")
+
+    p = sub.add_parser(
+        "fleet",
+        help="serve a seeded job stream over a replica pool under faults",
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    pf = fleet_sub.add_parser(
+        "run", help="generate and serve a seeded fleet soak"
+    )
+    pf.add_argument("--jobs", type=int, default=30,
+                    help="number of jobs in the stream (default 30)")
+    pf.add_argument("--fleet-seed", type=int, default=0,
+                    help="soak seed: determines the whole job stream")
+    # Deliberately no `choices`: unknown devices flow through
+    # init_accelerator, which lists the valid names in its error.
+    pf.add_argument("--replica", action="append", metavar="DEVICE",
+                    help="device of one pool member (repeatable; "
+                         "default U280 U280 U50)")
+    pf.add_argument("--intensity", default="moderate",
+                    choices=["light", "moderate", "heavy"],
+                    help="fault-envelope preset per faulty job")
+    pf.add_argument("--kill", action="append", metavar="INDEX@SECONDS",
+                    help="kill replica INDEX at a virtual time "
+                         "(repeatable, e.g. --kill 1@0.002)")
+    pf.add_argument("--kills", type=int, default=0,
+                    help="seeded random replica kills (when no --kill)")
+    pf.add_argument("--iterations", type=int, default=30,
+                    help="per-job iteration cap (must cover convergence; "
+                         "the oracles expect converged answers)")
+    pf.add_argument("--buffer-vertices", type=int, default=256)
+    pf.add_argument("--pipelines", type=int, default=4)
+    pf.add_argument("--max-queue-depth", type=int, default=64,
+                    help="admission queue bound (deeper backlog is shed)")
+    pf.add_argument("--rate-limit", type=float, default=None,
+                    help="token-bucket admission rate (jobs per virtual "
+                         "second; default unlimited)")
+    pf.add_argument("--max-attempts", type=int, default=3,
+                    help="dispatches per job before failover exhausts")
+    pf.add_argument("--no-hedge", action="store_true",
+                    help="disable hedged execution of deadline jobs")
+    pf.add_argument("--report-json", default=None,
+                    help="write the full fleet report as JSON")
+
+    pf = fleet_sub.add_parser(
+        "status", help="replica and admission state from a report JSON"
+    )
+    pf.add_argument("report", help="path written by fleet run --report-json")
+
+    pf = fleet_sub.add_parser(
+        "report", help="summarise a fleet report JSON"
+    )
+    pf.add_argument("report", help="path written by fleet run --report-json")
     return parser
 
 
@@ -595,6 +780,7 @@ _COMMANDS = {
     "faultsim": cmd_faultsim,
     "check": cmd_check,
     "chaos": cmd_chaos,
+    "fleet": cmd_fleet,
 }
 
 

@@ -40,6 +40,11 @@ class DeviceOutOfMemoryError(ReproError, MemoryError):
     """A buffer allocation exceeded the per-channel HBM capacity."""
 
 
+class AcceleratorDrainingError(ReproError, RuntimeError):
+    """New work was offered to a handle that is draining (fleet
+    lifecycle hook: in-flight work finishes, nothing new is accepted)."""
+
+
 # ----------------------------------------------------------------------
 # Injected hardware faults (repro.faults)
 # ----------------------------------------------------------------------
@@ -105,6 +110,39 @@ class WatchdogTimeoutError(FaultInjectedError):
 
 class ResilienceExhaustedError(ReproError):
     """Retries and degradation could not absorb the injected faults."""
+
+
+# ----------------------------------------------------------------------
+# Fleet serving runtime (repro.fleet)
+# ----------------------------------------------------------------------
+class FleetError(ReproError):
+    """Base class of the fleet serving runtime's typed errors."""
+
+
+class FleetOverloadError(FleetError):
+    """Admission control rejected a job (queue full or rate limited).
+
+    Load shedding is always *typed*: a shed job surfaces as a rejected
+    :class:`~repro.fleet.job.JobResult` carrying this error's name and
+    message — never as a silent drop.
+    """
+
+    def __init__(self, message: str, reason: str = "overload"):
+        super().__init__(message)
+        #: Machine-readable shed reason: ``"queue-depth"`` or ``"rate-limit"``.
+        self.reason = reason
+
+
+class NoServingReplicaError(FleetError):
+    """No SERVING replica is left to place an admitted job onto."""
+
+
+class ReplicaCrashError(FleetError):
+    """A replica died (or was killed) while a job was in flight."""
+
+
+class JobFailoverExhaustedError(FleetError):
+    """A job failed on every attempt up to the per-job attempt cap."""
 
 
 # ----------------------------------------------------------------------

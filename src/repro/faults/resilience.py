@@ -39,6 +39,8 @@ resilience is idle.
 from __future__ import annotations
 
 import math
+import os
+import zipfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
@@ -197,30 +199,75 @@ class CheckpointStore:
 
     # -- persistence ---------------------------------------------------
     def to_file(self, path: Union[str, Path]) -> Path:
-        """Persist the latest checkpoint (host-side DRAM -> disk)."""
+        """Persist the latest checkpoint (host-side DRAM -> disk).
+
+        The write is crash-safe: the archive is staged to a temporary
+        sibling and moved into place with :func:`os.replace` (atomic on
+        POSIX), so a fleet worker dying mid-save can never leave a torn
+        checkpoint under the final name.
+        """
         cp = self.latest()
         if cp is None:
             raise ResilienceExhaustedError("no checkpoint to persist")
         path = Path(path)
-        np.savez(
-            path,
-            iteration=cp.iteration,
-            props=cp.props,
-            total_cycles=cp.total_cycles,
-        )
-        return path if path.suffix == ".npz" else path.with_suffix(
+        final = path if path.suffix == ".npz" else path.with_suffix(
             path.suffix + ".npz"
         )
+        tmp = final.with_name(final.name + f".tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(
+                    fh,
+                    iteration=cp.iteration,
+                    props=cp.props,
+                    total_cycles=cp.total_cycles,
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return final
 
     @staticmethod
-    def from_file(path: Union[str, Path]) -> Checkpoint:
-        """Load a persisted checkpoint back."""
-        with np.load(Path(path)) as data:
-            return Checkpoint(
-                iteration=int(data["iteration"]),
-                props=np.array(data["props"]),
-                total_cycles=float(data["total_cycles"]),
-            )
+    def from_file(
+        path: Union[str, Path], strict: bool = True
+    ) -> Optional[Checkpoint]:
+        """Load a persisted checkpoint back.
+
+        With ``strict=False`` a truncated, partial or otherwise corrupt
+        file returns ``None`` instead of raising — restore paths skip a
+        torn checkpoint and fall back to an older one.
+        """
+        try:
+            with np.load(Path(path)) as data:
+                return Checkpoint(
+                    iteration=int(data["iteration"]),
+                    props=np.array(data["props"]),
+                    total_cycles=float(data["total_cycles"]),
+                )
+        except (OSError, EOFError, KeyError, ValueError, zipfile.BadZipFile):
+            if strict:
+                raise
+            return None
+
+    @staticmethod
+    def from_directory(directory: Union[str, Path]) -> Optional[Checkpoint]:
+        """Newest *valid* checkpoint in ``directory`` (``*.npz``).
+
+        Torn files (a worker died mid-save before the atomic rename, or
+        the archive itself is damaged) are skipped, not raised; returns
+        ``None`` when no readable checkpoint exists.
+        """
+        best: Optional[Checkpoint] = None
+        for path in sorted(Path(directory).glob("*.npz")):
+            cp = CheckpointStore.from_file(path, strict=False)
+            if cp is None:
+                continue
+            if best is None or cp.iteration > best.iteration:
+                best = cp
+        return best
 
 
 # ----------------------------------------------------------------------
@@ -326,6 +373,17 @@ class CircuitBreakerBank:
         st = self._states.get(channel)
         return st is not None and st.is_open
 
+    def open_channels(self) -> List[int]:
+        """Every channel whose breaker has opened (placement signal)."""
+        return sorted(
+            ch for ch, st in self._states.items() if st.is_open
+        )
+
+    @property
+    def open_count(self) -> int:
+        """Number of open breakers (fleet placement scores on this)."""
+        return sum(st.is_open for st in self._states.values())
+
     def open_unretired_channels(self) -> List[int]:
         """Open breakers whose pipeline has not been retired this run."""
         return sorted(
@@ -390,6 +448,14 @@ class RunHealthReport:
     def fault_count(self) -> int:
         """Total fault occurrences observed."""
         return len(self.faults)
+
+    @property
+    def open_breaker_count(self) -> int:
+        """Channels whose breaker ended the run open (placement signal)."""
+        return sum(
+            1 for state in self.channel_breakers.values()
+            if state.get("state") == "open"
+        )
 
     @property
     def overhead_cycles(self) -> float:

@@ -1,0 +1,57 @@
+"""A serving runtime over a pool of accelerator replicas.
+
+``repro.fleet`` turns the single-card host runtime into a small
+*fleet*: a pool of :class:`~repro.fleet.replica.Replica` handles (mixed
+U280/U50) serving a queue of graph-analytics :class:`Job`\\ s under
+faults.  The pieces:
+
+* :mod:`~repro.fleet.job` — the job / result model (deadlines,
+  priorities, fault plans);
+* :mod:`~repro.fleet.admission` — bounded queue + token-bucket rate
+  limiting with *typed* load shedding;
+* :mod:`~repro.fleet.placement` — health-aware scoring (open circuit
+  breakers, degradation state, HBM fit, Eq. 1-4 predicted makespan);
+* :mod:`~repro.fleet.replica` — the SERVING → DRAINING → QUARANTINED →
+  REPAIRED/RETIRED lifecycle machine;
+* :mod:`~repro.fleet.runtime` — the deterministic discrete-event loop
+  (failover with backoff, hedged execution, canary re-probes);
+* :mod:`~repro.fleet.report` — the bit-reproducible run report.
+
+See ``docs/FLEET.md`` for the architecture walkthrough.
+"""
+
+from repro.fleet.admission import AdmissionController, TokenBucket
+from repro.fleet.job import FLEET_APPS, Job, JobResult
+from repro.fleet.placement import PlacementEngine
+from repro.fleet.replica import (
+    DRAINING,
+    QUARANTINED,
+    REPLICA_STATES,
+    RETIRED,
+    SERVING,
+    Replica,
+    make_replica,
+)
+from repro.fleet.report import AssignmentRecord, FleetReport
+from repro.fleet.runtime import FleetPolicy, FleetRuntime, ReplicaKill
+
+__all__ = [
+    "AdmissionController",
+    "AssignmentRecord",
+    "DRAINING",
+    "FLEET_APPS",
+    "FleetPolicy",
+    "FleetReport",
+    "FleetRuntime",
+    "Job",
+    "JobResult",
+    "PlacementEngine",
+    "QUARANTINED",
+    "REPLICA_STATES",
+    "RETIRED",
+    "Replica",
+    "ReplicaKill",
+    "SERVING",
+    "TokenBucket",
+    "make_replica",
+]

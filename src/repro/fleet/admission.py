@@ -1,0 +1,118 @@
+"""Admission control: bounded queue depth + token-bucket rate limiting.
+
+Load shedding is *typed*: every rejection raises (and is recorded as)
+:class:`~repro.errors.FleetOverloadError` with a machine-readable reason,
+so an overloaded fleet degrades into explicit rejections, never into
+silently dropped jobs.  The token bucket refills against the fleet's
+deterministic virtual clock, which keeps admission decisions — like
+everything else in the runtime — bit-reproducible from the seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import FleetOverloadError, UserInputError
+
+
+class TokenBucket:
+    """Deterministic token bucket refilled by virtual time."""
+
+    def __init__(self, rate_per_second: float, burst: int):
+        if not math.isfinite(rate_per_second) or rate_per_second <= 0:
+            raise UserInputError(
+                f"token rate must be positive and finite, got "
+                f"{rate_per_second}"
+            )
+        if burst < 1:
+            raise UserInputError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate_per_second)
+        self.burst = int(burst)
+        self._tokens = float(burst)
+        self._last_refill = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last_refill:
+            self._tokens = min(
+                float(self.burst),
+                self._tokens + (now - self._last_refill) * self.rate,
+            )
+            self._last_refill = now
+
+    def try_take(self, now: float) -> bool:
+        """Consume one token at virtual time ``now`` if one is available."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def tokens_at(self, now: float) -> float:
+        """Tokens that would be available at ``now`` (inspection only)."""
+        self._refill(now)
+        return self._tokens
+
+
+@dataclass
+class AdmissionStats:
+    """Counters the admission controller accumulates for the report."""
+
+    submitted: int = 0
+    admitted: int = 0
+    shed_queue_depth: int = 0
+    shed_rate_limit: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "shed_queue_depth": self.shed_queue_depth,
+            "shed_rate_limit": self.shed_rate_limit,
+        }
+
+
+class AdmissionController:
+    """Gate between the outside world and the fleet's job queue."""
+
+    def __init__(
+        self,
+        max_queue_depth: int,
+        rate_limit_jobs_per_second: Optional[float] = None,
+        rate_limit_burst: int = 8,
+    ):
+        if max_queue_depth < 1:
+            raise UserInputError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.max_queue_depth = int(max_queue_depth)
+        self.bucket = (
+            TokenBucket(rate_limit_jobs_per_second, rate_limit_burst)
+            if rate_limit_jobs_per_second is not None
+            else None
+        )
+        self.stats = AdmissionStats()
+
+    def admit(self, job, queue_depth: int, now: float) -> None:
+        """Accept ``job`` or raise a typed :class:`FleetOverloadError`.
+
+        ``queue_depth`` is the number of jobs already waiting; ``now``
+        is the fleet's virtual time (token refill reference).
+        """
+        self.stats.submitted += 1
+        if queue_depth >= self.max_queue_depth:
+            self.stats.shed_queue_depth += 1
+            raise FleetOverloadError(
+                f"job {job.job_id} shed: queue depth {queue_depth} at "
+                f"limit {self.max_queue_depth}",
+                reason="queue-depth",
+            )
+        if self.bucket is not None and not self.bucket.try_take(now):
+            self.stats.shed_rate_limit += 1
+            raise FleetOverloadError(
+                f"job {job.job_id} shed: admission rate limit exceeded "
+                f"({self.bucket.rate:g} jobs/s, burst {self.bucket.burst})",
+                reason="rate-limit",
+            )
+        self.stats.admitted += 1

@@ -1,0 +1,123 @@
+"""Health- and capability-aware placement of jobs onto replicas.
+
+The score of placing job *j* on replica *r* is the predicted virtual
+completion time, penalised by the replica's live health:
+
+    finish(r, j) = available_at(r) + predicted_seconds(r, j)
+                   * (1 + breaker_penalty * open_breakers(r))
+                   * (1 + degraded_penalty * degraded_pipelines(r))
+
+``predicted_seconds`` comes from the Eq. 1-4 analytic model: the job's
+graph is preprocessed once per device configuration (cached — replicas
+of the same device type share the plan) and the plan's estimated
+per-iteration makespan is scaled by the job's iteration cap.  Replicas
+whose HBM could not hold the job's buffers are filtered out entirely.
+Ties break on replica id, keeping placement fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.framework import PreprocessResult
+from repro.fleet.job import Job
+from repro.fleet.replica import Replica
+from repro.graph.coo import Graph
+from repro.hbm.capacity import CHANNEL_CAPACITY_BYTES
+
+
+class PlacementEngine:
+    """Scores replicas for a job and picks the best one."""
+
+    def __init__(
+        self,
+        breaker_penalty: float = 0.25,
+        degraded_penalty: float = 0.5,
+    ):
+        self.breaker_penalty = breaker_penalty
+        self.degraded_penalty = degraded_penalty
+        #: (device, buffer_vertices, num_pipelines, graph name) -> pre
+        self._pre_cache: Dict[tuple, PreprocessResult] = {}
+
+    # ------------------------------------------------------------------
+    def _cache_key(self, replica: Replica, job: Job) -> tuple:
+        fw = replica.handle.framework
+        return (
+            replica.device,
+            fw.pipeline.gather_buffer_vertices,
+            fw.num_pipelines,
+            tuple(sorted(job.graph.to_dict().items())),
+            # wcc executes the symmetrized graph, so the app is part of
+            # the identity of the preprocessed artefact.
+            job.app == "wcc",
+        )
+
+    def preprocess_for(
+        self, replica: Replica, job: Job, graph: Graph
+    ) -> PreprocessResult:
+        """Preprocess ``graph`` for ``replica``'s configuration (cached).
+
+        The cache is shared across replicas of the same device type, so
+        a failover re-attempt on a sibling card skips the offline phase.
+        """
+        key = self._cache_key(replica, job)
+        pre = self._pre_cache.get(key)
+        if pre is None:
+            pre = replica.handle.framework.preprocess(graph)
+            self._pre_cache[key] = pre
+        return pre
+
+    def predicted_seconds(
+        self, replica: Replica, job: Job, graph: Graph
+    ) -> float:
+        """Eq. 1-4 modelled execution time of the job on this replica."""
+        pre = self.preprocess_for(replica, job, graph)
+        hz = pre.resources.frequency_mhz * 1e6
+        iterations = max(job.max_iterations or 1, 1)
+        return pre.plan.estimated_makespan * iterations / hz
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fits(replica: Replica, graph: Graph) -> bool:
+        """Whether the job's buffers respect per-channel HBM capacity."""
+        num_pipes = replica.handle.framework.num_pipelines
+        edges_per_channel = -(-graph.num_edges * graph.edge_bytes // max(
+            num_pipes, 1
+        ))
+        props_per_channel = graph.num_vertices * 4
+        return max(edges_per_channel, props_per_channel) <= (
+            CHANNEL_CAPACITY_BYTES
+        )
+
+    def score(
+        self, replica: Replica, job: Job, graph: Graph, now: float
+    ) -> float:
+        """Predicted completion time, health-penalised (lower = better)."""
+        predicted = self.predicted_seconds(replica, job, graph)
+        penalty = (
+            (1.0 + self.breaker_penalty * replica.open_breakers())
+            * (1.0 + self.degraded_penalty * replica.degraded_pipelines())
+        )
+        return replica.available_at(now) + predicted * penalty
+
+    def choose(
+        self,
+        replicas: List[Replica],
+        job: Job,
+        graph: Graph,
+        now: float,
+        exclude: Tuple[str, ...] = (),
+    ) -> Optional[Replica]:
+        """Best SERVING replica for the job, or ``None`` if there is none."""
+        candidates = [
+            r for r in replicas
+            if r.is_serving
+            and r.replica_id not in exclude
+            and self.fits(r, graph)
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda r: (self.score(r, job, graph, now), r.replica_id),
+        )

@@ -1,0 +1,860 @@
+"""The fleet serving runtime: a deterministic discrete-event scheduler.
+
+:class:`FleetRuntime` owns a pool of :class:`~repro.fleet.replica.Replica`
+handles (mixed U280/U50) and pushes a queue of jobs through them under
+faults.  Everything runs against the host layer's
+:class:`~repro.runtime.host.VirtualClock` — job durations are the
+*modelled* seconds of the underlying simulator plus the handle's
+:class:`~repro.runtime.host.HostTimingConfig` overheads — so a whole
+fleet run is bit-reproducible from its inputs.
+
+Event order is total and deterministic: at equal timestamps completions
+are processed before kills (a job that finishes the instant its card
+dies has finished), kills before canaries, canaries before submissions.
+After every event the dispatcher places as many queued jobs as replicas
+are idle, highest priority first, onto the placement engine's best
+replica.
+
+Failure handling per attempt:
+
+* a replica crash (kill event) or an escaped :class:`ReproError`
+  re-queues the job with exponential backoff onto a *different* replica
+  (the failed one is excluded from the next attempt), up to
+  ``max_attempts``;
+* a completed run whose conformance oracles object is treated exactly
+  like a failure — a wrong answer is never "completed";
+* a job whose modelled duration blows the fleet watchdog budget
+  (``watchdog_factor`` x the Eq. 1-4 prediction) is reclaimed at the
+  budget and failed over;
+* exhausting the attempt cap yields a *typed*
+  :class:`~repro.errors.JobFailoverExhaustedError` result — admitted
+  jobs always reach a terminal status, never silence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.spec import CellSpec, GraphSpec
+from repro.check.tolerances import DEFAULT_BANDS, ToleranceBands
+from repro.errors import (
+    FleetOverloadError,
+    JobFailoverExhaustedError,
+    NoServingReplicaError,
+    ReplicaCrashError,
+    ReproError,
+    UserInputError,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import ResiliencePolicy
+from repro.fleet.admission import AdmissionController
+from repro.fleet.job import Job, JobResult
+from repro.fleet.placement import PlacementEngine
+from repro.fleet.replica import QUARANTINED, RETIRED, Replica
+from repro.fleet.report import AssignmentRecord, FleetReport
+from repro.graph.coo import Graph
+from repro.runtime.host import VirtualClock
+
+
+@dataclass(frozen=True)
+class FleetPolicy:
+    """Tunables of the fleet serving runtime (validated on construction)."""
+
+    #: Jobs allowed to wait; deeper backlogs are shed with a typed error.
+    max_queue_depth: int = 64
+    #: Token-bucket admission rate (``None`` = unlimited).
+    rate_limit_jobs_per_second: Optional[float] = None
+    rate_limit_burst: int = 8
+    #: Dispatches per job (primary + failovers) before giving up.
+    max_attempts: int = 3
+    #: Virtual-seconds backoff before failover attempt ``n`` (1-based
+    #: growth by ``retry_backoff_factor``).
+    retry_backoff_seconds: float = 0.02
+    retry_backoff_factor: float = 2.0
+    #: Consecutive failures before a replica starts draining.
+    failure_threshold: int = 3
+    #: Quarantine dwell before the canary probe.
+    quarantine_cooldown_seconds: float = 0.5
+    #: Canary probe: a tiny clean pagerank (deterministic).
+    canary_vertices: int = 64
+    canary_edges: int = 256
+    canary_iterations: int = 3
+    #: Duplicate deadline-critical stragglers onto the fastest idle
+    #: replica (first result wins, loser cancelled).
+    hedge_enabled: bool = True
+    #: Fleet watchdog budget = factor x predicted job seconds.
+    watchdog_factor: float = 64.0
+    #: Placement health penalties (see PlacementEngine).
+    breaker_penalty: float = 0.25
+    degraded_penalty: float = 0.5
+    #: Run every completed job through the chaos conformance oracles.
+    check_conformance: bool = True
+    #: Per-run resilience layer handed to every execute.
+    resilience: ResiliencePolicy = field(
+        default_factory=lambda: ResiliencePolicy(
+            max_retries=6, breaker_threshold=3
+        )
+    )
+
+    def __post_init__(self):
+        if self.max_queue_depth < 1:
+            raise UserInputError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_attempts < 1:
+            raise UserInputError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if (
+            not math.isfinite(self.retry_backoff_seconds)
+            or self.retry_backoff_seconds < 0
+        ):
+            raise UserInputError(
+                "retry_backoff_seconds must be non-negative and finite, "
+                f"got {self.retry_backoff_seconds}"
+            )
+        if (
+            not math.isfinite(self.retry_backoff_factor)
+            or self.retry_backoff_factor < 1.0
+        ):
+            raise UserInputError(
+                f"retry_backoff_factor must be >= 1, got "
+                f"{self.retry_backoff_factor}"
+            )
+        if self.failure_threshold < 1:
+            raise UserInputError(
+                f"failure_threshold must be >= 1, got "
+                f"{self.failure_threshold}"
+            )
+        if (
+            not math.isfinite(self.quarantine_cooldown_seconds)
+            or self.quarantine_cooldown_seconds < 0
+        ):
+            raise UserInputError(
+                "quarantine_cooldown_seconds must be non-negative, got "
+                f"{self.quarantine_cooldown_seconds}"
+            )
+        if not math.isfinite(self.watchdog_factor) or self.watchdog_factor <= 0:
+            raise UserInputError(
+                f"watchdog_factor must be positive and finite, got "
+                f"{self.watchdog_factor}"
+            )
+        if self.canary_vertices < 2 or self.canary_edges < 1:
+            raise UserInputError(
+                "canary graph must have >= 2 vertices and >= 1 edge"
+            )
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Backoff charged before failover attempt ``attempt`` (1-based)."""
+        return self.retry_backoff_seconds * (
+            self.retry_backoff_factor ** max(attempt - 1, 0)
+        )
+
+    def canary_graph(self) -> GraphSpec:
+        """The deterministic quarantine-probe graph."""
+        return GraphSpec(
+            kind="uniform",
+            vertices=self.canary_vertices,
+            edges=self.canary_edges,
+            seed=7,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "max_queue_depth": self.max_queue_depth,
+            "rate_limit_jobs_per_second": self.rate_limit_jobs_per_second,
+            "rate_limit_burst": self.rate_limit_burst,
+            "max_attempts": self.max_attempts,
+            "retry_backoff_seconds": self.retry_backoff_seconds,
+            "retry_backoff_factor": self.retry_backoff_factor,
+            "failure_threshold": self.failure_threshold,
+            "quarantine_cooldown_seconds": self.quarantine_cooldown_seconds,
+            "canary_vertices": self.canary_vertices,
+            "canary_edges": self.canary_edges,
+            "canary_iterations": self.canary_iterations,
+            "hedge_enabled": self.hedge_enabled,
+            "watchdog_factor": self.watchdog_factor,
+            "breaker_penalty": self.breaker_penalty,
+            "degraded_penalty": self.degraded_penalty,
+            "check_conformance": self.check_conformance,
+            "resilience": self.resilience.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FleetPolicy":
+        data = dict(data)
+        resilience = data.pop("resilience", None)
+        return FleetPolicy(
+            **data,
+            **(
+                {"resilience": ResiliencePolicy.from_dict(resilience)}
+                if resilience is not None
+                else {}
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ReplicaKill:
+    """A fleet-level chaos event: ``replica_id`` dies at ``at_seconds``."""
+
+    replica_id: str
+    at_seconds: float
+
+    def __post_init__(self):
+        if not math.isfinite(self.at_seconds) or self.at_seconds < 0:
+            raise UserInputError(
+                f"kill time must be non-negative, got {self.at_seconds}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"replica_id": self.replica_id, "at_seconds": self.at_seconds}
+
+    @staticmethod
+    def from_dict(data: dict) -> "ReplicaKill":
+        return ReplicaKill(
+            replica_id=str(data["replica_id"]),
+            at_seconds=float(data["at_seconds"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Internal bookkeeping
+# ----------------------------------------------------------------------
+class _QueuedJob:
+    """Mutable per-job state while the job is alive in the runtime."""
+
+    __slots__ = (
+        "job", "index", "next_attempt", "earliest_start", "exclude",
+        "active", "done", "last_error", "hedged",
+    )
+
+    def __init__(self, job: Job, index: int):
+        self.job = job
+        self.index = index
+        self.next_attempt = 1
+        self.earliest_start = job.submit_time
+        self.exclude: Tuple[str, ...] = ()
+        #: In-flight attempts (2 while a hedge races the primary).
+        self.active = 0
+        self.done = False
+        self.last_error: Tuple[str, str] = ("", "")
+        self.hedged = False
+
+    def sort_key(self) -> tuple:
+        """Dispatch order: priority desc, tighter deadline, FIFO."""
+        deadline = (
+            self.job.deadline_seconds
+            if self.job.deadline_seconds is not None
+            else math.inf
+        )
+        return (-self.job.priority, deadline, self.job.submit_time, self.index)
+
+
+class _Attempt:
+    """One dispatched execution of a job on one replica."""
+
+    __slots__ = (
+        "entry", "replica", "number", "kind", "start", "finish", "ok",
+        "error_type", "detail", "violations", "digest", "iterations",
+        "cancelled", "partner",
+    )
+
+    def __init__(self, entry, replica, number, kind, start, finish):
+        self.entry = entry
+        self.replica = replica
+        self.number = number
+        self.kind = kind
+        self.start = start
+        self.finish = finish
+        self.ok = False
+        self.error_type = ""
+        self.detail = ""
+        self.violations: List[str] = []
+        self.digest = ""
+        self.iterations = 0
+        self.cancelled = False
+        self.partner: Optional["_Attempt"] = None
+
+
+# Event type priorities: completions strictly before kills at equal
+# times (a job that finishes when its card dies *has* finished), kills
+# before canaries, canaries before new submissions.
+_EV_COMPLETE, _EV_KILL, _EV_CANARY, _EV_SUBMIT, _EV_IDLE = range(5)
+
+
+class FleetRuntime:
+    """Serves a queue of jobs over a replica pool, under faults."""
+
+    def __init__(
+        self,
+        replicas: Sequence[Replica],
+        policy: Optional[FleetPolicy] = None,
+        clock: Optional[VirtualClock] = None,
+        bands: ToleranceBands = DEFAULT_BANDS,
+    ):
+        if not replicas:
+            raise UserInputError("a fleet needs at least one replica")
+        ids = [r.replica_id for r in replicas]
+        if len(set(ids)) != len(ids):
+            raise UserInputError(f"duplicate replica ids: {sorted(ids)}")
+        self.replicas = list(replicas)
+        self.policy = policy or FleetPolicy()
+        self.clock = clock or VirtualClock()
+        self.bands = bands
+        self.admission = AdmissionController(
+            self.policy.max_queue_depth,
+            self.policy.rate_limit_jobs_per_second,
+            self.policy.rate_limit_burst,
+        )
+        self.placement = PlacementEngine(
+            breaker_penalty=self.policy.breaker_penalty,
+            degraded_penalty=self.policy.degraded_penalty,
+        )
+        self._graphs: Dict[str, Graph] = {}
+        self._programmed: set = set()
+        self._queue: List[_QueuedJob] = []
+        self._inflight: List[_Attempt] = []
+        self._results: Dict[str, JobResult] = {}
+        self._assignments: List[AssignmentRecord] = []
+        self._counters: Dict[str, int] = {
+            "failovers": 0, "hedges": 0, "hedge_wins": 0, "canaries": 0,
+            "repairs": 0, "kills": 0, "watchdog_trips": 0, "crashes": 0,
+        }
+        self._canary_seq = 0
+        self._admit_seq = 0
+
+    # -- helpers --------------------------------------------------------
+    def _replica(self, replica_id: str) -> Replica:
+        for replica in self.replicas:
+            if replica.replica_id == replica_id:
+                return replica
+        raise UserInputError(
+            f"unknown replica {replica_id!r}; pool: "
+            f"{[r.replica_id for r in self.replicas]}"
+        )
+
+    def _graph(self, job: Job) -> Graph:
+        graph = self._graphs.get(job.job_id)
+        if graph is None:
+            graph = job.graph.build()
+            if job.app == "wcc":
+                from repro.apps.wcc import symmetrized
+
+                graph = symmetrized(graph)
+            self._graphs[job.job_id] = graph
+        return graph
+
+    def _log(self, time, job_id, replica_id, attempt, kind) -> None:
+        self._assignments.append(AssignmentRecord(
+            seq=len(self._assignments),
+            time=time,
+            job_id=job_id,
+            replica_id=replica_id,
+            attempt=attempt,
+            kind=kind,
+        ))
+
+    def _cell_for(self, job: Job, replica: Replica) -> CellSpec:
+        fw = replica.handle.framework
+        return CellSpec(
+            cell_id=job.job_id,
+            device=replica.device,
+            app=job.app,
+            graph=job.graph,
+            fault_plan=job.fault_plan,
+            root=job.root,
+            max_iterations=job.max_iterations,
+            buffer_vertices=fw.pipeline.gather_buffer_vertices,
+            num_pipelines=fw.num_pipelines,
+        )
+
+    # -- execution of one attempt --------------------------------------
+    def _execute_attempt(
+        self, entry: _QueuedJob, replica: Replica, kind: str
+    ) -> _Attempt:
+        """Model one dispatch: run the simulator now, schedule the
+        completion event at the modelled finish time."""
+        job = entry.job
+        now = self.clock.now
+        graph = self._graph(job)
+        handle = replica.handle
+        pre = self.placement.preprocess_for(replica, job, graph)
+        predicted = self.placement.predicted_seconds(replica, job, graph)
+        programming = 0.0
+        if replica.replica_id not in self._programmed:
+            programming = handle.timing.programming_seconds
+            self._programmed.add(replica.replica_id)
+        migration_before = handle.migration_seconds
+
+        attempt = _Attempt(entry, replica, entry.next_attempt, kind, now, now)
+        try:
+            handle.load_graph(graph, pre=pre)
+            run = handle.execute(
+                job.app,
+                root=job.root,
+                max_iterations=job.max_iterations,
+                fault_plan=job.fault_plan,
+                resilience=self.policy.resilience,
+            )
+        except ReproError as exc:
+            # The resilient layer gave up: charge the model's estimate as
+            # the time burned discovering that, then fail the attempt.
+            attempt.error_type = exc.__class__.__name__
+            attempt.detail = str(exc)
+            duration = predicted
+        else:
+            migration = handle.migration_seconds - migration_before
+            duration = migration + run.total_seconds
+            budget = self.policy.watchdog_factor * max(predicted, 1e-12)
+            if duration > budget:
+                # Fleet watchdog: reclaim the replica at the budget.
+                self._counters["watchdog_trips"] += 1
+                attempt.error_type = "WatchdogTimeoutError"
+                attempt.detail = (
+                    f"job ran {duration:.6f}s of modelled time, fleet "
+                    f"budget is {budget:.6f}s"
+                )
+                duration = budget
+            else:
+                attempt.ok = True
+                attempt.iterations = run.iterations
+                from repro.chaos.campaign import result_digest
+
+                attempt.digest = result_digest(run)
+                if self.policy.check_conformance:
+                    from repro.chaos.oracles import validate_cell
+
+                    violations = validate_cell(
+                        self._cell_for(job, replica), graph,
+                        handle.framework, run, self.bands,
+                    )
+                    if violations:
+                        attempt.ok = False
+                        attempt.violations = violations
+                        attempt.error_type = "ConformanceError"
+                        attempt.detail = "; ".join(violations)
+
+        duration += programming
+        attempt.finish = now + duration
+        replica.busy_until = attempt.finish
+        replica.inflight += 1
+        entry.active += 1
+        self._inflight.append(attempt)
+        self._log(now, job.job_id, replica.replica_id, attempt.number, kind)
+        return attempt
+
+    # -- terminal outcomes ----------------------------------------------
+    def _finalize_rejected(self, job: Job, exc: FleetOverloadError) -> None:
+        self._results[job.job_id] = JobResult(
+            job_id=job.job_id,
+            status="rejected",
+            attempts=0,
+            submit_time=job.submit_time,
+            finish_time=job.submit_time,
+            error_type=exc.__class__.__name__,
+            detail=str(exc),
+            deadline_seconds=job.deadline_seconds,
+        )
+
+    def _finalize_completed(self, attempt: _Attempt) -> None:
+        entry = attempt.entry
+        entry.done = True
+        job = entry.job
+        self._results[job.job_id] = JobResult(
+            job_id=job.job_id,
+            status="completed",
+            replica_id=attempt.replica.replica_id,
+            attempts=attempt.number,
+            submit_time=job.submit_time,
+            start_time=attempt.start,
+            finish_time=attempt.finish,
+            violations=list(attempt.violations),
+            result_digest=attempt.digest,
+            iterations=attempt.iterations,
+            hedged=entry.hedged,
+            deadline_seconds=job.deadline_seconds,
+        )
+        attempt.replica.record_success()
+        if attempt.kind == "hedge":
+            self._counters["hedge_wins"] += 1
+        partner = attempt.partner
+        if partner is not None and not partner.cancelled:
+            # Cancel the losing duplicate: free its replica immediately.
+            partner.cancelled = True
+            if partner in self._inflight:
+                self._inflight.remove(partner)
+                partner.replica.inflight -= 1
+                partner.replica.busy_until = min(
+                    partner.replica.busy_until, self.clock.now
+                )
+                partner.entry.active -= 1
+                self._maybe_quarantine(partner.replica)
+
+    def _finalize_failed(
+        self, entry: _QueuedJob, error_type: str, detail: str, attempts: int
+    ) -> None:
+        entry.done = True
+        job = entry.job
+        self._results[job.job_id] = JobResult(
+            job_id=job.job_id,
+            status="failed",
+            attempts=attempts,
+            submit_time=job.submit_time,
+            finish_time=self.clock.now,
+            error_type=error_type,
+            detail=detail,
+            hedged=entry.hedged,
+            deadline_seconds=job.deadline_seconds,
+        )
+
+    def _fail_or_requeue(self, entry: _QueuedJob, replica_id: str) -> None:
+        """All in-flight attempts of ``entry`` are gone and the last one
+        failed: fail over onto a different replica, or exhaust."""
+        error_type, detail = entry.last_error
+        if entry.next_attempt >= self.policy.max_attempts:
+            self._finalize_failed(
+                entry,
+                JobFailoverExhaustedError.__name__,
+                f"gave up after {entry.next_attempt} attempt(s); last "
+                f"error on {replica_id}: [{error_type}] {detail}",
+                entry.next_attempt,
+            )
+            return
+        backoff = self.policy.backoff_seconds(entry.next_attempt)
+        entry.next_attempt += 1
+        entry.earliest_start = self.clock.now + backoff
+        entry.exclude = (replica_id,)
+        self._counters["failovers"] += 1
+        self._queue.append(entry)
+
+    def _maybe_quarantine(self, replica: Replica) -> None:
+        """A draining replica with nothing in flight enters quarantine."""
+        if replica.state == "DRAINING" and replica.inflight == 0:
+            replica.enter_quarantine(self.clock.now)
+
+    # -- event handlers --------------------------------------------------
+    def _on_complete(self, attempt: _Attempt) -> None:
+        self._inflight.remove(attempt)
+        attempt.replica.inflight -= 1
+        attempt.entry.active -= 1
+        entry = attempt.entry
+        if entry.done:
+            self._maybe_quarantine(attempt.replica)
+            return
+        if attempt.ok:
+            self._finalize_completed(attempt)
+            self._maybe_quarantine(attempt.replica)
+            return
+        # Failed attempt: charge the replica's failure budget.
+        entry.last_error = (attempt.error_type, attempt.detail)
+        if attempt.replica.record_failure(self.policy.failure_threshold):
+            attempt.replica.begin_drain(self.clock.now)
+        else:
+            self._maybe_quarantine(attempt.replica)
+        if entry.active > 0:
+            return  # a hedge duplicate is still racing
+        self._fail_or_requeue(entry, attempt.replica.replica_id)
+
+    def _on_kill(self, kill: ReplicaKill) -> None:
+        replica = self._replica(kill.replica_id)
+        if replica.state == RETIRED:
+            return
+        self._counters["kills"] += 1
+        replica.kill(f"killed at t={kill.at_seconds:g}s")
+        victims = [a for a in self._inflight if a.replica is replica]
+        for attempt in victims:
+            self._inflight.remove(attempt)
+            replica.inflight -= 1
+            attempt.cancelled = True
+            entry = attempt.entry
+            entry.active -= 1
+            self._counters["crashes"] += 1
+            if entry.done:
+                continue
+            entry.last_error = (
+                ReplicaCrashError.__name__,
+                f"replica {replica.replica_id} crashed mid-job at "
+                f"t={self.clock.now:g}s",
+            )
+            if entry.active > 0:
+                continue  # the hedge duplicate keeps running elsewhere
+            self._fail_or_requeue(entry, replica.replica_id)
+
+    def _on_canary(self, replica: Replica) -> None:
+        """Quarantine re-probe: a clean tiny pagerank must pass before
+        the replica rejoins; a second strike retires it."""
+        if replica.state != QUARANTINED:
+            return
+        self._canary_seq += 1
+        self._counters["canaries"] += 1
+        replica.canaries_run += 1
+        canary_id = f"__canary__{self._canary_seq}"
+        replica.handle.resume()
+        job = Job(
+            job_id=canary_id,
+            app="pagerank",
+            graph=self.policy.canary_graph(),
+            max_iterations=self.policy.canary_iterations,
+        )
+        graph = self._graph(job)
+        self._log(
+            self.clock.now, canary_id, replica.replica_id, 1, "canary"
+        )
+        try:
+            pre = self.placement.preprocess_for(replica, job, graph)
+            replica.handle.load_graph(graph, pre=pre)
+            run = replica.handle.execute(
+                job.app,
+                max_iterations=job.max_iterations,
+                fault_plan=FaultPlan(),
+                resilience=self.policy.resilience,
+            )
+        except ReproError as exc:
+            replica.retire(f"canary failed: {exc.__class__.__name__}")
+            return
+        if self.policy.check_conformance:
+            from repro.chaos.oracles import validate_cell
+
+            violations = validate_cell(
+                self._cell_for(job, replica), graph,
+                replica.handle.framework, run, self.bands,
+            )
+            if violations:
+                replica.retire(f"canary unclean: {violations[0]}")
+                return
+        replica.busy_until = self.clock.now + run.total_seconds
+        replica.repair()
+        self._counters["repairs"] += 1
+
+    # -- dispatch --------------------------------------------------------
+    def _dispatchable(self) -> List[_QueuedJob]:
+        now = self.clock.now
+        return sorted(
+            (e for e in self._queue if e.earliest_start <= now),
+            key=_QueuedJob.sort_key,
+        )
+
+    def _idle_serving(self) -> List[Replica]:
+        now = self.clock.now
+        return [
+            r for r in self.replicas
+            if r.is_serving and r.busy_until <= now and r.inflight == 0
+        ]
+
+    def _dispatch(self) -> None:
+        """Place queued jobs onto idle replicas until one side runs dry."""
+        while True:
+            idle = self._idle_serving()
+            if not idle:
+                return
+            progressed = False
+            for entry in self._dispatchable():
+                job = entry.job
+                graph = self._graph(job)
+                replica = self.placement.choose(
+                    idle, job, graph, self.clock.now, exclude=entry.exclude
+                )
+                if replica is None and entry.exclude:
+                    # Failover prefers a different replica but falls back
+                    # to the failed one when it is the only card left.
+                    replica = self.placement.choose(
+                        idle, job, graph, self.clock.now
+                    )
+                if replica is None:
+                    if not self._placeable_anywhere(entry):
+                        self._queue.remove(entry)
+                        self._finalize_failed(
+                            entry,
+                            NoServingReplicaError.__name__,
+                            self._unplaceable_detail(entry),
+                            entry.next_attempt - 1,
+                        )
+                        progressed = True
+                        break
+                    continue
+                self._queue.remove(entry)
+                kind = "primary" if entry.next_attempt == 1 else "requeue"
+                attempt = self._execute_attempt(entry, replica, kind)
+                self._maybe_hedge(entry, attempt)
+                progressed = True
+                break
+            if not progressed:
+                return
+
+    def _placeable_anywhere(self, entry: _QueuedJob) -> bool:
+        """Could any current or future (non-retired) replica take it?"""
+        graph = self._graph(entry.job)
+        return any(
+            r.state != RETIRED and self.placement.fits(r, graph)
+            for r in self.replicas
+        )
+
+    def _unplaceable_detail(self, entry: _QueuedJob) -> str:
+        error_type, detail = entry.last_error
+        suffix = (
+            f"; last error: [{error_type}] {detail}" if error_type else ""
+        )
+        return (
+            f"no serving replica can take job {entry.job.job_id} "
+            f"(pool states: "
+            + ", ".join(f"{r.replica_id}={r.state}" for r in self.replicas)
+            + ")" + suffix
+        )
+
+    def _maybe_hedge(self, entry: _QueuedJob, primary: _Attempt) -> None:
+        """Duplicate a deadline-critical straggler onto the fastest idle
+        replica; first result wins, the loser is cancelled."""
+        job = entry.job
+        if not (self.policy.hedge_enabled and job.deadline_critical):
+            return
+        if primary.finish <= job.submit_time + job.deadline_seconds:
+            return
+        graph = self._graph(job)
+        backup = self.placement.choose(
+            self._idle_serving(), job, graph, self.clock.now,
+            exclude=entry.exclude + (primary.replica.replica_id,),
+        )
+        if backup is None:
+            return
+        entry.hedged = True
+        self._counters["hedges"] += 1
+        hedge = self._execute_attempt(entry, backup, "hedge")
+        hedge.number = primary.number
+        primary.partner = hedge
+        hedge.partner = primary
+
+    # -- the event loop --------------------------------------------------
+    def run(
+        self,
+        jobs: Sequence[Job],
+        kills: Sequence[ReplicaKill] = (),
+    ) -> FleetReport:
+        """Serve ``jobs`` (ordered by submit time) to completion.
+
+        Returns a :class:`FleetReport` with exactly one terminal
+        :class:`JobResult` per submitted job.
+        """
+        ids = [j.job_id for j in jobs]
+        if len(set(ids)) != len(ids):
+            raise UserInputError("duplicate job ids in the submission batch")
+        for kill in kills:
+            self._replica(kill.replica_id)  # validate ids up front
+
+        submissions = sorted(
+            enumerate(jobs), key=lambda p: (p[1].submit_time, p[0])
+        )
+        pending_kills = sorted(
+            enumerate(kills), key=lambda p: (p[1].at_seconds, p[0])
+        )
+        sub_i = kill_i = 0
+
+        while True:
+            events: List[tuple] = []
+            if self._inflight:
+                best = min(
+                    self._inflight, key=lambda a: (a.finish, a.entry.index)
+                )
+                events.append((best.finish, _EV_COMPLETE, best))
+            if kill_i < len(pending_kills):
+                kill = pending_kills[kill_i][1]
+                events.append((kill.at_seconds, _EV_KILL, kill))
+            canaries = [
+                r for r in self.replicas
+                if r.state == QUARANTINED and r.quarantined_at is not None
+            ]
+            if canaries:
+                due = min(
+                    canaries,
+                    key=lambda r: (
+                        r.quarantined_at
+                        + self.policy.quarantine_cooldown_seconds,
+                        r.replica_id,
+                    ),
+                )
+                events.append((
+                    due.quarantined_at
+                    + self.policy.quarantine_cooldown_seconds,
+                    _EV_CANARY,
+                    due,
+                ))
+            if sub_i < len(submissions):
+                job = submissions[sub_i][1]
+                events.append((job.submit_time, _EV_SUBMIT, job))
+            if self._queue:
+                # Nothing else pending, but queued work waits on a busy
+                # replica or a backoff window: advance to whichever
+                # frees first.
+                wake = [
+                    r.busy_until for r in self.replicas
+                    if r.is_serving and r.busy_until > self.clock.now
+                ]
+                wake += [
+                    e.earliest_start for e in self._queue
+                    if e.earliest_start > self.clock.now
+                ]
+                if wake:
+                    events.append((min(wake), _EV_IDLE, None))
+
+            if not events:
+                if self._queue:
+                    # No event can ever free capacity again: every job
+                    # still queued gets a typed terminal error.
+                    for entry in sorted(self._queue, key=_QueuedJob.sort_key):
+                        self._finalize_failed(
+                            entry,
+                            NoServingReplicaError.__name__,
+                            self._unplaceable_detail(entry),
+                            entry.next_attempt - 1,
+                        )
+                    self._queue.clear()
+                break
+
+            when, priority, payload = min(events, key=lambda e: (e[0], e[1]))
+            self.clock.advance_to(when)
+            if priority == _EV_COMPLETE:
+                self._on_complete(payload)
+            elif priority == _EV_KILL:
+                kill_i += 1
+                self._on_kill(payload)
+            elif priority == _EV_CANARY:
+                self._on_canary(payload)
+            elif priority == _EV_SUBMIT:
+                sub_i += 1
+                self._submit(payload)
+            self._dispatch()
+
+        return self._build_report(jobs, kills)
+
+    def _submit(self, job: Job) -> None:
+        try:
+            self.admission.admit(job, len(self._queue), self.clock.now)
+        except FleetOverloadError as exc:
+            self._finalize_rejected(job, exc)
+            return
+        self._admit_seq += 1
+        self._queue.append(_QueuedJob(job, self._admit_seq))
+
+    def _build_report(
+        self, jobs: Sequence[Job], kills: Sequence[ReplicaKill]
+    ) -> FleetReport:
+        ordered = [self._results[j.job_id] for j in jobs]
+        return FleetReport(
+            config={
+                "policy": self.policy.to_dict(),
+                "pool": [
+                    {"replica_id": r.replica_id, "device": r.device}
+                    for r in self.replicas
+                ],
+                "kills": [k.to_dict() for k in kills],
+                "num_jobs": len(jobs),
+            },
+            jobs=ordered,
+            replicas=[r.to_dict() for r in self.replicas],
+            assignments=list(self._assignments),
+            admission=self.admission.stats.to_dict(),
+            counters=dict(self._counters),
+            makespan_seconds=self.clock.now,
+        )

@@ -16,6 +16,7 @@ timing accounting resembles the real flow.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -24,6 +25,7 @@ from repro.arch.platform import PLATFORMS, FpgaPlatform, get_platform
 from repro.core.framework import PreprocessResult, ReGraph
 from repro.core.system import RunReport
 from repro.errors import (
+    AcceleratorDrainingError,
     AcceleratorReleasedError,
     DeviceOutOfMemoryError,
     NoGraphLoadedError,
@@ -37,6 +39,99 @@ PROGRAMMING_SECONDS = 2.5
 
 #: Modelled host->HBM transfer bandwidth over PCIe Gen3 x16 (bytes/s).
 PCIE_BYTES_PER_SECOND = 12e9
+
+
+@dataclass(frozen=True)
+class HostTimingConfig:
+    """Per-handle host-side timing knobs.
+
+    Historically :data:`PROGRAMMING_SECONDS` and
+    :data:`PCIE_BYTES_PER_SECOND` were module constants, which forced
+    fleet tests and benchmarks to monkeypatch them; the module constants
+    remain as the defaults, but every :class:`AcceleratorHandle` now
+    carries its own instance.
+    """
+
+    programming_seconds: float = PROGRAMMING_SECONDS
+    pcie_bytes_per_second: float = PCIE_BYTES_PER_SECOND
+
+    def __post_init__(self):
+        if (
+            not math.isfinite(self.programming_seconds)
+            or self.programming_seconds < 0
+        ):
+            raise UserInputError(
+                "programming_seconds must be a non-negative finite time, "
+                f"got {self.programming_seconds}"
+            )
+        if math.isnan(self.pcie_bytes_per_second) or (
+            self.pcie_bytes_per_second <= 0
+        ):
+            raise UserInputError(
+                "pcie_bytes_per_second must be positive, got "
+                f"{self.pcie_bytes_per_second}"
+            )
+
+    @staticmethod
+    def instant() -> "HostTimingConfig":
+        """Zero modelled host overhead (fleet tests and benchmarks)."""
+        return HostTimingConfig(
+            programming_seconds=0.0, pcie_bytes_per_second=float("inf")
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "programming_seconds": self.programming_seconds,
+            "pcie_bytes_per_second": self.pcie_bytes_per_second,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "HostTimingConfig":
+        return HostTimingConfig(
+            programming_seconds=float(
+                data.get("programming_seconds", PROGRAMMING_SECONDS)
+            ),
+            pcie_bytes_per_second=float(
+                data.get("pcie_bytes_per_second", PCIE_BYTES_PER_SECOND)
+            ),
+        )
+
+
+class VirtualClock:
+    """Deterministic monotone clock the fleet runtime schedules against.
+
+    All fleet timing is *modelled* (simulated seconds, like
+    :attr:`RunReport.total_seconds`), never wall clock, which is what
+    makes a fleet run bit-reproducible from its seed.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if not math.isfinite(start):
+            raise UserInputError(f"clock start must be finite, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move forward by ``seconds`` (>= 0); returns the new time."""
+        if not math.isfinite(seconds) or seconds < 0:
+            raise UserInputError(
+                f"clock can only advance by a finite non-negative amount, "
+                f"got {seconds}"
+            )
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move forward to absolute time ``when`` (never backwards)."""
+        if not math.isfinite(when):
+            raise UserInputError(f"clock target must be finite, got {when}")
+        if when > self._now:
+            self._now = when
+        return self._now
 
 
 def list_devices() -> List[str]:
@@ -71,7 +166,15 @@ class AcceleratorHandle:
     programmed: bool = True
     migration_seconds: float = 0.0
     buffers: Dict[str, DeviceBuffer] = field(default_factory=dict)
+    #: Host-side timing knobs of this context (instance-level so fleets
+    #: can model zero programming latency without monkeypatching).
+    timing: HostTimingConfig = field(default_factory=HostTimingConfig)
+    #: Draining contexts finish in-flight work but accept nothing new.
+    draining: bool = False
     _pre: Optional[PreprocessResult] = None
+    #: Health report of the most recent resilient ``execute`` (fleet
+    #: placement reads this without re-running anything).
+    last_health: Optional[object] = None
     #: Per-channel circuit breakers shared across ``execute`` calls on
     #: this handle: a channel that keeps faulting stays open (and its
     #: pipeline degraded) for the lifetime of the context, like a real
@@ -95,14 +198,25 @@ class AcceleratorHandle:
 
     def _migrate(self, num_bytes: int) -> None:
         """Charge host->device transfer time for ``num_bytes``."""
-        self.migration_seconds += num_bytes / PCIE_BYTES_PER_SECOND
+        self.migration_seconds += num_bytes / self.timing.pcie_bytes_per_second
 
     # -- graph loading --------------------------------------------------
-    def load_graph(self, graph: Graph) -> PreprocessResult:
-        """Preprocess and 'migrate' a graph onto the device."""
+    def load_graph(
+        self, graph: Graph, pre: Optional[PreprocessResult] = None
+    ) -> PreprocessResult:
+        """Preprocess and 'migrate' a graph onto the device.
+
+        ``pre`` optionally reuses an existing preprocess of the *same*
+        graph (fleet placement preprocesses once per device type to
+        score replicas, then hands the result to the chosen one).
+        """
         if not self.programmed:
             raise AcceleratorReleasedError("accelerator released")
-        self._pre = self.framework.preprocess(graph)
+        if self.draining:
+            raise AcceleratorDrainingError(
+                "accelerator is draining; no new graphs accepted"
+            )
+        self._pre = pre if pre is not None else self.framework.preprocess(graph)
         num_pipes = self._pre.plan.accelerator.total_pipelines
         self.allocate(
             "edges", graph.num_edges * graph.edge_bytes,
@@ -135,6 +249,12 @@ class AcceleratorHandle:
         """
         from repro.apps.registry import get_app_spec
 
+        if not self.programmed:
+            raise AcceleratorReleasedError("accelerator released")
+        if self.draining:
+            raise AcceleratorDrainingError(
+                "accelerator is draining; no new work accepted"
+            )
         if self._pre is None:
             raise NoGraphLoadedError(
                 "no graph loaded; call load_graph() first"
@@ -155,7 +275,7 @@ class AcceleratorHandle:
 
                 policy = resilience or ResiliencePolicy()
                 self.breakers = CircuitBreakerBank(policy.breaker_threshold)
-        return self.framework.run(
+        run = self.framework.run(
             self._pre,
             lambda g: spec.build(g, root=internal_root),
             max_iterations=max_iterations,
@@ -163,16 +283,59 @@ class AcceleratorHandle:
             resilience=resilience,
             breakers=self.breakers,
         )
+        if run.health is not None:
+            self.last_health = run.health
+        return run
 
     def total_offload_seconds(self, run: RunReport) -> float:
         """End-to-end host view: programming + migration + execution."""
-        return PROGRAMMING_SECONDS + self.migration_seconds + run.total_seconds
+        return (
+            self.timing.programming_seconds
+            + self.migration_seconds
+            + run.total_seconds
+        )
+
+    # -- fleet lifecycle hooks -----------------------------------------
+    def drain(self) -> None:
+        """Stop accepting new work (in-flight work may still finish)."""
+        self.draining = True
+
+    def resume(self) -> None:
+        """Accept work again (quarantine canary probes use this)."""
+        self.draining = False
+
+    # -- fleet health hooks --------------------------------------------
+    def open_breaker_count(self) -> int:
+        """Channels this context has blacklisted (placement signal)."""
+        if self.breakers is None:
+            return 0
+        return len(self.breakers.open_channels())
+
+    def breaker_snapshot(self) -> Dict[str, dict]:
+        """Per-channel breaker state, empty before any resilient run."""
+        if self.breakers is None:
+            return {}
+        return self.breakers.snapshot()
+
+    def hbm_bytes_used(self) -> int:
+        """Bytes currently resident across this context's buffers."""
+        return sum(buffer.num_bytes for buffer in self.buffers.values())
+
+    def hbm_bytes_total(self) -> int:
+        """Modelled HBM capacity of the card."""
+        return self.platform.num_channels * CHANNEL_CAPACITY_BYTES
+
+    def hbm_bytes_free(self) -> int:
+        """Remaining modelled HBM capacity (placement signal)."""
+        return max(self.hbm_bytes_total() - self.hbm_bytes_used(), 0)
 
     def release(self) -> None:
         """Free the context; further calls raise."""
         self.programmed = False
+        self.draining = False
         self.buffers.clear()
         self._pre = None
+        self.last_health = None
         self.breakers = None
 
 
@@ -180,7 +343,17 @@ def init_accelerator(
     platform: str = "U280",
     pipeline=None,
     num_pipelines: Optional[int] = None,
+    timing: Optional[HostTimingConfig] = None,
 ) -> AcceleratorHandle:
     """``initAccelerator()``: create a programmed accelerator context."""
+    if isinstance(platform, str) and platform.upper() not in PLATFORMS:
+        raise UserInputError(
+            f"unknown device {platform!r}; valid devices: "
+            f"{', '.join(list_devices())}"
+        )
     fw = ReGraph(platform, pipeline=pipeline, num_pipelines=num_pipelines)
-    return AcceleratorHandle(platform=get_platform(platform), framework=fw)
+    return AcceleratorHandle(
+        platform=get_platform(platform),
+        framework=fw,
+        timing=timing or HostTimingConfig(),
+    )

@@ -13,6 +13,7 @@ from __future__ import annotations
 from hypothesis import strategies as st
 
 from repro.arch.config import PipelineConfig
+from repro.chaos.spec import GraphSpec
 from repro.faults.plan import (
     BitFlipFault,
     DeadChannelFault,
@@ -20,6 +21,7 @@ from repro.faults.plan import (
     LatencySpikeFault,
     PipelineStallFault,
 )
+from repro.fleet.job import FLEET_APPS, Job
 from repro.graph.coo import Graph
 from repro.graph.partition import partition_graph
 from repro.hbm.channel import HbmChannelModel
@@ -140,3 +142,49 @@ def fault_plans(draw, max_channels=8):
         bit_flips=tuple(flips),
         stalls=tuple(stalls),
     )
+
+
+@st.composite
+def fleet_job_specs(draw, index=0, with_faults=True):
+    """One fleet job: app, graph recipe, deadline, priority, faults.
+
+    Graphs stay small (the fleet property suite serves whole job mixes
+    through full simulations per example); ``sssp`` draws get weighted
+    graph specs, matching the app's requirement.
+    """
+    app = draw(st.sampled_from(FLEET_APPS))
+    vertices = draw(st.integers(32, 192))
+    graph = GraphSpec(
+        kind=draw(st.sampled_from(("uniform", "rmat", "powerlaw"))),
+        vertices=vertices,
+        edges=vertices * draw(st.integers(2, 6)),
+        seed=draw(st.integers(1, 10_000)),
+        weighted=(app == "sssp"),
+    )
+    deadline = draw(st.one_of(
+        st.none(), st.floats(1e-4, 0.05, allow_nan=False)
+    ))
+    plan = draw(fault_plans()) if with_faults and draw(
+        st.booleans()
+    ) else FaultPlan()
+    return Job(
+        job_id=f"prop{index:03d}",
+        app=app,
+        graph=graph,
+        max_iterations=draw(st.integers(1, 8)),
+        priority=draw(st.integers(0, 2)),
+        deadline_seconds=deadline,
+        submit_time=draw(st.floats(0, 0.005, allow_nan=False)),
+        fault_plan=plan,
+    )
+
+
+@st.composite
+def fleet_job_mixes(draw, min_jobs=1, max_jobs=6, with_faults=True):
+    """A whole submission batch, ordered by submit time."""
+    count = draw(st.integers(min_jobs, max_jobs))
+    jobs = [
+        draw(fleet_job_specs(index=i, with_faults=with_faults))
+        for i in range(count)
+    ]
+    return sorted(jobs, key=lambda j: (j.submit_time, j.job_id))

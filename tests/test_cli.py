@@ -157,3 +157,56 @@ class TestErrorPaths:
         assert code == 0
         out = capsys.readouterr().out
         assert "degraded" in out
+
+
+class TestFleetCli:
+    """``repro fleet run|status|report`` and its error contract."""
+
+    RUN = ["fleet", "run", "--jobs", "6", "--fleet-seed", "3",
+           "--kill", "0@0.001"]
+
+    def test_run_passes_and_prints_summary(self, capsys):
+        assert main(self.RUN) == 0
+        out = capsys.readouterr().out
+        assert "fleet soak: 6 jobs" in out
+        assert "kill: r0" in out
+        assert "soak PASSED" in out
+
+    def test_run_report_status_round_trip(self, tmp_path, capsys):
+        report = tmp_path / "fleet.json"
+        assert main(self.RUN + ["--report-json", str(report)]) == 0
+        assert report.exists()
+        capsys.readouterr()
+
+        assert main(["fleet", "status", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "r0 [U280] RETIRED" in out
+        assert "admission:" in out
+
+        assert main(["fleet", "report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "jobs completed" in out
+
+    def test_unknown_device_lists_valid_names(self, capsys):
+        """The satellite contract: an unknown device surfaces the
+        host API's typed error naming every valid device, exit 2."""
+        from repro.runtime.host import list_devices
+
+        assert main(["fleet", "run", "--jobs", "1",
+                     "--replica", "U9000"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "U9000" in err
+        for name in list_devices():
+            assert name in err
+
+    def test_bad_kill_spec_returns_2(self, capsys):
+        assert main(["fleet", "run", "--jobs", "1",
+                     "--kill", "banana"]) == 2
+        err = capsys.readouterr().err
+        assert "bad --kill spec" in err
+
+    def test_missing_report_file_returns_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["fleet", "status", str(missing)]) == 2
+        assert capsys.readouterr().err.startswith("error:")

@@ -167,6 +167,66 @@ class TestCheckpointStore:
             CheckpointStore().restore()
 
 
+class TestCrashSafeCheckpoints:
+    """Atomic persistence: a worker dying mid-save can never leave a
+    torn archive under the final name, and restore paths skip torn
+    files instead of crashing on them."""
+
+    def _saved(self, tmp_path, iteration=5, name="ckpt.npz"):
+        store = CheckpointStore()
+        store.save(iteration, np.arange(4, dtype=np.float64), 10.0)
+        return store.to_file(tmp_path / name)
+
+    def test_no_staging_file_survives_a_save(self, tmp_path):
+        path = self._saved(tmp_path)
+        leftovers = [
+            p for p in tmp_path.iterdir() if p.name != path.name
+        ]
+        assert leftovers == []
+
+    def test_truncated_file_is_skipped_on_restore(self, tmp_path):
+        path = self._saved(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # torn mid-write
+        assert CheckpointStore.from_file(path, strict=False) is None
+
+    def test_truncated_file_raises_when_strict(self, tmp_path):
+        path = self._saved(tmp_path)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(Exception):
+            CheckpointStore.from_file(path)
+
+    def test_garbage_file_is_skipped(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not an archive at all")
+        assert CheckpointStore.from_file(path, strict=False) is None
+
+    def test_empty_file_is_skipped(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        path.touch()
+        assert CheckpointStore.from_file(path, strict=False) is None
+
+    def test_from_directory_prefers_newest_valid(self, tmp_path):
+        self._saved(tmp_path, iteration=3, name="a.npz")
+        newest = self._saved(tmp_path, iteration=9, name="b.npz")
+        # Tear the newest-by-name file too: it must be skipped.
+        torn = self._saved(tmp_path, iteration=99, name="z.npz")
+        torn.write_bytes(torn.read_bytes()[:20])
+        assert newest.exists()
+        cp = CheckpointStore.from_directory(tmp_path)
+        assert cp is not None and cp.iteration == 9
+
+    def test_from_directory_empty_returns_none(self, tmp_path):
+        assert CheckpointStore.from_directory(tmp_path) is None
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        first = self._saved(tmp_path, iteration=1)
+        second = self._saved(tmp_path, iteration=2)
+        assert first == second
+        cp = CheckpointStore.from_file(second)
+        assert cp.iteration == 2
+
+
 # ----------------------------------------------------------------------
 # Policy arithmetic
 # ----------------------------------------------------------------------

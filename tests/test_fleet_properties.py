@@ -1,0 +1,74 @@
+"""Property-based tests of the fleet serving runtime.
+
+The central property — the ISSUE's determinism contract — is that a
+fleet run is a pure function of its inputs: the same job mix (seeded
+graphs + fault plans) served twice over identical fresh pools yields the
+identical job→replica assignment log, bit-identical report digests, and
+the same terminal statuses.  A second property pins the no-loss
+invariant across arbitrary mixes: whatever the fault plans do, every
+admitted job reaches a terminal typed outcome.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import FleetPolicy, FleetRuntime, make_replica
+from repro.faults.resilience import ResiliencePolicy
+
+from tests.strategies import fleet_job_mixes
+
+pytestmark = pytest.mark.slow
+
+#: Fail fast so unsurvivable drawn fault plans don't burn retries.
+PROPERTY_POLICY = dict(
+    max_attempts=2,
+    resilience=ResiliencePolicy(max_retries=1, breaker_threshold=3),
+)
+
+
+def _pool(devices):
+    return [
+        make_replica(f"r{i}", device) for i, device in enumerate(devices)
+    ]
+
+
+def _serve(jobs, devices):
+    runtime = FleetRuntime(_pool(devices), FleetPolicy(**PROPERTY_POLICY))
+    return runtime.run(jobs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    jobs=fleet_job_mixes(max_jobs=4),
+    devices=st.lists(
+        st.sampled_from(("U280", "U50")), min_size=1, max_size=3
+    ),
+)
+def test_same_inputs_same_assignment_log(jobs, devices):
+    """Same seed + fault plan => identical job→replica assignment log."""
+    first = _serve(jobs, devices)
+    second = _serve(jobs, devices)
+    assert first.assignment_log() == second.assignment_log()
+    assert first.digest() == second.digest()
+    assert [j.status for j in first.jobs] == [j.status for j in second.jobs]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    jobs=fleet_job_mixes(max_jobs=4),
+    devices=st.lists(
+        st.sampled_from(("U280", "U50")), min_size=1, max_size=2
+    ),
+)
+def test_no_job_is_ever_lost(jobs, devices):
+    """Every admitted job reaches a terminal, typed outcome."""
+    report = _serve(jobs, devices)
+    assert len(report.jobs) == len(jobs)
+    assert report.lost == 0
+    for result in report.jobs:
+        assert result.status in ("completed", "rejected", "failed")
+        if result.status != "completed":
+            assert result.error_type and result.detail
+        else:
+            assert not result.violations

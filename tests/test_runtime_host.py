@@ -133,3 +133,170 @@ class TestPersistentBreakers:
         assert handle.breakers is not None
         handle.release()
         assert handle.breakers is None
+
+
+class TestHostTimingConfig:
+    def test_defaults_match_module_constants(self):
+        from repro.runtime.host import (
+            PCIE_BYTES_PER_SECOND,
+            HostTimingConfig,
+        )
+
+        timing = HostTimingConfig()
+        assert timing.programming_seconds == PROGRAMMING_SECONDS
+        assert timing.pcie_bytes_per_second == PCIE_BYTES_PER_SECOND
+
+    def test_instant_profile(self):
+        from repro.runtime.host import HostTimingConfig
+
+        timing = HostTimingConfig.instant()
+        assert timing.programming_seconds == 0.0
+        assert timing.pcie_bytes_per_second == float("inf")
+
+    def test_round_trip(self):
+        from repro.runtime.host import HostTimingConfig
+
+        timing = HostTimingConfig(
+            programming_seconds=1.0, pcie_bytes_per_second=1e9
+        )
+        assert HostTimingConfig.from_dict(timing.to_dict()) == timing
+
+    def test_validation(self):
+        from repro.errors import UserInputError
+        from repro.runtime.host import HostTimingConfig
+
+        with pytest.raises(UserInputError):
+            HostTimingConfig(programming_seconds=-1.0)
+        with pytest.raises(UserInputError):
+            HostTimingConfig(pcie_bytes_per_second=0.0)
+
+    def test_instance_knobs_drive_migration(self, small_rmat):
+        """Per-handle timing replaces the old module-constant lookup:
+        two handles with different PCIe rates charge different times."""
+        from repro.runtime.host import HostTimingConfig
+
+        slow = init_accelerator(
+            "U280", timing=HostTimingConfig(pcie_bytes_per_second=1e9)
+        )
+        fast = init_accelerator(
+            "U280", timing=HostTimingConfig(pcie_bytes_per_second=4e9)
+        )
+        slow.load_graph(small_rmat)
+        fast.load_graph(small_rmat)
+        assert slow.migration_seconds == pytest.approx(
+            4 * fast.migration_seconds
+        )
+
+    def test_instance_knobs_drive_offload(self, small_rmat):
+        from repro.runtime.host import HostTimingConfig
+
+        handle = init_accelerator(
+            "U280", timing=HostTimingConfig(programming_seconds=10.0)
+        )
+        handle.load_graph(small_rmat)
+        run = handle.execute("pagerank", max_iterations=1)
+        assert handle.total_offload_seconds(run) >= 10.0
+
+    def test_instant_timing_charges_nothing(self, small_rmat):
+        from repro.runtime.host import HostTimingConfig
+
+        handle = init_accelerator(
+            "U280", timing=HostTimingConfig.instant()
+        )
+        handle.load_graph(small_rmat)
+        assert handle.migration_seconds == 0.0
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        from repro.runtime.host import VirtualClock
+
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        clock.advance(1.5)
+        assert clock.now == 1.5
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_never_goes_backwards(self):
+        from repro.runtime.host import VirtualClock
+
+        clock = VirtualClock()
+        clock.advance_to(2.0)
+        clock.advance_to(1.0)  # ignored, monotone
+        assert clock.now == 2.0
+
+    def test_rejects_bad_inputs(self):
+        from repro.errors import UserInputError
+        from repro.runtime.host import VirtualClock
+
+        with pytest.raises(UserInputError):
+            VirtualClock().advance(-1.0)
+        with pytest.raises(UserInputError):
+            VirtualClock().advance_to(float("nan"))
+
+
+class TestDeviceValidation:
+    def test_unknown_device_is_typed_and_lists_names(self):
+        from repro.errors import UserInputError
+
+        with pytest.raises(UserInputError) as err:
+            init_accelerator("U9000")
+        message = str(err.value)
+        assert "U9000" in message
+        for name in list_devices():
+            assert name in message
+
+
+class TestFleetHooks:
+    def test_drain_blocks_and_resume_unblocks(self, handle, small_rmat):
+        from repro.errors import AcceleratorDrainingError
+
+        handle.load_graph(small_rmat)
+        handle.drain()
+        assert handle.draining
+        with pytest.raises(AcceleratorDrainingError):
+            handle.execute("pagerank", max_iterations=1)
+        with pytest.raises(AcceleratorDrainingError):
+            handle.load_graph(small_rmat)
+        handle.resume()
+        assert handle.execute("pagerank", max_iterations=1).iterations == 1
+
+    def test_release_clears_drain_and_health(self, handle, small_rmat):
+        from repro.faults import FaultPlan
+
+        handle.load_graph(small_rmat)
+        handle.execute("pagerank", max_iterations=2,
+                       fault_plan=FaultPlan())
+        handle.drain()
+        handle.release()
+        assert not handle.draining
+        assert handle.last_health is None
+
+    def test_health_snapshot_recorded(self, handle, small_rmat):
+        from repro.faults import FaultPlan
+
+        handle.load_graph(small_rmat)
+        assert handle.last_health is None
+        handle.execute("pagerank", max_iterations=2, fault_plan=FaultPlan())
+        assert handle.last_health is not None
+        assert handle.open_breaker_count() == 0
+
+    def test_breaker_count_reflects_open_channels(self, handle, small_rmat):
+        from repro.faults import DeadChannelFault, FaultPlan
+
+        handle.load_graph(small_rmat)
+        handle.execute("pagerank", max_iterations=5, fault_plan=FaultPlan(
+            dead_channels=(DeadChannelFault(channel=0),)
+        ))
+        assert handle.open_breaker_count() == 1
+        assert handle.breaker_snapshot()["0"]["state"] == "open"
+
+    def test_hbm_accounting(self, handle, small_rmat):
+        assert handle.hbm_bytes_used() == 0
+        total = handle.hbm_bytes_total()
+        assert total == 32 * CHANNEL_CAPACITY_BYTES
+        handle.load_graph(small_rmat)
+        used = handle.hbm_bytes_used()
+        assert 0 < used < total
+        assert handle.hbm_bytes_free() == total - used
