@@ -1,0 +1,228 @@
+"""Perf-regression bench for the execution acceleration layer.
+
+Unlike the figure benches (pytest-benchmark), this is a standalone
+script: CI runs it twice — once serial, once with ``--jobs 4`` against
+the serial run as ``--baseline`` — and fails the build when the
+parallel digests drift from the serial ones or the speedup on the
+parallel-friendly benches (chaos campaign, model sweep, fleet soak)
+falls below ``--min-speedup``.
+
+Timings are medians over ``--reps`` repetitions and are additionally
+reported *normalized* by a small numpy calibration loop, so numbers
+from different machines land on a comparable scale.  Digests cover the
+full serialized outcome of each bench, which is how "parallel execution
+preserves bit-identical reports" is enforced rather than assumed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py \
+        --jobs 1 --out BENCH_perf_serial.json
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py \
+        --jobs 4 --baseline BENCH_perf_serial.json \
+        --min-speedup 1.5 --out BENCH_perf.json
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import statistics
+import sys
+import time
+
+import numpy as np
+
+BENCH_SCHEMA = "regraph-bench-perf/v1"
+
+#: Benches whose work actually fans out over workers; only these are
+#: held to the ``--min-speedup`` gate.  ``pipeline_execute`` is serial
+#: by construction (it measures the cache + vectorized kernels).
+PARALLEL_BENCHES = ("chaos_campaign", "model_sweep", "fleet_soak")
+
+
+def _digest(obj) -> str:
+    """sha256 over a canonical JSON rendering of a bench outcome."""
+    blob = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _calibration_seconds() -> float:
+    """A fixed numpy workload; timings are divided by this to normalize
+    across machines (same trick as pytest-benchmark's calibration)."""
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((256, 256))
+    start = time.perf_counter()
+    for _ in range(20):
+        a = np.tanh(a @ a.T / 256.0)
+    return time.perf_counter() - start
+
+
+def bench_pipeline_execute(perf):
+    """PageRank on HD through the full simulator (cache-accelerated)."""
+    from repro.apps.pagerank import PageRank
+    from repro.core.framework import ReGraph
+    from repro.core.system import SystemSimulator
+    from repro.graph.datasets import load_dataset
+
+    graph = load_dataset("HD", scale=0.05, seed=1)
+    framework = ReGraph("U280")
+    pre = framework.preprocess(graph)
+    sim = SystemSimulator(pre.plan, framework.platform, framework.channel)
+    run = sim.run(PageRank(pre.graph), max_iterations=5)
+    return {
+        "iterations": run.iterations,
+        "total_cycles": run.total_cycles,
+        "props": hashlib.sha256(run.props.tobytes()).hexdigest(),
+    }
+
+
+def bench_chaos_campaign(perf):
+    from repro.chaos import CampaignConfig, run_campaign
+
+    config = CampaignConfig(seed=17, cells=8, max_iterations=20)
+    report = run_campaign(config, shrink_failures=False, perf=perf)
+    return report.to_dict()
+
+
+def bench_model_sweep(perf):
+    from repro.arch.config import PipelineConfig
+    from repro.graph.datasets import load_dataset
+    from repro.model.sweep import sensitivity_report
+
+    graph = load_dataset("HD", scale=0.05, seed=1)
+    report = sensitivity_report(
+        graph, PipelineConfig(gather_buffer_vertices=1024), perf=perf
+    )
+    return {
+        name: [
+            (p.value, p.makespan_cycles, p.num_partitions, p.combo_label)
+            for p in points
+        ]
+        for name, points in report.items()
+    }
+
+
+def bench_fleet_soak(perf):
+    from repro.chaos.fleet_soak import FleetSoakConfig, run_fleet_soak
+
+    config = FleetSoakConfig(seed=23, jobs=10, random_kills=1)
+    result = run_fleet_soak(config, perf=perf)
+    # The digest covers the FleetReport only: the perf stats beside it
+    # legitimately differ between serial and parallel runs.
+    return {"digest": result.report.digest(),
+            "completed": result.report.completed}
+
+
+BENCHES = {
+    "pipeline_execute": bench_pipeline_execute,
+    "chaos_campaign": bench_chaos_campaign,
+    "model_sweep": bench_model_sweep,
+    "fleet_soak": bench_fleet_soak,
+}
+
+
+def run_benches(perf, reps):
+    from repro.perf import get_cache
+
+    results = {}
+    for name, fn in BENCHES.items():
+        times = []
+        digest = None
+        for _ in range(reps):
+            # Every rep starts cold so reps measure the same work and
+            # serial-vs-parallel comparisons aren't warped by warm state.
+            get_cache().clear()
+            start = time.perf_counter()
+            outcome = fn(perf)
+            times.append(time.perf_counter() - start)
+            rep_digest = _digest(outcome)
+            if digest is None:
+                digest = rep_digest
+            elif digest != rep_digest:
+                print(f"FAIL: {name} is not deterministic across reps "
+                      f"({digest[:12]} vs {rep_digest[:12]})")
+                sys.exit(1)
+        results[name] = {
+            "median_seconds": statistics.median(times),
+            "reps": reps,
+            "digest": digest,
+        }
+        print(f"  {name:>18}: {results[name]['median_seconds']:.3f} s "
+              f"median, digest {digest[:12]}")
+    return results
+
+
+def compare_to_baseline(report, baseline_path, min_speedup):
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failed = False
+    for name, bench in report["benches"].items():
+        base = baseline["benches"].get(name)
+        if base is None:
+            continue
+        if bench["digest"] != base["digest"]:
+            print(f"FAIL: {name} digest differs from baseline "
+                  f"({bench['digest'][:12]} vs {base['digest'][:12]}) — "
+                  f"parallel execution changed the outcome")
+            failed = True
+            continue
+        speedup = base["median_seconds"] / max(bench["median_seconds"], 1e-9)
+        bench["speedup_vs_baseline"] = speedup
+        print(f"  {name:>18}: {speedup:.2f}x vs baseline")
+        if name not in PARALLEL_BENCHES or min_speedup is None:
+            continue
+        if (os.cpu_count() or 1) < 2:
+            print(f"  (skipping {min_speedup}x gate on {name}: "
+                  f"single-CPU machine cannot parallelize)")
+        elif speedup < min_speedup:
+            print(f"FAIL: {name} speedup {speedup:.2f}x < "
+                  f"required {min_speedup}x")
+            failed = True
+    return failed
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = serial)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per bench; the median is kept")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="recorded in the report for provenance")
+    parser.add_argument("--out", default="BENCH_perf.json")
+    parser.add_argument("--baseline", default=None,
+                        help="earlier BENCH_perf.json to diff against")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail if a parallel-friendly bench beats the "
+                             "baseline by less than this factor")
+    args = parser.parse_args(argv)
+
+    from repro.perf import PerfConfig
+
+    perf = PerfConfig(workers=args.jobs)
+    perf.apply()
+    calibration = _calibration_seconds()
+    print(f"perf regression bench: jobs={args.jobs} reps={args.reps} "
+          f"(calibration {calibration * 1e3:.1f} ms)")
+    benches = run_benches(perf, args.reps)
+    for bench in benches.values():
+        bench["normalized"] = bench["median_seconds"] / calibration
+
+    report = {
+        "schema": BENCH_SCHEMA,
+        "jobs": args.jobs,
+        "seed": args.seed,
+        "calibration_seconds": calibration,
+        "benches": benches,
+    }
+    failed = False
+    if args.baseline:
+        failed = compare_to_baseline(report, args.baseline, args.min_speedup)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"report written to {args.out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

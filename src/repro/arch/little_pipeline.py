@@ -21,6 +21,7 @@ from repro.arch.pingpong import PingPongBufferSim
 from repro.arch.timing import PartitionTiming
 from repro.graph.partition import Partition
 from repro.hbm.channel import HbmChannelModel
+from repro.perf.simcache import config_digest_prefix, get_cache, timing_key
 from repro.utils.prefix import running_release_times
 
 
@@ -34,6 +35,11 @@ class LittlePipelineSim:
         self.scatter_pes = ScatterPeArray(config.n_spe)
         #: Fault-injection hook (:mod:`repro.faults`); None = fault-free.
         self.fault_site = None
+        #: Timing-cache key prefix: binds cached results to this exact
+        #: pipeline + channel configuration (both frozen).
+        self._cache_prefix = config_digest_prefix(
+            "little", config, channel.params
+        )
 
     def execute(
         self,
@@ -63,6 +69,34 @@ class LittlePipelineSim:
 
     # ------------------------------------------------------------------
     def _timing(
+        self, src: np.ndarray, edge_bytes: int = 8
+    ) -> PartitionTiming:
+        """Memoized per-partition cycle count.
+
+        Pure function of the partition's source content, the edge width
+        and the frozen pipeline/channel configuration — shared through
+        the content-addressed cache across iterations, retries, sweeps
+        and processes.  Calls under an *active* timing fault bypass the
+        cache (never read, never written), mirroring
+        ``SystemSimulator._timing_pass``.
+        """
+        cache = get_cache()
+        if not cache.enabled:
+            return self._compute_timing(src, edge_bytes)
+        if (
+            self.fault_site is not None
+            and self.fault_site.timing_faults_active()
+        ):
+            cache.note_bypass()
+            return self._compute_timing(src, edge_bytes)
+        key = timing_key(self._cache_prefix, edge_bytes, (src,))
+        timing = cache.get(key)
+        if timing is None:
+            timing = self._compute_timing(src, edge_bytes)
+            cache.put(key, timing)
+        return timing
+
+    def _compute_timing(
         self, src: np.ndarray, edge_bytes: int = 8
     ) -> PartitionTiming:
         """Per-partition cycle count from the modelled datapath.

@@ -23,6 +23,7 @@ digest bit-for-bit — the repro-bundle contract.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 from dataclasses import dataclass, field
@@ -37,6 +38,8 @@ from repro.faults.resilience import ResiliencePolicy
 from repro.check.tolerances import DEFAULT_BANDS, ToleranceBands
 from repro.chaos.oracles import validate_cell
 from repro.chaos.spec import CellSpec
+from repro.perf.config import PerfConfig
+from repro.perf.parallel import parallel_map
 
 #: Campaign default: breakers trip fast (threshold 3) so soak runs
 #: exercise them, while retry-only faults (detectable flips) get enough
@@ -265,21 +268,35 @@ def run_campaign(
     shrink_failures: bool = True,
     max_probes: int = 48,
     progress=None,
+    perf: Optional[PerfConfig] = None,
 ) -> CampaignReport:
     """Run every cell of a campaign; shrink + bundle each failure.
 
     ``progress`` is an optional ``(index, total, CellResult) -> None``
     callback (the CLI uses it for per-cell lines).
+
+    ``perf`` fans the cells out over worker processes
+    (:func:`~repro.perf.parallel.parallel_map`).  Each cell is already a
+    deterministic pure function of its spec, so the report is
+    bit-identical to a serial run: results are merged in cell order,
+    and shrinking/bundling of failures stays in the parent (also in
+    cell order).  With workers > 1 the ``progress`` callback fires
+    after the batch completes rather than live.
     """
     from repro.chaos.generate import generate_cells
 
     policy = policy if policy is not None else DEFAULT_CHAOS_POLICY
+    workers = 1
+    if perf is not None:
+        perf.apply()
+        workers = perf.workers
     cells = generate_cells(config)
     report = CampaignReport(
         config=config.to_dict(), cells=[c.to_dict() for c in cells]
     )
-    for index, cell in enumerate(cells):
-        result = run_cell(cell, policy=policy, bands=bands)
+    runner = functools.partial(run_cell, policy=policy, bands=bands)
+    results = parallel_map(runner, cells, workers=workers)
+    for index, (cell, result) in enumerate(zip(cells, results)):
         report.results.append(result)
         if progress is not None:
             progress(index, len(cells), result)

@@ -212,13 +212,22 @@ class FleetSoakResult:
     config: FleetSoakConfig
     report: FleetReport
     kills: List[ReplicaKill] = field(default_factory=list)
+    #: Execution-acceleration stats (worker count, prewarmed specs,
+    #: simulation-cache counters).  Deliberately kept *outside*
+    #: :class:`FleetReport`: the report digest certifies the served
+    #: outcome, which must be identical between serial and parallel
+    #: runs, while these counters describe how fast we got there.
+    perf: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "soak_config": self.config.to_dict(),
             "kills": [k.to_dict() for k in self.kills],
             "report": self.report.to_dict(),
         }
+        if self.perf:
+            data["perf"] = dict(self.perf)
+        return data
 
     @staticmethod
     def from_dict(data: dict) -> "FleetSoakResult":
@@ -226,17 +235,39 @@ class FleetSoakResult:
             config=FleetSoakConfig.from_dict(data["soak_config"]),
             report=FleetReport.from_dict(data["report"]),
             kills=[ReplicaKill.from_dict(k) for k in data.get("kills", [])],
+            perf=dict(data.get("perf", {})),
         )
 
 
 def run_fleet_soak(
     config: FleetSoakConfig,
     policy: Optional[FleetPolicy] = None,
+    perf=None,
 ) -> FleetSoakResult:
-    """Generate and serve the soak's job stream under its kill schedule."""
+    """Generate and serve the soak's job stream under its kill schedule.
+
+    ``perf`` (a :class:`~repro.perf.config.PerfConfig`) configures the
+    simulation cache and, with ``workers > 1``, prewarms every distinct
+    (device, graph) spec on worker processes before the — inherently
+    serial — event loop starts.  The report digest is unaffected.
+    """
     pool = build_pool(config)
     jobs = generate_jobs(config)
     kills = generate_kills(config)
     runtime = FleetRuntime(pool, policy)
+    prewarmed = 0
+    if perf is not None:
+        perf.apply()
+        if perf.parallel:
+            prewarmed = runtime.prewarm(jobs, perf)
     report = runtime.run(jobs, kills=kills)
-    return FleetSoakResult(config=config, report=report, kills=kills)
+    result = FleetSoakResult(config=config, report=report, kills=kills)
+    if perf is not None:
+        from repro.perf.simcache import get_cache
+
+        result.perf = {
+            "workers": perf.workers,
+            "prewarmed_specs": prewarmed,
+            **get_cache().stats(),
+        }
+    return result

@@ -54,6 +54,50 @@ def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pipelines", type=int, default=None)
 
 
+def _add_perf_arguments(parser: argparse.ArgumentParser) -> None:
+    """Uniform execution-acceleration knobs (see docs/PERFORMANCE.md)."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for parallelizable stages (default 1 = "
+             "serial; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--no-sim-cache", action="store_true",
+        help="disable the content-addressed partition-timing cache",
+    )
+    parser.add_argument(
+        "--cache-entries", type=int, default=None, metavar="N",
+        help="simulation-cache capacity in entries (default 4096)",
+    )
+
+
+def _perf_config(args):
+    from repro.perf import DEFAULT_CACHE_ENTRIES, PerfConfig
+
+    entries = args.cache_entries
+    if entries is None:
+        entries = DEFAULT_CACHE_ENTRIES
+    return PerfConfig(
+        workers=args.jobs,
+        cache_enabled=not args.no_sim_cache,
+        cache_entries=entries,
+    )
+
+
+def _print_cache_stats() -> None:
+    """One-line simulation-cache summary (silent when nothing ran)."""
+    from repro.perf import get_cache
+
+    stats = get_cache().stats()
+    activity = stats["hits"] + stats["misses"] + stats["bypasses"]
+    if not stats["enabled"] or activity == 0:
+        return
+    print(f"sim cache: {stats['hits']} hits / {stats['misses']} misses "
+          f"(hit rate {stats['hit_rate']:.1%}), "
+          f"{stats['entries']}/{stats['max_entries']} entries, "
+          f"{stats['bypasses']} fault bypasses")
+
+
 def _load_graph(args):
     if args.edge_list:
         return read_edge_list(args.edge_list)
@@ -105,6 +149,7 @@ def cmd_preprocess(args) -> int:
 
 
 def cmd_run(args) -> int:
+    _perf_config(args).apply()
     graph = _load_graph(args)
     framework = _framework(args)
     pre = framework.preprocess(graph)
@@ -127,6 +172,7 @@ def cmd_run(args) -> int:
           f"({'converged' if run.converged else 'cap reached'})")
     print(f"simulated time: {run.total_seconds * 1e3:.3f} ms")
     print(f"throughput: {run.mteps:,.0f} MTEPS")
+    _print_cache_stats()
     return 0
 
 
@@ -135,6 +181,7 @@ def cmd_sweep(args) -> int:
     from repro.core.system import SystemSimulator
     from repro.sched.scheduler import build_schedule
 
+    _perf_config(args).apply()
     graph = _load_graph(args)
     framework = _framework(args)
     pre = framework.preprocess(graph)
@@ -157,6 +204,7 @@ def cmd_sweep(args) -> int:
         rows,
         title=f"pipeline-combination sweep on {graph.name}",
     ))
+    _print_cache_stats()
     return 0
 
 
@@ -309,6 +357,7 @@ def cmd_faultsim(args) -> int:
 def cmd_check(args) -> int:
     from repro.check import ORACLE_APPS, run_conformance
 
+    _perf_config(args).apply()
     apps = None
     if args.app:
         apps = ORACLE_APPS if "all" in args.app else tuple(args.app)
@@ -334,6 +383,7 @@ def cmd_check(args) -> int:
     print(f"{report.num_checks - failed_oracles}/{report.num_checks} "
           f"oracle checks passed, "
           f"{len(report.violations)} invariant violation(s)")
+    _print_cache_stats()
     return 0 if report.passed else 1
 
 
@@ -378,6 +428,7 @@ def _chaos_run(args) -> int:
 
     from repro.chaos import CampaignConfig, run_campaign
 
+    perf = _perf_config(args)
     config = CampaignConfig(
         seed=args.chaos_seed,
         cells=args.cells,
@@ -389,7 +440,8 @@ def _chaos_run(args) -> int:
     )
     print(f"chaos campaign: {config.cells} cells, seed {config.seed}, "
           f"intensity {config.intensity}, "
-          f"devices {'/'.join(config.devices)}")
+          f"devices {'/'.join(config.devices)}"
+          + (f", {perf.workers} workers" if perf.parallel else ""))
 
     def progress(index, total, result):
         if not result.survived:
@@ -402,8 +454,10 @@ def _chaos_run(args) -> int:
         shrink_failures=not args.no_shrink,
         max_probes=args.max_probes,
         progress=progress,
+        perf=perf,
     )
     _print_campaign_summary(report)
+    _print_cache_stats()
     if args.report_json:
         with open(args.report_json, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2)
@@ -509,9 +563,10 @@ def _fleet_run(args) -> int:
     from repro.chaos.fleet_soak import FleetSoakConfig, run_fleet_soak
     from repro.fleet import FleetPolicy
 
+    perf = _perf_config(args)
     config = FleetSoakConfig(
         seed=args.fleet_seed,
-        jobs=args.jobs,
+        jobs=args.num_jobs,
         replicas=tuple(args.replica or ["U280", "U280", "U50"]),
         intensity=args.intensity,
         kills=tuple(_parse_kill(s) for s in (args.kill or [])),
@@ -529,11 +584,13 @@ def _fleet_run(args) -> int:
     print(f"fleet soak: {config.jobs} jobs over "
           f"{len(config.replicas)} replicas "
           f"({'/'.join(config.replicas)}), seed {config.seed}, "
-          f"intensity {config.intensity}")
-    result = run_fleet_soak(config, policy)
+          f"intensity {config.intensity}"
+          + (f", {perf.workers} workers" if perf.parallel else ""))
+    result = run_fleet_soak(config, policy, perf=perf)
     for kill in result.kills:
         print(f"  kill: {kill.replica_id} at t={kill.at_seconds * 1e3:.2f} ms")
     _print_fleet_summary(result.report)
+    _print_perf_stats(result.perf)
     if args.report_json:
         with open(args.report_json, "w") as fh:
             json.dump(result.to_dict(), fh, indent=2)
@@ -541,7 +598,23 @@ def _fleet_run(args) -> int:
     return 0 if result.report.passed else 1
 
 
+def _print_perf_stats(perf: dict) -> None:
+    """Execution-acceleration line for a soak (silent when absent)."""
+    if not perf:
+        return
+    line = (f"perf: {perf.get('workers', 1)} worker(s), "
+            f"{perf.get('prewarmed_specs', 0)} prewarmed spec(s)")
+    if perf.get("hits", 0) or perf.get("misses", 0):
+        line += (f", sim cache {perf['hits']} hits / "
+                 f"{perf['misses']} misses "
+                 f"(hit rate {perf.get('hit_rate', 0.0):.1%})")
+    if perf.get("bypasses", 0):
+        line += f", {perf['bypasses']} fault bypasses"
+    print(line)
+
+
 def _load_fleet_report(path):
+    """-> (FleetReport, perf stats dict) from either JSON layout."""
     import json
 
     from repro.chaos.fleet_soak import FleetSoakResult
@@ -550,12 +623,13 @@ def _load_fleet_report(path):
     with open(path) as fh:
         data = json.load(fh)
     if "report" in data:
-        return FleetSoakResult.from_dict(data).report
-    return FleetReport.from_dict(data)
+        result = FleetSoakResult.from_dict(data)
+        return result.report, result.perf
+    return FleetReport.from_dict(data), {}
 
 
 def _fleet_status(args) -> int:
-    report = _load_fleet_report(args.report)
+    report, perf = _load_fleet_report(args.report)
     for r in report.replicas:
         note = f" ({r['retired_reason']})" if r.get("retired_reason") else ""
         print(f"{r['replica_id']} [{r['device']}] {r['state']}{note}: "
@@ -566,12 +640,14 @@ def _fleet_status(args) -> int:
           f"{admission.get('submitted', 0)} admitted, "
           f"{admission.get('shed_queue_depth', 0)} shed on queue depth, "
           f"{admission.get('shed_rate_limit', 0)} rate-limited")
+    _print_perf_stats(perf)
     return 0
 
 
 def _fleet_report(args) -> int:
-    report = _load_fleet_report(args.report)
+    report, perf = _load_fleet_report(args.report)
     _print_fleet_summary(report)
+    _print_perf_stats(perf)
     return 0 if report.passed else 1
 
 
@@ -592,6 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="execute an application")
     _add_graph_arguments(p)
     _add_platform_arguments(p)
+    _add_perf_arguments(p)
     p.add_argument("--app", default="pagerank",
                    choices=["pagerank", "bfs", "closeness"])
     p.add_argument("--root", type=int, default=0)
@@ -600,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="sweep pipeline combinations")
     _add_graph_arguments(p)
     _add_platform_arguments(p)
+    _add_perf_arguments(p)
 
     p = sub.add_parser("codegen", help="emit accelerator bundles")
     p.add_argument("--platform", default="U280", choices=["U280", "U50"])
@@ -669,6 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pipelines", type=int, default=4)
     p.add_argument("--quick", action="store_true",
                    help="single-graph smoke suite instead of the full one")
+    _add_perf_arguments(p)
 
     p = sub.add_parser(
         "chaos",
@@ -703,6 +782,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="bundle failures without delta-debugging them")
     pr.add_argument("--max-probes", type=int, default=48,
                     help="probe budget per shrink (default 48)")
+    _add_perf_arguments(pr)
 
     pp = chaos_sub.add_parser(
         "replay", help="re-execute a repro bundle and verify its digest"
@@ -723,7 +803,7 @@ def build_parser() -> argparse.ArgumentParser:
     pf = fleet_sub.add_parser(
         "run", help="generate and serve a seeded fleet soak"
     )
-    pf.add_argument("--jobs", type=int, default=30,
+    pf.add_argument("--num-jobs", type=int, default=30,
                     help="number of jobs in the stream (default 30)")
     pf.add_argument("--fleet-seed", type=int, default=0,
                     help="soak seed: determines the whole job stream")
@@ -756,6 +836,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="disable hedged execution of deadline jobs")
     pf.add_argument("--report-json", default=None,
                     help="write the full fleet report as JSON")
+    _add_perf_arguments(pf)
 
     pf = fleet_sub.add_parser(
         "status", help="replica and admission state from a report JSON"

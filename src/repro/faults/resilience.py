@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import math
 import os
+import uuid
 import zipfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -204,7 +205,11 @@ class CheckpointStore:
         The write is crash-safe: the archive is staged to a temporary
         sibling and moved into place with :func:`os.replace` (atomic on
         POSIX), so a fleet worker dying mid-save can never leave a torn
-        checkpoint under the final name.
+        checkpoint under the final name.  The staging name carries the
+        pid *and* a random suffix: pid alone is not unique under a
+        worker pool (pids recycle, and one process may host several
+        concurrent savers), so two parallel cells writing toward the
+        same final path must never collide on one staging file.
         """
         cp = self.latest()
         if cp is None:
@@ -213,7 +218,9 @@ class CheckpointStore:
         final = path if path.suffix == ".npz" else path.with_suffix(
             path.suffix + ".npz"
         )
-        tmp = final.with_name(final.name + f".tmp-{os.getpid()}")
+        tmp = final.with_name(
+            final.name + f".tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        )
         try:
             with open(tmp, "wb") as fh:
                 np.savez(

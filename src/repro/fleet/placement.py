@@ -26,6 +26,29 @@ from repro.graph.coo import Graph
 from repro.hbm.capacity import CHANNEL_CAPACITY_BYTES
 
 
+def preprocess_cache_key(
+    device: str,
+    buffer_vertices: int,
+    num_pipelines: int,
+    graph_spec,
+    symmetrize: bool,
+) -> tuple:
+    """Identity of one preprocessed artefact.
+
+    Shared with the fleet prewarm workers
+    (:mod:`repro.perf.prewarm`), which compute entries out-of-process
+    and must label them with byte-for-byte the same key the engine
+    will look up.
+    """
+    return (
+        device,
+        buffer_vertices,
+        num_pipelines,
+        tuple(sorted(graph_spec.to_dict().items())),
+        symmetrize,
+    )
+
+
 class PlacementEngine:
     """Scores replicas for a job and picks the best one."""
 
@@ -42,15 +65,24 @@ class PlacementEngine:
     # ------------------------------------------------------------------
     def _cache_key(self, replica: Replica, job: Job) -> tuple:
         fw = replica.handle.framework
-        return (
+        # wcc executes the symmetrized graph, so the app is part of
+        # the identity of the preprocessed artefact.
+        return preprocess_cache_key(
             replica.device,
             fw.pipeline.gather_buffer_vertices,
             fw.num_pipelines,
-            tuple(sorted(job.graph.to_dict().items())),
-            # wcc executes the symmetrized graph, so the app is part of
-            # the identity of the preprocessed artefact.
+            job.graph,
             job.app == "wcc",
         )
+
+    def seed(self, key: tuple, pre: PreprocessResult) -> None:
+        """Adopt a preprocessed artefact computed elsewhere (prewarm).
+
+        First writer wins: preprocessing is deterministic in the key,
+        so a seeded artefact and a locally computed one are
+        interchangeable.
+        """
+        self._pre_cache.setdefault(key, pre)
 
     def preprocess_for(
         self, replica: Replica, job: Job, graph: Graph

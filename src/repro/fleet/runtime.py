@@ -726,6 +726,41 @@ class FleetRuntime:
         primary.partner = hedge
         hedge.partner = primary
 
+    # -- prewarm ---------------------------------------------------------
+    def prewarm(self, jobs: Sequence[Job], perf) -> int:
+        """Warm the preprocess and timing caches for a job stream.
+
+        The event loop itself is serial by construction (one virtual
+        clock, one event order), so parallelism comes from hoisting the
+        expensive *pure* work out of it: each distinct (device config,
+        graph) spec is preprocessed — and its partitions timed once —
+        on a worker process.  The artefacts seed the placement engine
+        and the global simulation cache; both are pure functions of the
+        spec, so the warmed run's :class:`FleetReport` digest is
+        bit-identical to a cold serial run's.
+
+        ``perf`` is a :class:`~repro.perf.config.PerfConfig`; returns
+        the number of specs warmed.
+        """
+        from repro.perf.parallel import parallel_map
+        from repro.perf.prewarm import distinct_specs, prewarm_spec
+        from repro.perf.simcache import get_cache
+
+        specs = distinct_specs(self.replicas, jobs, perf.cache_entries)
+        results = parallel_map(
+            prewarm_spec, list(specs.values()), workers=perf.workers
+        )
+        cache = get_cache()
+        warmed = 0
+        for item in results:
+            if item is None:
+                continue
+            key, pre, entries = item
+            self.placement.seed(key, pre)
+            cache.merge(entries)
+            warmed += 1
+        return warmed
+
     # -- the event loop --------------------------------------------------
     def run(
         self,

@@ -1,0 +1,69 @@
+"""The performance-knob record every accelerated entry point accepts.
+
+One frozen :class:`PerfConfig` travels from the CLI (``--jobs``,
+``--no-sim-cache``, ``--cache-entries``) into
+:func:`repro.chaos.campaign.run_campaign`,
+:func:`repro.chaos.fleet_soak.run_fleet_soak`,
+:func:`repro.model.sweep.sweep_parameter` and
+:func:`repro.runtime.host.init_accelerator`, so parallelism and caching
+are configured the same way everywhere.  The default is the safe
+identity: one worker (fully serial) with the cache on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UserInputError
+from repro.perf.simcache import DEFAULT_CACHE_ENTRIES, configure_cache
+
+
+@dataclass(frozen=True)
+class PerfConfig:
+    """Workers + cache knobs of one accelerated invocation."""
+
+    #: Worker processes for :func:`repro.perf.parallel.parallel_map`;
+    #: 1 means strictly serial (no pool is ever created).
+    workers: int = 1
+    #: Whether the content-addressed simulation cache is consulted.
+    cache_enabled: bool = True
+    #: LRU bound of the simulation cache.
+    cache_entries: int = DEFAULT_CACHE_ENTRIES
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise UserInputError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.cache_entries < 1:
+            raise UserInputError(
+                f"cache_entries must be >= 1, got {self.cache_entries}"
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """True when a worker pool would actually be used."""
+        return self.workers > 1
+
+    def apply(self) -> None:
+        """Configure the process-global simulation cache accordingly."""
+        configure_cache(
+            enabled=self.cache_enabled, max_entries=self.cache_entries
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "cache_enabled": self.cache_enabled,
+            "cache_entries": self.cache_entries,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "PerfConfig":
+        return PerfConfig(
+            workers=int(data.get("workers", 1)),
+            cache_enabled=bool(data.get("cache_enabled", True)),
+            cache_entries=int(
+                data.get("cache_entries", DEFAULT_CACHE_ENTRIES)
+            ),
+        )

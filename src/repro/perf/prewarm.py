@@ -1,0 +1,100 @@
+"""Fleet prewarm: out-of-process preprocessing and timing warm-up.
+
+The fleet event loop itself is inherently serial — it is a virtual-time
+discrete-event simulation whose bit-reproducible report depends on one
+global event order.  What *is* parallel is the expensive pure work the
+loop keeps stopping for: preprocessing each distinct (device config,
+graph) pair and timing its partitions for the first time.
+
+:func:`prewarm_spec` is the picklable worker unit: it rebuilds one
+spec's framework, preprocesses the graph, runs one timing iteration so
+the content-addressed cache fills with every partition of the plan, and
+ships back ``(placement key, PreprocessResult, cache entries)``.  The
+parent merges the artefacts into :class:`~repro.fleet.placement
+.PlacementEngine` and the global :mod:`~repro.perf.simcache` *before*
+starting the event loop, which then finds every expensive step already
+answered.  Both artefacts are pure functions of the spec, so the
+warmed run's report digest is identical to a cold serial run's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.arch.config import PipelineConfig
+from repro.core.framework import ReGraph
+from repro.core.system import SystemSimulator
+from repro.errors import ReproError
+from repro.fleet.placement import preprocess_cache_key
+from repro.perf.simcache import configure_cache, get_cache
+
+
+def prewarm_spec(task: tuple) -> Optional[Tuple[tuple, object, dict]]:
+    """Warm one (device, buffer, pipelines, graph spec, symmetrize) spec.
+
+    Returns ``(placement cache key, PreprocessResult, timing-cache
+    entries)``, or ``None`` when the spec cannot be preprocessed (the
+    event loop will then handle it — and its typed failure — exactly as
+    it would have without prewarming).
+    """
+    (device, buffer_vertices, num_pipelines, graph_spec, symmetrize,
+     cache_entries) = task
+    # The worker's own (forked) global cache is cleared first so the
+    # entries shipped back belong to exactly this spec.
+    cache = configure_cache(enabled=True, max_entries=cache_entries)
+    cache.clear()
+    try:
+        graph = graph_spec.build()
+        if symmetrize:
+            from repro.apps.wcc import symmetrized
+
+            graph = symmetrized(graph)
+        framework = ReGraph(
+            device,
+            pipeline=PipelineConfig(
+                gather_buffer_vertices=buffer_vertices
+            ),
+            num_pipelines=num_pipelines,
+        )
+        pre = framework.preprocess(graph)
+        sim = SystemSimulator(pre.plan, framework.platform, framework.channel)
+        sim.iteration_timing(graph.num_vertices)
+    except ReproError:
+        return None
+    key = preprocess_cache_key(
+        device, buffer_vertices, num_pipelines, graph_spec, symmetrize
+    )
+    return key, pre, cache.entries()
+
+
+def distinct_specs(replicas, jobs, cache_entries: int) -> dict:
+    """The deduplicated prewarm work-list for a pool and job stream.
+
+    Keyed by placement cache key (insertion order = deterministic job
+    order), valued by the picklable :func:`prewarm_spec` task tuple.
+    """
+    configs = []
+    seen = set()
+    for replica in replicas:
+        fw = replica.handle.framework
+        config = (
+            replica.device,
+            fw.pipeline.gather_buffer_vertices,
+            fw.num_pipelines,
+        )
+        if config not in seen:
+            seen.add(config)
+            configs.append(config)
+    specs = {}
+    for job in jobs:
+        for device, buffer_vertices, num_pipelines in configs:
+            key = preprocess_cache_key(
+                device, buffer_vertices, num_pipelines,
+                job.graph, job.app == "wcc",
+            )
+            if key not in specs:
+                specs[key] = (
+                    device, buffer_vertices, num_pipelines,
+                    job.graph, job.app == "wcc", cache_entries,
+                )
+    return specs

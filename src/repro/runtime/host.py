@@ -329,6 +329,18 @@ class AcceleratorHandle:
         """Remaining modelled HBM capacity (placement signal)."""
         return max(self.hbm_bytes_total() - self.hbm_bytes_used(), 0)
 
+    # -- perf introspection --------------------------------------------
+    def cache_stats(self) -> dict:
+        """Simulation-cache counters (hits/misses/bypasses/entries).
+
+        The cache is process-global (executions on any handle share
+        it), surfaced here because the host handle is where callers
+        already look for run accounting.
+        """
+        from repro.perf.simcache import get_cache
+
+        return get_cache().stats()
+
     def release(self) -> None:
         """Free the context; further calls raise."""
         self.programmed = False
@@ -344,13 +356,20 @@ def init_accelerator(
     pipeline=None,
     num_pipelines: Optional[int] = None,
     timing: Optional[HostTimingConfig] = None,
+    perf=None,
 ) -> AcceleratorHandle:
-    """``initAccelerator()``: create a programmed accelerator context."""
+    """``initAccelerator()``: create a programmed accelerator context.
+
+    ``perf`` (a :class:`~repro.perf.config.PerfConfig`) configures the
+    process-global simulation cache this context's executions use.
+    """
     if isinstance(platform, str) and platform.upper() not in PLATFORMS:
         raise UserInputError(
             f"unknown device {platform!r}; valid devices: "
             f"{', '.join(list_devices())}"
         )
+    if perf is not None:
+        perf.apply()
     fw = ReGraph(platform, pipeline=pipeline, num_pipelines=num_pipelines)
     return AcceleratorHandle(
         platform=get_platform(platform),

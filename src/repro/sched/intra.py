@@ -46,15 +46,27 @@ def split_dense_for_little(
         return assignments
 
     # Per-window weights, tagged with (partition ordinal, local edge lo).
-    weights, owner, local_lo = [], [], []
-    for ordinal, partition in enumerate(dense):
-        w = model.window_weights(partition.src, "little", window_edges)
-        for win_idx, weight in enumerate(w):
-            weights.append(weight)
-            owner.append(ordinal)
-            local_lo.append(win_idx * window_edges)
-    weights = np.asarray(weights)
+    # Built with repeat/concatenate instead of a per-window Python loop:
+    # window counts per partition expand directly into the owner and
+    # local-offset columns.
+    per_partition = [
+        model.window_weights(p.src, "little", window_edges) for p in dense
+    ]
+    counts = np.array([w.size for w in per_partition], dtype=np.int64)
+    weights = (
+        np.concatenate(per_partition) if per_partition else np.zeros(0)
+    )
+    owner = np.repeat(np.arange(len(dense), dtype=np.int64), counts)
+    local_lo = (
+        np.concatenate(
+            [np.arange(c, dtype=np.int64) for c in counts]
+        ) * window_edges
+        if counts.size
+        else np.zeros(0, dtype=np.int64)
+    )
     bounds = balanced_chunk_bounds(weights, num_pipelines)
+    # Starts of owner runs, so chunks walk per-run instead of per-window.
+    run_starts = np.flatnonzero(np.diff(owner)) + 1
 
     for pipe in range(num_pipelines):
         lo_w, hi_w = int(bounds[pipe]), int(bounds[pipe + 1])
@@ -62,24 +74,24 @@ def split_dense_for_little(
             continue
         # Group this chunk's windows by owning partition and slice once
         # per (partition, contiguous window run).
-        w = lo_w
-        while w < hi_w:
-            ordinal = owner[w]
-            run_end = w
-            while run_end < hi_w and owner[run_end] == ordinal:
-                run_end += 1
+        inner = run_starts[
+            (run_starts > lo_w) & (run_starts < hi_w)
+        ]
+        starts = [lo_w] + [int(s) for s in inner]
+        ends = starts[1:] + [hi_w]
+        for w, run_end in zip(starts, ends):
+            ordinal = int(owner[w])
             partition = dense[ordinal]
-            edge_lo = local_lo[w]
+            edge_lo = int(local_lo[w])
             edge_hi = (
                 partition.num_edges
-                if run_end == len(owner) or owner[run_end] != ordinal
-                else local_lo[run_end]
+                if run_end == owner.size or owner[run_end] != ordinal
+                else int(local_lo[run_end])
             )
             edge_hi = min(edge_hi, partition.num_edges)
             sub = partition.slice(edge_lo, edge_hi)
             est = model.estimate_little_execution(sub.src)
             assignments[pipe].append(LittleTask(sub, est))
-            w = run_end
     return assignments
 
 
@@ -156,19 +168,23 @@ def split_groups_for_big(
         ([0], np.cumsum([w.size for w in group_weights])[:-1])
     )
     bounds = balanced_chunk_bounds(weights, num_pipelines)
+    # Starts of group runs, so chunks walk per-run instead of per-window.
+    run_starts = np.flatnonzero(np.diff(group_of_window)) + 1
 
     for pipe in range(num_pipelines):
         lo_w, hi_w = int(bounds[pipe]), int(bounds[pipe + 1])
-        w = lo_w
-        while w < hi_w:
+        inner = run_starts[(run_starts > lo_w) & (run_starts < hi_w)]
+        starts = [lo_w] + [int(s) for s in inner] if hi_w > lo_w else []
+        ends = starts[1:] + [hi_w] if starts else []
+        for w, run_end in zip(starts, ends):
             gi = int(group_of_window[w])
-            run_end = w
-            while run_end < hi_w and group_of_window[run_end] == gi:
-                run_end += 1
             src = merged_srcs[gi]
-            edge_lo = (w - first_window[gi]) * window_edges
-            if run_end < len(group_of_window) and group_of_window[run_end] == gi:
-                edge_hi = (run_end - first_window[gi]) * window_edges
+            edge_lo = int(w - first_window[gi]) * window_edges
+            if (
+                run_end < group_of_window.size
+                and group_of_window[run_end] == gi
+            ):
+                edge_hi = int(run_end - first_window[gi]) * window_edges
             else:
                 edge_hi = src.size
             edge_hi = min(edge_hi, src.size)
@@ -178,5 +194,4 @@ def split_groups_for_big(
             if sum(p.num_edges for p in sliced):
                 est = model.estimate_big_group([p.src for p in sliced])
                 assignments[pipe].append(BigTask(list(sliced), est))
-            w = run_end
     return assignments

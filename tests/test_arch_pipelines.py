@@ -160,6 +160,48 @@ class TestLittlePipeline:
         assert stats.blocks_fetched > 0
 
 
+class TestGatherServiceVectorization:
+    """The vectorized Gather service model must match the original
+    per-lane loop (kept as ``_gather_service_reference``) exactly."""
+
+    def test_matches_reference_on_real_partitions(self, big, rmat_partitions, config):
+        parts = rmat_partitions.nonempty()[: config.n_gpe]
+        lanes = np.concatenate([
+            np.full(p.num_edges, i, dtype=np.int64)
+            for i, p in enumerate(parts)
+        ])
+        np.testing.assert_array_equal(
+            big._gather_service(lanes, len(parts)),
+            big._gather_service_reference(lanes, len(parts)),
+        )
+
+    @pytest.mark.parametrize("num_edges,num_lanes,seed", [
+        (0, 1, 0),       # empty
+        (1, 1, 1),       # single tuple
+        (7, 3, 2),       # partial trailing set
+        (64, 4, 3),      # exact multiple of the set size
+        (257, 8, 4),     # window boundary straddled
+        (1000, 2, 5),    # skewed two-lane dispatch
+    ])
+    def test_matches_reference_on_random_dispatch(self, big, num_edges, num_lanes, seed):
+        rng = np.random.default_rng(seed)
+        lanes = rng.integers(0, num_lanes, size=num_edges, dtype=np.int64)
+        np.testing.assert_array_equal(
+            big._gather_service(lanes, num_lanes),
+            big._gather_service_reference(lanes, num_lanes),
+        )
+
+    def test_single_hot_lane_bounds_throughput(self, big):
+        # All tuples on one lane: the busiest-lane rate equals the full
+        # set size, so service can never beat one-tuple-per-cycle.
+        lanes = np.zeros(512, dtype=np.int64)
+        service = big._gather_service(lanes, 4)
+        np.testing.assert_array_equal(
+            service, big._gather_service_reference(lanes, 4)
+        )
+        assert service.min() >= 1.0
+
+
 class TestDeterminism:
     def test_timing_reproducible(self, big, little, rmat_partitions):
         p = rmat_partitions.nonempty()[1]

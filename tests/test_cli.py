@@ -162,7 +162,7 @@ class TestErrorPaths:
 class TestFleetCli:
     """``repro fleet run|status|report`` and its error contract."""
 
-    RUN = ["fleet", "run", "--jobs", "6", "--fleet-seed", "3",
+    RUN = ["fleet", "run", "--num-jobs", "6", "--fleet-seed", "3",
            "--kill", "0@0.001"]
 
     def test_run_passes_and_prints_summary(self, capsys):
@@ -192,7 +192,7 @@ class TestFleetCli:
         host API's typed error naming every valid device, exit 2."""
         from repro.runtime.host import list_devices
 
-        assert main(["fleet", "run", "--jobs", "1",
+        assert main(["fleet", "run", "--num-jobs", "1",
                      "--replica", "U9000"]) == 2
         err = capsys.readouterr().err
         assert err.startswith("error:")
@@ -201,7 +201,7 @@ class TestFleetCli:
             assert name in err
 
     def test_bad_kill_spec_returns_2(self, capsys):
-        assert main(["fleet", "run", "--jobs", "1",
+        assert main(["fleet", "run", "--num-jobs", "1",
                      "--kill", "banana"]) == 2
         err = capsys.readouterr().err
         assert "bad --kill spec" in err
