@@ -46,6 +46,19 @@ __all__ = [
 ]
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--journal",
+        action="store_true",
+        default=False,
+        help=(
+            "fleet benchmark: also measure fsync-per-append journaling "
+            "(latency is storage-dependent, so it is reported but never "
+            "gated; the fsync-less overhead gate always runs)"
+        ),
+    )
+
+
 @pytest.fixture(scope="session")
 def datasets():
     """Scaled stand-ins of the graphs used across benchmarks, by key."""

@@ -8,7 +8,10 @@ and PR 2 (conformance oracles + trace invariants) *together* at scale:
 * :mod:`repro.chaos.campaign` — the execution engine + failure digests;
 * :mod:`repro.chaos.oracles`  — correctness checks on surviving runs;
 * :mod:`repro.chaos.shrink`   — ddmin fault-plan minimisation;
-* :mod:`repro.chaos.bundle`   — replayable repro bundles.
+* :mod:`repro.chaos.bundle`   — replayable repro bundles;
+* :mod:`repro.chaos.fleet_soak` — seeded job streams against the fleet;
+* :mod:`repro.chaos.kill_restart` — hard-kill the fleet mid-soak,
+  recover from the write-ahead journal, assert recovery equivalence.
 """
 
 from repro.chaos.bundle import (
@@ -34,6 +37,7 @@ from repro.chaos.generate import (
     CampaignConfig,
     generate_cells,
 )
+
 from repro.chaos.shrink import (
     ShrinkResult,
     ddmin,
@@ -42,6 +46,28 @@ from repro.chaos.shrink import (
     shrink_cell,
 )
 from repro.chaos.spec import GRAPH_KINDS, CellSpec, GraphSpec
+
+#: Lazy (PEP 562) exports: kill_restart pulls in the fleet package,
+#: which itself imports repro.chaos.generate — an eager import here
+#: would close that cycle during package init.  fleet_soak stays out of
+#: the eager list for the same reason.
+_LAZY_EXPORTS = {
+    "KillRestartConfig": "repro.chaos.kill_restart",
+    "KillRestartResult": "repro.chaos.kill_restart",
+    "plan_crash_points": "repro.chaos.kill_restart",
+    "run_kill_restart": "repro.chaos.kill_restart",
+}
+
+
+def __getattr__(name):
+    module = _LAZY_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module 'repro.chaos' has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
 
 __all__ = [
     "BUNDLE_SCHEMA",
@@ -54,6 +80,8 @@ __all__ = [
     "GRAPH_KINDS",
     "GraphSpec",
     "INTENSITIES",
+    "KillRestartConfig",
+    "KillRestartResult",
     "ReplayResult",
     "ShrinkResult",
     "ddmin",
@@ -62,6 +90,7 @@ __all__ = [
     "generate_cells",
     "load_bundle",
     "make_bundle",
+    "plan_crash_points",
     "rebuild_plan",
     "replay_bundle",
     "result_digest",

@@ -218,6 +218,12 @@ class FleetSoakResult:
     #: outcome, which must be identical between serial and parallel
     #: runs, while these counters describe how fast we got there.
     perf: dict = field(default_factory=dict)
+    #: Durability accounting (results restored from the store, replay
+    #: duplicates suppressed, divergences) — same side-channel contract
+    #: as ``perf``: a journaled/recovered soak's report digest must stay
+    #: bit-identical to an in-memory one, so these never enter the
+    #: report.
+    recovery: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         data = {
@@ -227,6 +233,8 @@ class FleetSoakResult:
         }
         if self.perf:
             data["perf"] = dict(self.perf)
+        if self.recovery:
+            data["recovery"] = dict(self.recovery)
         return data
 
     @staticmethod
@@ -236,6 +244,7 @@ class FleetSoakResult:
             report=FleetReport.from_dict(data["report"]),
             kills=[ReplicaKill.from_dict(k) for k in data.get("kills", [])],
             perf=dict(data.get("perf", {})),
+            recovery=dict(data.get("recovery", {})),
         )
 
 
@@ -243,6 +252,10 @@ def run_fleet_soak(
     config: FleetSoakConfig,
     policy: Optional[FleetPolicy] = None,
     perf=None,
+    journal_path=None,
+    store_path=None,
+    halt_after_events: Optional[int] = None,
+    journal_fsync: bool = True,
 ) -> FleetSoakResult:
     """Generate and serve the soak's job stream under its kill schedule.
 
@@ -250,17 +263,42 @@ def run_fleet_soak(
     simulation cache and, with ``workers > 1``, prewarms every distinct
     (device, graph) spec on worker processes before the — inherently
     serial — event loop starts.  The report digest is unaffected.
+
+    ``journal_path``/``store_path`` attach the durability pair (see
+    ``docs/DURABILITY.md``); the digest is again unaffected.
+    ``halt_after_events`` hard-kills the run mid-soak for chaos —
+    :class:`~repro.errors.FleetKilledError` propagates to the caller,
+    which recovers via :meth:`~repro.fleet.FleetRuntime.recover`.
     """
+    from repro.fleet.journal import JobJournal
+    from repro.fleet.store import ResultStore
+
     pool = build_pool(config)
     jobs = generate_jobs(config)
     kills = generate_kills(config)
-    runtime = FleetRuntime(pool, policy)
+    journal = (
+        JobJournal(journal_path, fsync=journal_fsync)
+        if journal_path is not None
+        else None
+    )
+    store = (
+        ResultStore(store_path, fsync=journal_fsync)
+        if store_path is not None
+        else None
+    )
+    runtime = FleetRuntime(pool, policy, journal=journal, store=store)
     prewarmed = 0
     if perf is not None:
         perf.apply()
         if perf.parallel:
             prewarmed = runtime.prewarm(jobs, perf)
-    report = runtime.run(jobs, kills=kills)
+    report = runtime.run(
+        jobs, kills=kills, halt_after_events=halt_after_events
+    )
+    if journal is not None:
+        journal.close()
+    if store is not None:
+        store.close()
     result = FleetSoakResult(config=config, report=report, kills=kills)
     if perf is not None:
         from repro.perf.simcache import get_cache
@@ -270,4 +308,6 @@ def run_fleet_soak(
             "prewarmed_specs": prewarmed,
             **get_cache().stats(),
         }
+    if journal is not None or store is not None:
+        result.recovery = dict(runtime.recovery_stats)
     return result

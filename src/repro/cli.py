@@ -12,9 +12,12 @@ Fig. 8:
 * ``selfcheck`` — run the post-install correctness matrix;
 * ``faultsim``  — inject faults and exercise the resilient runtime;
 * ``check``     — run the conformance oracles and trace invariants;
-* ``chaos``     — randomized fault soak campaigns (run/replay/report);
+* ``chaos``     — randomized fault soak campaigns (run/replay/report/
+  kill-restart);
 * ``fleet``     — serve a seeded job stream over a replica pool while
-  killing replicas mid-campaign (run/status/report).
+  killing replicas mid-campaign (run/resume/status/report); ``run
+  --journal`` write-ahead logs every transition and ``resume`` rebuilds
+  a hard-killed soak from its journal (docs/DURABILITY.md).
 
 Graphs come either from ``--dataset KEY`` (synthetic Table III stand-ins,
 with ``--scale``) or ``--edge-list FILE``.
@@ -28,7 +31,7 @@ from typing import List, Optional
 
 from repro.arch.config import PipelineConfig
 from repro.core.framework import ReGraph
-from repro.errors import ReproError
+from repro.errors import FleetKilledError, ReproError
 from repro.graph.datasets import DATASETS, load_dataset, table3_rows
 from repro.graph.io import read_edge_list
 from repro.hbm.channel import HbmChannelModel
@@ -392,6 +395,8 @@ def cmd_chaos(args) -> int:
         return _chaos_run(args)
     if args.chaos_command == "replay":
         return _chaos_replay(args)
+    if args.chaos_command == "kill-restart":
+        return _chaos_kill_restart(args)
     return _chaos_report(args)
 
 
@@ -499,9 +504,93 @@ def _chaos_report(args) -> int:
     return 0 if report.passed else 1
 
 
+def _parse_storage_fault(spec: str):
+    """``KIND[:RECORD][@TARGET]`` -> StorageFault.
+
+    Examples: ``torn-write``, ``bit-flip:5``, ``bit-flip:-1@store``.
+    """
+    from repro.errors import UserInputError
+    from repro.faults.plan import StorageFault
+
+    try:
+        body, _, target = spec.partition("@")
+        kind, _, record = body.partition(":")
+        return StorageFault(
+            kind=kind,
+            record=int(record) if record else -1,
+            target=target or "journal",
+        )
+    except (ValueError, TypeError) as exc:
+        raise UserInputError(
+            f"bad --corrupt spec {spec!r} (expected KIND[:RECORD][@TARGET], "
+            f"e.g. torn-write or bit-flip:5@store): {exc}"
+        ) from exc
+
+
+def _chaos_kill_restart(args) -> int:
+    import json
+
+    from repro.chaos.fleet_soak import FleetSoakConfig
+    from repro.chaos.kill_restart import KillRestartConfig, run_kill_restart
+    from repro.fleet import FleetPolicy
+
+    config = KillRestartConfig(
+        soak=FleetSoakConfig(
+            seed=args.fleet_seed,
+            jobs=args.num_jobs,
+            replicas=tuple(args.replica or ["U280", "U50"]),
+            intensity=args.intensity,
+            random_kills=args.kills,
+            buffer_vertices=args.buffer_vertices,
+            num_pipelines=args.pipelines or 4,
+            max_iterations=args.iterations,
+        ),
+        crashes=args.crashes,
+        storage_faults=tuple(
+            _parse_storage_fault(s) for s in (args.corrupt or [])
+        ),
+        fsync=not args.no_fsync,
+    )
+    print(f"kill-restart: {config.soak.jobs} jobs over "
+          f"{'/'.join(config.soak.replicas)}, seed {config.soak.seed}, "
+          f"{config.crashes} hard kill(s), "
+          f"{len(config.storage_faults)} storage fault(s)")
+    result = run_kill_restart(
+        config, args.workdir, policy=FleetPolicy()
+    )
+    print(f"crash points (events): "
+          f"{', '.join(str(p) for p in result.crash_points)}")
+    for line in result.storage_fault_log:
+        print(f"  corrupt: {line}")
+    print(f"restarts: {result.restarts}, "
+          f"results restored from store: {result.results_restored}, "
+          f"replay duplicates suppressed: {result.duplicates_suppressed}")
+    if result.quarantined_records or result.truncated_bytes:
+        print(f"corruption contained: {result.quarantined_records} "
+              f"record(s) quarantined, {result.truncated_bytes} tail "
+              f"byte(s) truncated"
+              + (f" -> {result.quarantine_path}"
+                 if result.quarantine_path else ""))
+    print(f"reference digest: {result.reference_digest}")
+    print(f"recovered digest: {result.final_digest}")
+    print(f"oracles: lost={len(result.lost_jobs)} "
+          f"duplicates={result.duplicate_results} "
+          f"divergences={result.replay_divergences} "
+          f"equivalent={'yes' if result.equivalent else 'NO'}")
+    if args.report_json:
+        with open(args.report_json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"report written to {args.report_json}")
+    print("kill-restart PASSED: recovery is lossless, exactly-once and "
+          "bit-equivalent" if result.passed else "kill-restart FAILED")
+    return 0 if result.passed else 1
+
+
 def cmd_fleet(args) -> int:
     if args.fleet_command == "run":
         return _fleet_run(args)
+    if args.fleet_command == "resume":
+        return _fleet_resume(args)
     if args.fleet_command == "status":
         return _fleet_status(args)
     return _fleet_report(args)
@@ -585,17 +674,89 @@ def _fleet_run(args) -> int:
           f"{len(config.replicas)} replicas "
           f"({'/'.join(config.replicas)}), seed {config.seed}, "
           f"intensity {config.intensity}"
-          + (f", {perf.workers} workers" if perf.parallel else ""))
-    result = run_fleet_soak(config, policy, perf=perf)
+          + (f", {perf.workers} workers" if perf.parallel else "")
+          + (f", journaled to {args.journal}" if args.journal else ""))
+    if (args.store or args.crash_after) and not args.journal:
+        from repro.errors import UserInputError
+
+        raise UserInputError(
+            "--store/--crash-after need --journal (recovery replays the "
+            "journaled input batch)"
+        )
+    try:
+        result = run_fleet_soak(
+            config, policy, perf=perf,
+            journal_path=args.journal,
+            store_path=args.store,
+            halt_after_events=args.crash_after,
+            journal_fsync=not args.no_fsync,
+        )
+    except FleetKilledError as exc:
+        print(f"fleet hard-killed: {exc}")
+        print(f"recover with: repro fleet resume {args.journal}"
+              + (f" --store {args.store}" if args.store else ""))
+        return 3
     for kill in result.kills:
         print(f"  kill: {kill.replica_id} at t={kill.at_seconds * 1e3:.2f} ms")
     _print_fleet_summary(result.report)
     _print_perf_stats(result.perf)
+    _print_recovery_stats(result.recovery)
     if args.report_json:
         with open(args.report_json, "w") as fh:
             json.dump(result.to_dict(), fh, indent=2)
         print(f"report written to {args.report_json}")
     return 0 if result.report.passed else 1
+
+
+def _print_recovery_stats(recovery: dict) -> None:
+    """Durability side-channel line (silent for in-memory runs)."""
+    if not recovery:
+        return
+    print(f"durability: {recovery.get('results_restored', 0)} result(s) "
+          f"restored from store, "
+          f"{recovery.get('duplicates_suppressed', 0)} replay "
+          f"duplicate(s) suppressed, "
+          f"{recovery.get('replay_divergences', 0)} divergence(s)")
+
+
+def _fleet_resume(args) -> int:
+    import json
+
+    from repro.fleet import FleetRuntime
+
+    recovered = FleetRuntime.recover(
+        args.journal,
+        store_path=args.store,
+        quarantine_dir=args.quarantine_dir,
+    )
+    view = recovered.projection
+    print(f"recovered journal {args.journal}: "
+          f"{len(recovered.jobs)} job(s) in batch, "
+          f"{len(view.results)} already terminal, "
+          f"{len(view.outstanding)} outstanding, "
+          f"{view.recoveries} earlier recovery/recoveries")
+    if recovered.repair.quarantined or recovered.repair.truncated_bytes:
+        print(f"journal repair: {recovered.repair.quarantined} corrupt "
+              f"record(s) quarantined, "
+              f"{recovered.repair.truncated_bytes} torn tail byte(s) "
+              f"truncated"
+              + (f" -> {recovered.repair.quarantine_path}"
+                 if recovered.repair.quarantine_path else ""))
+    for job_id, info in sorted(view.inflight.items()):
+        print(f"  was in flight: {job_id} on {info['replica_id']} "
+              f"(attempt {info['attempt']}, {info['kind']})")
+    try:
+        report = recovered.resume(fsync=not args.no_fsync)
+    except FleetKilledError as exc:
+        print(f"fleet hard-killed again: {exc}")
+        return 3
+    _print_fleet_summary(report)
+    _print_recovery_stats(recovered.runtime.recovery_stats)
+    if args.report_json:
+        with open(args.report_json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"report written to {args.report_json}")
+    return 0 if report.passed else 1
 
 
 def _print_perf_stats(perf: dict) -> None:
@@ -614,18 +775,50 @@ def _print_perf_stats(perf: dict) -> None:
 
 
 def _load_fleet_report(path):
-    """-> (FleetReport, perf stats dict) from either JSON layout."""
+    """-> (FleetReport, perf stats dict) from either JSON layout.
+
+    Missing, empty or undecodable files raise a typed
+    :class:`~repro.errors.UserInputError` (one-line message, exit 2)
+    instead of surfacing a traceback.
+    """
     import json
+    import os
 
     from repro.chaos.fleet_soak import FleetSoakResult
+    from repro.errors import UserInputError
     from repro.fleet import FleetReport
 
-    with open(path) as fh:
-        data = json.load(fh)
-    if "report" in data:
-        result = FleetSoakResult.from_dict(data)
-        return result.report, result.perf
-    return FleetReport.from_dict(data), {}
+    if not os.path.exists(path):
+        raise UserInputError(
+            f"fleet report not found: {path} (write one with "
+            f"`repro fleet run --report-json {path}`)"
+        )
+    if os.path.getsize(path) == 0:
+        raise UserInputError(
+            f"fleet report {path} is empty (was the run interrupted "
+            "mid-write? re-run `repro fleet run --report-json`)"
+        )
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise UserInputError(
+            f"fleet report {path} is not valid JSON ({exc}); expected a "
+            "file written by `repro fleet run --report-json`"
+        ) from exc
+    if not isinstance(data, dict):
+        raise UserInputError(
+            f"fleet report {path} does not contain a report object"
+        )
+    try:
+        if "report" in data:
+            result = FleetSoakResult.from_dict(data)
+            return result.report, result.perf
+        return FleetReport.from_dict(data), {}
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise UserInputError(
+            f"fleet report {path} is malformed: {exc!r}"
+        ) from exc
 
 
 def _fleet_status(args) -> int:
@@ -794,6 +987,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pp.add_argument("report", help="path written by chaos run --report-json")
 
+    pk = chaos_sub.add_parser(
+        "kill-restart",
+        help="hard-kill a journaled fleet soak mid-run, recover from "
+             "the journal, assert lossless exactly-once recovery",
+    )
+    pk.add_argument("--num-jobs", type=int, default=16,
+                    help="jobs in the soak stream (default 16)")
+    pk.add_argument("--fleet-seed", type=int, default=0,
+                    help="soak seed (also seeds the crash points)")
+    pk.add_argument("--replica", action="append", metavar="DEVICE",
+                    help="device of one pool member (repeatable; "
+                         "default U280 U50)")
+    pk.add_argument("--intensity", default="moderate",
+                    choices=["light", "moderate", "heavy"])
+    pk.add_argument("--kills", type=int, default=0,
+                    help="seeded random replica kills during the soak")
+    pk.add_argument("--crashes", type=int, default=2,
+                    help="hard kills of the runtime process (default 2)")
+    pk.add_argument("--corrupt", action="append",
+                    metavar="KIND[:RECORD][@TARGET]",
+                    help="storage fault applied after the matching crash "
+                         "(repeatable; kinds torn-write / partial-fsync "
+                         "/ bit-flip, target journal or store)")
+    pk.add_argument("--iterations", type=int, default=30)
+    pk.add_argument("--buffer-vertices", type=int, default=256)
+    pk.add_argument("--pipelines", type=int, default=4)
+    pk.add_argument("--workdir", default="kill-restart",
+                    help="directory for journal, store and quarantine "
+                         "(default ./kill-restart)")
+    pk.add_argument("--no-fsync", action="store_true",
+                    help="skip per-append fsync (faster; determinism "
+                         "is unaffected)")
+    pk.add_argument("--report-json", default=None,
+                    help="write the cell result as JSON")
+
     p = sub.add_parser(
         "fleet",
         help="serve a seeded job stream over a replica pool under faults",
@@ -836,7 +1064,38 @@ def build_parser() -> argparse.ArgumentParser:
                     help="disable hedged execution of deadline jobs")
     pf.add_argument("--report-json", default=None,
                     help="write the full fleet report as JSON")
+    pf.add_argument("--journal", default=None, metavar="PATH",
+                    help="write-ahead journal: every transition is "
+                         "durable before it takes effect "
+                         "(docs/DURABILITY.md)")
+    pf.add_argument("--store", default=None, metavar="PATH",
+                    help="durable result store (exactly-once terminal "
+                         "results; needs --journal)")
+    pf.add_argument("--crash-after", type=int, default=None,
+                    metavar="EVENTS",
+                    help="chaos: hard-kill the runtime after N loop "
+                         "events (exit 3; recover with fleet resume)")
+    pf.add_argument("--no-fsync", action="store_true",
+                    help="skip per-append fsync on journal/store "
+                         "(faster; crash guarantee weakened)")
     _add_perf_arguments(pf)
+
+    pf = fleet_sub.add_parser(
+        "resume",
+        help="recover a hard-killed soak from its journal and finish it",
+    )
+    pf.add_argument("journal", help="path given to fleet run --journal")
+    pf.add_argument("--store", default=None, metavar="PATH",
+                    help="result store of the killed run (restores "
+                         "exactly-once semantics across the crash)")
+    pf.add_argument("--quarantine-dir", default=None, metavar="DIR",
+                    help="where corrupt journal records are quarantined "
+                         "(default: alongside the journal, skipped when "
+                         "clean)")
+    pf.add_argument("--no-fsync", action="store_true",
+                    help="skip per-append fsync while resuming")
+    pf.add_argument("--report-json", default=None,
+                    help="write the recovered fleet report as JSON")
 
     pf = fleet_sub.add_parser(
         "status", help="replica and admission state from a report JSON"

@@ -145,6 +145,21 @@ class JobFailoverExhaustedError(FleetError):
     """A job failed on every attempt up to the per-job attempt cap."""
 
 
+class FleetKilledError(FleetError):
+    """The fleet runtime process was hard-killed mid-run (chaos).
+
+    Models a SIGKILL of the serving process itself: no cleanup, no
+    flushing beyond what the write-ahead journal already made durable.
+    A runtime that dies this way is rebuilt with
+    ``FleetRuntime.recover`` + ``resume`` from its journal and result
+    store.  ``events_processed`` records how far the event loop got.
+    """
+
+    def __init__(self, message: str, events_processed: int = 0):
+        super().__init__(message)
+        self.events_processed = events_processed
+
+
 # ----------------------------------------------------------------------
 # Conformance checking (repro.check)
 # ----------------------------------------------------------------------

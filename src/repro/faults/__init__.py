@@ -15,15 +15,18 @@ Public surface:
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    STORAGE_FAULT_KINDS,
     BitFlipFault,
     DeadChannelFault,
     FaultPlan,
     LatencySpikeFault,
     PipelineStallFault,
+    StorageFault,
 )
 from repro.faults.resilience import (
     ChannelBreakerState,
     Checkpoint,
+    CheckpointDiscardWarning,
     CheckpointStore,
     CircuitBreakerBank,
     FaultRecord,
@@ -36,6 +39,7 @@ __all__ = [
     "BitFlipFault",
     "ChannelBreakerState",
     "Checkpoint",
+    "CheckpointDiscardWarning",
     "CheckpointStore",
     "CircuitBreakerBank",
     "DeadChannelFault",
@@ -47,4 +51,6 @@ __all__ = [
     "ResiliencePolicy",
     "ResilientExecutor",
     "RunHealthReport",
+    "STORAGE_FAULT_KINDS",
+    "StorageFault",
 ]

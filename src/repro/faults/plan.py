@@ -82,6 +82,42 @@ class PipelineStallFault:
     onset_cycle: float = 0.0
 
 
+#: Ways a journal/store file can be damaged by real storage.
+STORAGE_FAULT_KINDS = ("torn-write", "partial-fsync", "bit-flip")
+
+
+@dataclass(frozen=True)
+class StorageFault:
+    """Durable-state damage: what a crash or bit rot does to a WAL file.
+
+    Unlike the accelerator faults above, a storage fault is applied to a
+    fleet journal or result store *file* (by
+    :func:`repro.fleet.journal.apply_storage_fault`) between a hard kill
+    and the subsequent recovery — it never touches the simulator.
+
+    ``record`` selects the victim line for ``bit-flip`` (negative counts
+    from the end of the file); torn writes and partial fsyncs always hit
+    the tail, where real ones do.  ``target`` picks the victim file:
+    the write-ahead journal or the result store.
+    """
+
+    kind: str
+    record: int = -1
+    target: str = "journal"
+
+    def __post_init__(self):
+        if self.kind not in STORAGE_FAULT_KINDS:
+            raise ValueError(
+                f"storage fault kind must be one of {STORAGE_FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.target not in ("journal", "store"):
+            raise ValueError(
+                f"storage fault target must be 'journal' or 'store', "
+                f"got {self.target!r}"
+            )
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """The full fault configuration of one run (deterministic via seed)."""
@@ -91,10 +127,14 @@ class FaultPlan:
     latency_spikes: Tuple[LatencySpikeFault, ...] = ()
     bit_flips: Tuple[BitFlipFault, ...] = ()
     stalls: Tuple[PipelineStallFault, ...] = ()
+    storage: Tuple[StorageFault, ...] = ()
 
     @property
     def is_empty(self) -> bool:
-        """True when the plan injects nothing (resilience stays idle)."""
+        """True when the plan injects nothing *into the simulator*
+        (resilience stays idle).  Storage faults are deliberately not
+        counted: they damage files between runs, never the run itself,
+        so a storage-only plan still qualifies for cache bypass."""
         return not (
             self.dead_channels
             or self.latency_spikes
@@ -104,13 +144,18 @@ class FaultPlan:
 
     def to_dict(self) -> dict:
         """JSON-serialisable description of the plan."""
-        return {
+        data = {
             "seed": self.seed,
             "dead_channels": [asdict(f) for f in self.dead_channels],
             "latency_spikes": [asdict(f) for f in self.latency_spikes],
             "bit_flips": [asdict(f) for f in self.bit_flips],
             "stalls": [asdict(f) for f in self.stalls],
         }
+        if self.storage:
+            # Emitted only when present, so pre-durability plan dicts
+            # stay byte-identical (chaos bundle digests include them).
+            data["storage"] = [asdict(f) for f in self.storage]
+        return data
 
     @staticmethod
     def from_dict(data: dict) -> "FaultPlan":
@@ -128,5 +173,8 @@ class FaultPlan:
             ),
             stalls=tuple(
                 PipelineStallFault(**f) for f in data.get("stalls", [])
+            ),
+            storage=tuple(
+                StorageFault(**f) for f in data.get("storage", [])
             ),
         )

@@ -38,9 +38,11 @@ resilience is idle.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import os
 import uuid
+import warnings
 import zipfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -158,6 +160,22 @@ class ResiliencePolicy:
 # ----------------------------------------------------------------------
 # Checkpoints
 # ----------------------------------------------------------------------
+class CheckpointDiscardWarning(UserWarning):
+    """A persisted checkpoint failed verification and was discarded.
+
+    Structured (carries the path and reason) so restore paths can count
+    discards in :class:`RunHealthReport` instead of losing them to a
+    silent ``continue``."""
+
+    def __init__(self, path, reason: str):
+        super().__init__(
+            f"discarding checkpoint {path}: {reason} (restore falls "
+            "back to an older snapshot)"
+        )
+        self.path = str(path)
+        self.reason = reason
+
+
 @dataclass
 class Checkpoint:
     """Vertex state at the start of one iteration."""
@@ -165,6 +183,20 @@ class Checkpoint:
     iteration: int
     props: np.ndarray
     total_cycles: float
+
+
+def _checkpoint_checksum(
+    iteration: int, props: np.ndarray, total_cycles: float
+) -> str:
+    """SHA-256 over the checkpoint payload (dtype/shape included)."""
+    arr = np.ascontiguousarray(props)
+    h = hashlib.sha256()
+    h.update(str(int(iteration)).encode())
+    h.update(format(float(total_cycles), ".17g").encode())
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
 
 
 class CheckpointStore:
@@ -228,6 +260,11 @@ class CheckpointStore:
                     iteration=cp.iteration,
                     props=cp.props,
                     total_cycles=cp.total_cycles,
+                    checksum=np.array(
+                        _checkpoint_checksum(
+                            cp.iteration, cp.props, cp.total_cycles
+                        )
+                    ),
                 )
                 fh.flush()
                 os.fsync(fh.fileno())
@@ -239,37 +276,65 @@ class CheckpointStore:
 
     @staticmethod
     def from_file(
-        path: Union[str, Path], strict: bool = True
+        path: Union[str, Path],
+        strict: bool = True,
+        health: Optional["RunHealthReport"] = None,
     ) -> Optional[Checkpoint]:
-        """Load a persisted checkpoint back.
+        """Load a persisted checkpoint back, verifying its checksum.
 
-        With ``strict=False`` a truncated, partial or otherwise corrupt
-        file returns ``None`` instead of raising — restore paths skip a
-        torn checkpoint and fall back to an older one.
+        With ``strict=False`` a truncated, partial, bit-rotted or
+        otherwise corrupt file returns ``None`` instead of raising —
+        restore paths skip a torn checkpoint and fall back to an older
+        one — and the discard is *structured*: a
+        :class:`CheckpointDiscardWarning` is emitted and, when a
+        ``health`` report is passed, counted in its
+        ``checkpoints_discarded``.  Files written before checksums
+        existed load without verification (legacy format).
         """
+        path = Path(path)
         try:
-            with np.load(Path(path)) as data:
-                return Checkpoint(
+            with np.load(path) as data:
+                cp = Checkpoint(
                     iteration=int(data["iteration"]),
                     props=np.array(data["props"]),
                     total_cycles=float(data["total_cycles"]),
                 )
-        except (OSError, EOFError, KeyError, ValueError, zipfile.BadZipFile):
+                if "checksum" in getattr(data, "files", ()):
+                    stored = str(data["checksum"])
+                    expected = _checkpoint_checksum(
+                        cp.iteration, cp.props, cp.total_cycles
+                    )
+                    if stored != expected:
+                        raise ValueError(
+                            f"checkpoint checksum mismatch in {path}: "
+                            f"stored {stored[:12]}…, payload hashes to "
+                            f"{expected[:12]}…"
+                        )
+                return cp
+        except (OSError, EOFError, KeyError, ValueError, zipfile.BadZipFile) as exc:
             if strict:
                 raise
+            warnings.warn(CheckpointDiscardWarning(path, str(exc)))
+            if health is not None:
+                health.checkpoints_discarded += 1
             return None
 
     @staticmethod
-    def from_directory(directory: Union[str, Path]) -> Optional[Checkpoint]:
+    def from_directory(
+        directory: Union[str, Path],
+        health: Optional["RunHealthReport"] = None,
+    ) -> Optional[Checkpoint]:
         """Newest *valid* checkpoint in ``directory`` (``*.npz``).
 
-        Torn files (a worker died mid-save before the atomic rename, or
-        the archive itself is damaged) are skipped, not raised; returns
+        Torn or corrupt files (a worker died mid-save before the atomic
+        rename, the archive is damaged, or the payload fails its
+        checksum) are skipped with a :class:`CheckpointDiscardWarning`
+        — counted in ``health`` when given — and never raised; returns
         ``None`` when no readable checkpoint exists.
         """
         best: Optional[Checkpoint] = None
         for path in sorted(Path(directory).glob("*.npz")):
-            cp = CheckpointStore.from_file(path, strict=False)
+            cp = CheckpointStore.from_file(path, strict=False, health=health)
             if cp is None:
                 continue
             if best is None or cp.iteration > best.iteration:
@@ -416,6 +481,44 @@ class CircuitBreakerBank:
             for ch in sorted(self._states)
         }
 
+    # -- persistence (fleet recovery) -----------------------------------
+    def to_dict(self) -> dict:
+        """Complete, restorable serialisation of the bank.
+
+        Unlike :meth:`snapshot` (the report-facing view), this includes
+        the threshold, trip counter and per-channel ``retired`` flags —
+        everything needed for :meth:`from_dict` to rebuild a bank that
+        makes *identical* open/half-open/closed decisions on the same
+        subsequent event stream.
+        """
+        return {
+            "threshold": self.threshold,
+            "trips": self.trips,
+            "channels": {
+                str(ch): {**st.to_dict(), "retired": st.retired}
+                for ch, st in sorted(self._states.items())
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CircuitBreakerBank":
+        """Rebuild a bank from :meth:`to_dict` output."""
+        bank = CircuitBreakerBank(int(data.get("threshold", 5)))
+        bank.trips = int(data.get("trips", 0))
+        for ch, st in data.get("channels", {}).items():
+            opened = st.get("opened_at_cycle")
+            bank._states[int(ch)] = ChannelBreakerState(
+                channel=int(ch),
+                failures=int(st.get("failures", 0)),
+                state=str(st.get("state", "closed")),
+                last_category=str(st.get("last_category", "")),
+                opened_at_cycle=(
+                    float(opened) if opened is not None else None
+                ),
+                retired=bool(st.get("retired", False)),
+            )
+        return bank
+
 
 # ----------------------------------------------------------------------
 # Health accounting
@@ -438,6 +541,9 @@ class RunHealthReport:
     retries: int = 0
     replans: int = 0
     checkpoint_restores: int = 0
+    #: Persisted checkpoint files discarded at load (failed checksum,
+    #: torn archive) — each one also emits a CheckpointDiscardWarning.
+    checkpoints_discarded: int = 0
     watchdog_trips: int = 0
     backoff_cycles: float = 0.0
     wasted_cycles: float = 0.0
@@ -495,6 +601,7 @@ class RunHealthReport:
             "retries": self.retries,
             "replans": self.replans,
             "checkpoint_restores": self.checkpoint_restores,
+            "checkpoints_discarded": self.checkpoints_discarded,
             "watchdog_trips": self.watchdog_trips,
             "backoff_cycles": self.backoff_cycles,
             "wasted_cycles": self.wasted_cycles,

@@ -15,13 +15,31 @@ faults.  The pieces:
   REPAIRED/RETIRED lifecycle machine;
 * :mod:`~repro.fleet.runtime` — the deterministic discrete-event loop
   (failover with backoff, hedged execution, canary re-probes);
-* :mod:`~repro.fleet.report` — the bit-reproducible run report.
+* :mod:`~repro.fleet.report` — the bit-reproducible run report;
+* :mod:`~repro.fleet.journal` — the write-ahead job journal (append-
+  only, checksummed, fsync'd) behind crash recovery;
+* :mod:`~repro.fleet.store` — the durable result store with
+  idempotency-keyed exactly-once writes.
 
-See ``docs/FLEET.md`` for the architecture walkthrough.
+See ``docs/FLEET.md`` for the architecture walkthrough and
+``docs/DURABILITY.md`` for the journal format and recovery contract.
 """
 
 from repro.fleet.admission import AdmissionController, TokenBucket
 from repro.fleet.job import FLEET_APPS, Job, JobResult
+from repro.fleet.journal import (
+    JOURNAL_SCHEMA,
+    QUARANTINE_SCHEMA,
+    RECORD_TYPES,
+    JobJournal,
+    JournalProjection,
+    JournalRecord,
+    RepairReport,
+    apply_storage_fault,
+    project_journal,
+    read_journal,
+    repair_journal,
+)
 from repro.fleet.placement import PlacementEngine
 from repro.fleet.replica import (
     DRAINING,
@@ -33,7 +51,13 @@ from repro.fleet.replica import (
     make_replica,
 )
 from repro.fleet.report import AssignmentRecord, FleetReport
-from repro.fleet.runtime import FleetPolicy, FleetRuntime, ReplicaKill
+from repro.fleet.runtime import (
+    FleetPolicy,
+    FleetRuntime,
+    RecoveredFleet,
+    ReplicaKill,
+)
+from repro.fleet.store import STORE_SCHEMA, ResultStore
 
 __all__ = [
     "AdmissionController",
@@ -43,15 +67,29 @@ __all__ = [
     "FleetPolicy",
     "FleetReport",
     "FleetRuntime",
+    "JOURNAL_SCHEMA",
     "Job",
+    "JobJournal",
     "JobResult",
+    "JournalProjection",
+    "JournalRecord",
     "PlacementEngine",
     "QUARANTINED",
+    "QUARANTINE_SCHEMA",
+    "RECORD_TYPES",
     "REPLICA_STATES",
     "RETIRED",
+    "RecoveredFleet",
+    "RepairReport",
     "Replica",
     "ReplicaKill",
+    "ResultStore",
+    "STORE_SCHEMA",
     "SERVING",
     "TokenBucket",
+    "apply_storage_fault",
     "make_replica",
+    "project_journal",
+    "read_journal",
+    "repair_journal",
 ]

@@ -29,17 +29,32 @@ Failure handling per attempt:
 * exhausting the attempt cap yields a *typed*
   :class:`~repro.errors.JobFailoverExhaustedError` result — admitted
   jobs always reach a terminal status, never silence.
+
+**Durability** (``docs/DURABILITY.md``): attach a
+:class:`~repro.fleet.journal.JobJournal` and every transition above is
+write-ahead logged — the input batch before serving starts, each
+admission, dispatch, attempt outcome, lifecycle change and terminal
+result before it takes effect — and attach a
+:class:`~repro.fleet.store.ResultStore` and terminal results become
+durable with idempotency-keyed exactly-once semantics.  A runtime that
+dies mid-run (:class:`~repro.errors.FleetKilledError`, or a real
+SIGKILL) is rebuilt by :meth:`FleetRuntime.recover`, whose
+:meth:`RecoveredFleet.resume` deterministically replays the journaled
+inputs: the recovered report is bit-identical to an uninterrupted run,
+and results finalized before the crash are never emitted twice.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.chaos.spec import CellSpec, GraphSpec
 from repro.check.tolerances import DEFAULT_BANDS, ToleranceBands
 from repro.errors import (
+    FleetKilledError,
     FleetOverloadError,
     JobFailoverExhaustedError,
     NoServingReplicaError,
@@ -51,11 +66,19 @@ from repro.faults.plan import FaultPlan
 from repro.faults.resilience import ResiliencePolicy
 from repro.fleet.admission import AdmissionController
 from repro.fleet.job import Job, JobResult
+from repro.fleet.journal import (
+    JobJournal,
+    JournalProjection,
+    RepairReport,
+    project_journal,
+    repair_journal,
+)
 from repro.fleet.placement import PlacementEngine
-from repro.fleet.replica import QUARANTINED, RETIRED, Replica
+from repro.fleet.replica import QUARANTINED, RETIRED, Replica, make_replica
 from repro.fleet.report import AssignmentRecord, FleetReport
+from repro.fleet.store import ResultStore
 from repro.graph.coo import Graph
-from repro.runtime.host import VirtualClock
+from repro.runtime.host import HostTimingConfig, VirtualClock
 
 
 @dataclass(frozen=True)
@@ -294,6 +317,8 @@ class FleetRuntime:
         policy: Optional[FleetPolicy] = None,
         clock: Optional[VirtualClock] = None,
         bands: ToleranceBands = DEFAULT_BANDS,
+        journal: Optional[JobJournal] = None,
+        store: Optional[ResultStore] = None,
     ):
         if not replicas:
             raise UserInputError("a fleet needs at least one replica")
@@ -304,6 +329,22 @@ class FleetRuntime:
         self.policy = policy or FleetPolicy()
         self.clock = clock or VirtualClock()
         self.bands = bands
+        #: Write-ahead journal: every transition is logged before it
+        #: takes effect.  ``None`` = in-memory runtime (the default).
+        self.journal = journal
+        #: Durable result store with idempotency-keyed exactly-once
+        #: writes; ``None`` = results live only in the report.
+        self.store = store
+        #: Side-channel recovery accounting, deliberately *outside*
+        #: FleetReport: the report digest certifies the served outcome,
+        #: which must match an uninterrupted run bit-for-bit.
+        self.recovery_stats: Dict[str, int] = {
+            "results_restored": len(store) if store is not None else 0,
+            "duplicates_suppressed": 0,
+            "replay_divergences": 0,
+        }
+        #: Events the run loop has processed (crash-point reference).
+        self.events_processed = 0
         self.admission = AdmissionController(
             self.policy.max_queue_depth,
             self.policy.rate_limit_jobs_per_second,
@@ -325,6 +366,59 @@ class FleetRuntime:
         }
         self._canary_seq = 0
         self._admit_seq = 0
+
+    # -- durability helpers ---------------------------------------------
+    def _wal(self, rtype: str, payload: dict) -> None:
+        """Write-ahead append (no-op without a journal)."""
+        if self.journal is not None:
+            self.journal.append(rtype, payload)
+
+    def _wal_replica(self, replica: Replica, reason: str = "") -> None:
+        """Journal a replica lifecycle transition + its breaker bank."""
+        if self.journal is None:
+            return
+        self.journal.append("replica-state", {
+            "replica_id": replica.replica_id,
+            "state": replica.state,
+            "reason": reason or replica.retired_reason,
+            "time": self.clock.now,
+            "breakers": replica.handle.breaker_snapshot(),
+        })
+
+    def _pool_spec(self) -> List[dict]:
+        """A rebuildable recipe of the pool (journal ``run-begin``)."""
+        return [
+            {
+                "replica_id": r.replica_id,
+                "device": r.device,
+                "buffer_vertices": (
+                    r.handle.framework.pipeline.gather_buffer_vertices
+                ),
+                "num_pipelines": r.handle.framework.num_pipelines,
+                "timing": r.handle.timing.to_dict(),
+            }
+            for r in self.replicas
+        ]
+
+    def _persist_result(self, result: JobResult) -> None:
+        """Make a terminal result durable, exactly once per job id.
+
+        The journal gets the ``result`` record first (write-ahead), then
+        the store either accepts the write or — on resubmission after a
+        crash — suppresses it and the recomputed outcome is cross-checked
+        against the durable one (``replay_divergences`` must stay 0).
+        """
+        self._wal("result", {
+            "result": result.to_dict(), "time": self.clock.now,
+        })
+        if self.store is None:
+            return
+        if self.store.put(result):
+            return
+        self.recovery_stats["duplicates_suppressed"] += 1
+        durable = self.store.get(result.job_id)
+        if durable is not None and durable.to_dict() != result.to_dict():
+            self.recovery_stats["replay_divergences"] += 1
 
     # -- helpers --------------------------------------------------------
     def _replica(self, replica_id: str) -> Replica:
@@ -389,6 +483,13 @@ class FleetRuntime:
             self._programmed.add(replica.replica_id)
         migration_before = handle.migration_seconds
 
+        self._wal("dispatch", {
+            "job_id": job.job_id,
+            "replica_id": replica.replica_id,
+            "attempt": entry.next_attempt,
+            "kind": kind,
+            "time": now,
+        })
         attempt = _Attempt(entry, replica, entry.next_attempt, kind, now, now)
         try:
             handle.load_graph(graph, pre=pre)
@@ -448,7 +549,7 @@ class FleetRuntime:
 
     # -- terminal outcomes ----------------------------------------------
     def _finalize_rejected(self, job: Job, exc: FleetOverloadError) -> None:
-        self._results[job.job_id] = JobResult(
+        result = JobResult(
             job_id=job.job_id,
             status="rejected",
             attempts=0,
@@ -458,12 +559,26 @@ class FleetRuntime:
             detail=str(exc),
             deadline_seconds=job.deadline_seconds,
         )
+        self._wal("reject", {"result": result.to_dict()})
+        if self.store is not None:
+            self._persist_rejection(result)
+        self._results[job.job_id] = result
+
+    def _persist_rejection(self, result: JobResult) -> None:
+        """Rejections are terminal too — same exactly-once path, minus
+        the journal record (``reject`` already covers it)."""
+        if self.store.put(result):
+            return
+        self.recovery_stats["duplicates_suppressed"] += 1
+        durable = self.store.get(result.job_id)
+        if durable is not None and durable.to_dict() != result.to_dict():
+            self.recovery_stats["replay_divergences"] += 1
 
     def _finalize_completed(self, attempt: _Attempt) -> None:
         entry = attempt.entry
         entry.done = True
         job = entry.job
-        self._results[job.job_id] = JobResult(
+        result = JobResult(
             job_id=job.job_id,
             status="completed",
             replica_id=attempt.replica.replica_id,
@@ -477,6 +592,8 @@ class FleetRuntime:
             hedged=entry.hedged,
             deadline_seconds=job.deadline_seconds,
         )
+        self._persist_result(result)
+        self._results[job.job_id] = result
         attempt.replica.record_success()
         if attempt.kind == "hedge":
             self._counters["hedge_wins"] += 1
@@ -498,7 +615,7 @@ class FleetRuntime:
     ) -> None:
         entry.done = True
         job = entry.job
-        self._results[job.job_id] = JobResult(
+        result = JobResult(
             job_id=job.job_id,
             status="failed",
             attempts=attempts,
@@ -509,6 +626,8 @@ class FleetRuntime:
             hedged=entry.hedged,
             deadline_seconds=job.deadline_seconds,
         )
+        self._persist_result(result)
+        self._results[job.job_id] = result
 
     def _fail_or_requeue(self, entry: _QueuedJob, replica_id: str) -> None:
         """All in-flight attempts of ``entry`` are gone and the last one
@@ -534,6 +653,7 @@ class FleetRuntime:
         """A draining replica with nothing in flight enters quarantine."""
         if replica.state == "DRAINING" and replica.inflight == 0:
             replica.enter_quarantine(self.clock.now)
+            self._wal_replica(replica, "drained; entering quarantine")
 
     # -- event handlers --------------------------------------------------
     def _on_complete(self, attempt: _Attempt) -> None:
@@ -541,6 +661,14 @@ class FleetRuntime:
         attempt.replica.inflight -= 1
         attempt.entry.active -= 1
         entry = attempt.entry
+        self._wal("attempt-end", {
+            "job_id": entry.job.job_id,
+            "replica_id": attempt.replica.replica_id,
+            "attempt": attempt.number,
+            "ok": attempt.ok,
+            "error_type": attempt.error_type,
+            "time": self.clock.now,
+        })
         if entry.done:
             self._maybe_quarantine(attempt.replica)
             return
@@ -552,6 +680,9 @@ class FleetRuntime:
         entry.last_error = (attempt.error_type, attempt.detail)
         if attempt.replica.record_failure(self.policy.failure_threshold):
             attempt.replica.begin_drain(self.clock.now)
+            self._wal_replica(
+                attempt.replica, "consecutive failures; draining"
+            )
         else:
             self._maybe_quarantine(attempt.replica)
         if entry.active > 0:
@@ -563,7 +694,13 @@ class FleetRuntime:
         if replica.state == RETIRED:
             return
         self._counters["kills"] += 1
+        self._wal("kill", {
+            "replica_id": replica.replica_id,
+            "time": self.clock.now,
+            "reason": f"killed at t={kill.at_seconds:g}s",
+        })
         replica.kill(f"killed at t={kill.at_seconds:g}s")
+        self._wal_replica(replica)
         victims = [a for a in self._inflight if a.replica is replica]
         for attempt in victims:
             self._inflight.remove(attempt)
@@ -572,6 +709,14 @@ class FleetRuntime:
             entry = attempt.entry
             entry.active -= 1
             self._counters["crashes"] += 1
+            self._wal("attempt-end", {
+                "job_id": entry.job.job_id,
+                "replica_id": replica.replica_id,
+                "attempt": attempt.number,
+                "ok": False,
+                "error_type": ReplicaCrashError.__name__,
+                "time": self.clock.now,
+            })
             if entry.done:
                 continue
             entry.last_error = (
@@ -614,6 +759,7 @@ class FleetRuntime:
             )
         except ReproError as exc:
             replica.retire(f"canary failed: {exc.__class__.__name__}")
+            self._wal_replica(replica)
             return
         if self.policy.check_conformance:
             from repro.chaos.oracles import validate_cell
@@ -624,10 +770,12 @@ class FleetRuntime:
             )
             if violations:
                 replica.retire(f"canary unclean: {violations[0]}")
+                self._wal_replica(replica)
                 return
         replica.busy_until = self.clock.now + run.total_seconds
         replica.repair()
         self._counters["repairs"] += 1
+        self._wal_replica(replica, "canary passed; serving again")
 
     # -- dispatch --------------------------------------------------------
     def _dispatchable(self) -> List[_QueuedJob]:
@@ -766,17 +914,38 @@ class FleetRuntime:
         self,
         jobs: Sequence[Job],
         kills: Sequence[ReplicaKill] = (),
+        halt_after_events: Optional[int] = None,
     ) -> FleetReport:
         """Serve ``jobs`` (ordered by submit time) to completion.
 
         Returns a :class:`FleetReport` with exactly one terminal
         :class:`JobResult` per submitted job.
+
+        ``halt_after_events`` models a hard kill of the serving process
+        (chaos only): after that many loop events the runtime raises
+        :class:`FleetKilledError` with no cleanup — exactly what a
+        SIGKILL leaves behind.  Whatever the journal and store made
+        durable before the halt is what ``recover`` gets to see.
         """
         ids = [j.job_id for j in jobs]
         if len(set(ids)) != len(ids):
             raise UserInputError("duplicate job ids in the submission batch")
         for kill in kills:
             self._replica(kill.replica_id)  # validate ids up front
+        if halt_after_events is not None and halt_after_events < 1:
+            raise UserInputError(
+                f"halt_after_events must be >= 1, got {halt_after_events}"
+            )
+
+        # Write-ahead: the full input batch is durable before serving
+        # starts, which is what makes replay-based recovery possible —
+        # the event loop is a pure function of this record.
+        self._wal("run-begin", {
+            "policy": self.policy.to_dict(),
+            "pool": self._pool_spec(),
+            "jobs": [j.to_dict() for j in jobs],
+            "kills": [k.to_dict() for k in kills],
+        })
 
         submissions = sorted(
             enumerate(jobs), key=lambda p: (p[1].submit_time, p[0])
@@ -860,17 +1029,95 @@ class FleetRuntime:
                 sub_i += 1
                 self._submit(payload)
             self._dispatch()
+            self.events_processed += 1
+            if (
+                halt_after_events is not None
+                and self.events_processed >= halt_after_events
+            ):
+                # Hard kill: no run-end record, no store flush beyond
+                # what each append already fsynced.
+                raise FleetKilledError(
+                    f"fleet runtime hard-killed after "
+                    f"{self.events_processed} event(s) at "
+                    f"t={self.clock.now:g}s",
+                    events_processed=self.events_processed,
+                )
 
+        self._wal("run-end", {
+            "makespan_seconds": self.clock.now,
+            "jobs": len(jobs),
+            "events_processed": self.events_processed,
+        })
         return self._build_report(jobs, kills)
 
     def _submit(self, job: Job) -> None:
+        self._wal("submit", {
+            "job_id": job.job_id, "time": self.clock.now,
+        })
         try:
             self.admission.admit(job, len(self._queue), self.clock.now)
         except FleetOverloadError as exc:
             self._finalize_rejected(job, exc)
             return
         self._admit_seq += 1
+        self._wal("admit", {
+            "job_id": job.job_id,
+            "seq": self._admit_seq,
+            "time": self.clock.now,
+        })
         self._queue.append(_QueuedJob(job, self._admit_seq))
+
+    # -- crash recovery ---------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        journal_path: Union[str, Path],
+        store_path: Optional[Union[str, Path]] = None,
+        quarantine_dir: Optional[Union[str, Path]] = None,
+    ) -> "RecoveredFleet":
+        """Rebuild a killed fleet from its journal (and result store).
+
+        Repairs the journal first — a torn tail is truncated, any other
+        damaged record is quarantined into ``quarantine_dir`` — then
+        parses the ``run-begin`` input batch and folds the surviving
+        records into a :class:`~repro.fleet.journal.JournalProjection`
+        of the moment of death.  Corruption never aborts recovery; only
+        a journal whose ``run-begin`` record itself is gone (nothing to
+        replay) raises a typed :class:`~repro.errors.UserInputError`.
+
+        Call :meth:`RecoveredFleet.resume` on the result to finish the
+        interrupted run.
+        """
+        journal_path = Path(journal_path)
+        records, repair = repair_journal(journal_path, quarantine_dir)
+        projection = project_journal(records)
+        begin = projection.run_begin
+        if begin is None:
+            raise UserInputError(
+                f"journal {journal_path} has no intact run-begin record; "
+                "the input batch is unrecoverable (was the journal "
+                "attached before run() was called?)"
+            )
+        try:
+            policy = FleetPolicy.from_dict(begin["policy"])
+            pool_spec = [dict(spec) for spec in begin["pool"]]
+            jobs = [Job.from_dict(j) for j in begin["jobs"]]
+            kills = [ReplicaKill.from_dict(k) for k in begin["kills"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise UserInputError(
+                f"journal {journal_path} run-begin record is malformed: "
+                f"{exc!r}"
+            ) from exc
+        return RecoveredFleet(
+            journal_path=journal_path,
+            store_path=Path(store_path) if store_path is not None else None,
+            policy=policy,
+            pool_spec=pool_spec,
+            jobs=jobs,
+            kills=kills,
+            projection=projection,
+            repair=repair,
+        )
 
     def _build_report(
         self, jobs: Sequence[Job], kills: Sequence[ReplicaKill]
@@ -893,3 +1140,84 @@ class FleetRuntime:
             counters=dict(self._counters),
             makespan_seconds=self.clock.now,
         )
+
+
+@dataclass
+class RecoveredFleet:
+    """Everything :meth:`FleetRuntime.recover` pulled off disk.
+
+    ``projection`` is the observability view (what was queued, in
+    flight, and broken when the process died); ``resume`` is the
+    authoritative rebuild: it re-creates the pool from the journaled
+    recipe and deterministically replays the journaled input batch from
+    t=0.  Results that were already durable in the store are suppressed
+    by their idempotency keys — the client-visible stream stays
+    exactly-once — and the resumed report is bit-identical to one from
+    an uninterrupted run.
+    """
+
+    journal_path: Path
+    store_path: Optional[Path]
+    policy: FleetPolicy
+    pool_spec: List[dict]
+    jobs: List[Job]
+    kills: List[ReplicaKill]
+    projection: JournalProjection
+    repair: RepairReport
+    #: Set by :meth:`resume` before the replay starts, so a second
+    #: crash (FleetKilledError) still leaves the runtime inspectable.
+    runtime: Optional[FleetRuntime] = None
+
+    def build_pool(self) -> List[Replica]:
+        """Fresh replicas from the journaled ``run-begin`` recipe."""
+        return [
+            make_replica(
+                spec["replica_id"],
+                spec["device"],
+                buffer_vertices=int(spec["buffer_vertices"]),
+                num_pipelines=int(spec["num_pipelines"]),
+                timing=HostTimingConfig.from_dict(spec["timing"]),
+            )
+            for spec in self.pool_spec
+        ]
+
+    def resume(
+        self,
+        halt_after_events: Optional[int] = None,
+        fsync: bool = True,
+    ) -> FleetReport:
+        """Finish the interrupted run by deterministic replay.
+
+        Appends a ``recover`` marker, then re-runs the journaled batch
+        into the *same* journal (the sequence continues) with the store
+        re-attached.  ``halt_after_events`` lets chaos kill the resumed
+        run again; the next ``recover`` picks up from the same files.
+        """
+        journal = JobJournal(self.journal_path, fsync=fsync)
+        store = (
+            ResultStore(self.store_path, fsync=fsync)
+            if self.store_path is not None
+            else None
+        )
+        journal.append("recover", {
+            "restored_results": len(store) if store is not None else 0,
+            "outstanding": self.projection.outstanding,
+            "quarantined": self.repair.quarantined,
+            "truncated_bytes": self.repair.truncated_bytes,
+        })
+        self.runtime = FleetRuntime(
+            self.build_pool(),
+            policy=self.policy,
+            journal=journal,
+            store=store,
+        )
+        # No try/finally: a FleetKilledError must leave the handles as a
+        # SIGKILL would — every append was already flushed+fsync'd, and
+        # closing would be cleanup the crash never got to run.
+        report = self.runtime.run(
+            self.jobs, self.kills, halt_after_events=halt_after_events
+        )
+        journal.close()
+        if store is not None:
+            store.close()
+        return report

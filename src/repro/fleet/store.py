@@ -1,0 +1,164 @@
+"""Durable result store: exactly-once terminal outcomes across crashes.
+
+The store is the *result* half of the durability pair (the journal logs
+intent, the store holds outcomes).  It is a crash-safe JSONL file — one
+checksummed record per terminal :class:`~repro.fleet.job.JobResult`,
+appended with flush+fsync — keyed by an **idempotency key** (the job
+id): the first write for a key wins, every later ``put`` for the same
+key is suppressed and merely reported.  That is what gives resubmission
+exactly-once semantics: a recovered runtime replays the whole job
+stream, recomputes every result, and the store silently deduplicates
+the ones that were already durable before the crash — a client reading
+the store sees each job's result exactly once, whether the fleet
+crashed zero times or twice.
+
+Corrupt records (torn tail, bit rot) are skipped and counted at load,
+never raised: losing the *last* result to a torn write is recoverable
+(replay recomputes it), whereas refusing to start is not.  ``compact()``
+rewrites the file through the tmp + :func:`os.replace` pattern used by
+checkpoint persistence, dropping any damaged lines for good.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.fleet.job import JobResult
+
+#: Store line-format identifier; bump on incompatible layout changes.
+STORE_SCHEMA = "regraph-fleet-store/v1"
+
+
+def _crc(key: str, payload: dict) -> str:
+    canonical = json.dumps(
+        {"key": key, "result": payload}, sort_keys=True, separators=(",", ":")
+    )
+    return format(zlib.crc32(canonical.encode()) & 0xFFFFFFFF, "08x")
+
+
+def _encode(key: str, payload: dict) -> str:
+    return json.dumps(
+        {"key": key, "result": payload, "crc": _crc(key, payload)},
+        sort_keys=True,
+        separators=(",", ":"),
+    ) + "\n"
+
+
+class ResultStore:
+    """Append-only, checksummed, idempotent JobResult persistence."""
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = bool(fsync)
+        self._results: Dict[str, JobResult] = {}
+        #: Records skipped at load because they failed verification.
+        self.discarded_at_load = 0
+        #: ``put`` calls suppressed by the idempotency key.
+        self.duplicates_suppressed = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._load()
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def _load(self) -> None:
+        with open(self.path, "rb") as fh:
+            for blob in fh:
+                if not blob.endswith(b"\n"):
+                    self.discarded_at_load += 1
+                    continue
+                line = blob.decode("utf-8", errors="replace")
+                try:
+                    data = json.loads(line)
+                    key = str(data["key"])
+                    payload = data["result"]
+                    crc = str(data["crc"])
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    self.discarded_at_load += 1
+                    continue
+                if not isinstance(payload, dict) or crc != _crc(key, payload):
+                    self.discarded_at_load += 1
+                    continue
+                if key in self._results:
+                    # An append-only store should never hold two records
+                    # for one key (put suppresses them); tolerate it by
+                    # first-write-wins, the idempotency contract.
+                    self.duplicates_suppressed += 1
+                    continue
+                self._results[key] = JobResult.from_dict(payload)
+
+    # -- the exactly-once write path -----------------------------------
+    def put(self, result: JobResult) -> bool:
+        """Persist ``result`` under its idempotency key (the job id).
+
+        Returns True when this call made the result durable; False when
+        the key already had a durable result (the write is suppressed —
+        exactly-once on resubmission).
+        """
+        key = result.job_id
+        if key in self._results:
+            self.duplicates_suppressed += 1
+            return False
+        line = _encode(key, result.to_dict())
+        self._fh.write(line)
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self._results[key] = result
+        return True
+
+    # -- reads ----------------------------------------------------------
+    def get(self, job_id: str) -> Optional[JobResult]:
+        return self._results.get(job_id)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def job_ids(self) -> List[str]:
+        return sorted(self._results)
+
+    def results(self) -> Dict[str, JobResult]:
+        """A snapshot copy of every durable result, by job id."""
+        return dict(self._results)
+
+    def stats(self) -> dict:
+        return {
+            "results": len(self._results),
+            "discarded_at_load": self.discarded_at_load,
+            "duplicates_suppressed": self.duplicates_suppressed,
+        }
+
+    # -- maintenance -----------------------------------------------------
+    def compact(self) -> None:
+        """Rewrite the file from the in-memory view (drops bad lines).
+
+        Crash-safe: staged to a tmp sibling, then :func:`os.replace`.
+        """
+        tmp = self.path.with_name(self.path.name + f".tmp-{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for key in sorted(self._results):
+                fh.write(_encode(key, self._results[key].to_dict()))
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._fh.close()
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,4 +1,5 @@
-"""CLI surface of ``repro chaos`` (run / replay / report)."""
+"""CLI surface of ``repro chaos`` (run / replay / report /
+kill-restart)."""
 
 import json
 
@@ -104,3 +105,59 @@ class TestChaosReport:
         assert code == 0
         assert "4/4 cells survived" in out
         assert "breaker trips" in out
+
+
+class TestKillRestart:
+    """``repro chaos kill-restart`` — the durability chaos cell
+    (docs/DURABILITY.md)."""
+
+    def test_cell_passes_and_reports(self, capsys, tmp_path):
+        report_path = tmp_path / "kr.json"
+        code = main([
+            "chaos", "kill-restart",
+            "--num-jobs", "6", "--fleet-seed", "7",
+            "--replica", "U280", "--replica", "U50",
+            "--crashes", "1", "--corrupt", "torn-write",
+            "--no-fsync",
+            "--workdir", str(tmp_path / "wd"),
+            "--report-json", str(report_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kill-restart PASSED" in out
+        assert "oracles: lost=0 duplicates=0" in out
+        data = json.loads(report_path.read_text())
+        assert data["passed"] is True
+        assert data["equivalent"] is True
+        assert data["restarts"] >= 1
+        assert (tmp_path / "wd" / "fleet.journal").exists()
+
+    def test_bad_corrupt_spec_returns_2(self, capsys, tmp_path):
+        code = main([
+            "chaos", "kill-restart", "--num-jobs", "2",
+            "--corrupt", "gamma-ray", "--workdir", str(tmp_path),
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "gamma-ray" in err
+
+    def test_bad_corrupt_target_returns_2(self, capsys, tmp_path):
+        code = main([
+            "chaos", "kill-restart", "--num-jobs", "2",
+            "--corrupt", "bit-flip@ramdisk", "--workdir", str(tmp_path),
+        ])
+        assert code == 2
+        assert "ramdisk" in capsys.readouterr().err
+
+    def test_parser_accepts_all_options(self):
+        args = build_parser().parse_args([
+            "chaos", "kill-restart", "--num-jobs", "12",
+            "--fleet-seed", "3", "--replica", "U280",
+            "--intensity", "heavy", "--kills", "1", "--crashes", "3",
+            "--corrupt", "bit-flip:4@store", "--iterations", "20",
+            "--buffer-vertices", "128", "--pipelines", "2",
+            "--workdir", "wd", "--no-fsync", "--report-json", "r.json",
+        ])
+        assert args.chaos_command == "kill-restart"
+        assert args.crashes == 3
+        assert args.corrupt == ["bit-flip:4@store"]

@@ -209,4 +209,85 @@ class TestFleetCli:
     def test_missing_report_file_returns_2(self, tmp_path, capsys):
         missing = tmp_path / "nope.json"
         assert main(["fleet", "status", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "fleet run" in err  # the hint names the producing command
+
+    def test_empty_report_file_returns_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.touch()
+        assert main(["fleet", "report", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "empty" in err
+
+    def test_garbage_report_file_returns_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["fleet", "status", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_wrong_shape_report_returns_2(self, tmp_path, capsys):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        assert main(["fleet", "status", str(bad)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_malformed_report_returns_2(self, tmp_path, capsys):
+        bad = tmp_path / "partial.json"
+        bad.write_text('{"soak_config": {}, "report": null}')
+        assert main(["fleet", "report", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "malformed" in err
+
+
+class TestFleetDurabilityCli:
+    """``fleet run --journal/--crash-after`` and ``fleet resume``
+    (docs/DURABILITY.md)."""
+
+    def _run(self, tmp_path, extra):
+        journal = tmp_path / "fleet.journal"
+        store = tmp_path / "results.jsonl"
+        base = ["fleet", "run", "--num-jobs", "4", "--fleet-seed", "3",
+                "--journal", str(journal), "--store", str(store),
+                "--no-fsync"]
+        return journal, store, main(base + extra)
+
+    def test_crash_exits_3_with_resume_hint(self, tmp_path, capsys):
+        journal, store, code = self._run(tmp_path, ["--crash-after", "3"])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "fleet hard-killed" in out
+        assert "repro fleet resume" in out
+        assert journal.exists() and store.exists()
+
+    def test_resume_finishes_the_run(self, tmp_path, capsys):
+        journal, store, code = self._run(tmp_path, ["--crash-after", "3"])
+        assert code == 3
+        capsys.readouterr()
+        assert main(["fleet", "resume", str(journal),
+                     "--store", str(store), "--no-fsync"]) == 0
+        out = capsys.readouterr().out
+        assert "soak PASSED" in out
+
+    def test_journaled_run_to_completion(self, tmp_path, capsys):
+        journal, store, code = self._run(tmp_path, [])
+        assert code == 0
+        assert "soak PASSED" in capsys.readouterr().out
+        assert journal.exists()
+
+    def test_store_requires_journal(self, tmp_path, capsys):
+        assert main(["fleet", "run", "--num-jobs", "1",
+                     "--store", str(tmp_path / "s.jsonl")]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_crash_after_requires_journal(self, tmp_path, capsys):
+        assert main(["fleet", "run", "--num-jobs", "1",
+                     "--crash-after", "2"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_resume_missing_journal_returns_2(self, tmp_path, capsys):
+        assert main(["fleet", "resume",
+                     str(tmp_path / "absent.journal")]) == 2
         assert capsys.readouterr().err.startswith("error:")

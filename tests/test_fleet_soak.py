@@ -163,3 +163,42 @@ class TestSoakGeneration:
             FleetSoakConfig(intensity="apocalyptic")
         with pytest.raises(UserInputError):
             FleetSoakConfig(fault_fraction=1.5)
+
+
+class TestJournaledSoak:
+    """Durability attachment (docs/DURABILITY.md): the journal/store
+    change nothing about the served outcome and ride beside the report
+    as a side-channel, like the perf counters."""
+
+    def test_journaled_digest_matches_in_memory(self, soak_result,
+                                                tmp_path):
+        journaled = run_fleet_soak(
+            ACCEPTANCE,
+            journal_path=tmp_path / "fleet.journal",
+            store_path=tmp_path / "results.jsonl",
+            journal_fsync=False,
+        )
+        assert journaled.report.digest() == soak_result.report.digest()
+        # A fresh, uninterrupted run restores/suppresses nothing.
+        assert journaled.recovery == {
+            "results_restored": 0,
+            "duplicates_suppressed": 0,
+            "replay_divergences": 0,
+        }
+
+    def test_recovery_side_channel_serialises(self, soak_result,
+                                              tmp_path):
+        journaled = run_fleet_soak(
+            ACCEPTANCE,
+            journal_path=tmp_path / "fleet.journal",
+            journal_fsync=False,
+        )
+        data = journaled.to_dict()
+        assert "recovery" in data
+        # ... but never inside the digest-bearing report itself.
+        assert "recovery" not in data["report"]
+        restored = FleetSoakResult.from_dict(data)
+        assert restored.recovery == journaled.recovery
+        # In-memory soaks serialize without the key at all, keeping
+        # pre-durability result files byte-identical.
+        assert "recovery" not in soak_result.to_dict()
