@@ -33,6 +33,22 @@ import time
 import numpy as np
 
 BENCH_SCHEMA = "regraph-bench-perf/v1"
+COMPILED_SCHEMA = "regraph-bench-compiled/v1"
+
+#: Channel variants for the compiled cache-miss bench: each is a set of
+#: field overrides applied to the default HbmTimingParams — the sweep
+#: shape (same plan, fresh channel binding per point) whose cost the
+#: compiled core exists to collapse.
+COMPILED_CHANNEL_VARIANTS = (
+    {},
+    {"min_latency": 24.0},
+    {"max_latency": 80.0},
+    {"latency_per_stride_byte": 0.02},
+    {"max_outstanding": 8},
+    {"max_outstanding": 48},
+    {"burst_blocks_per_cycle": 0.5},
+    {"min_latency": 12.0, "burst_blocks_per_cycle": 1.5},
+)
 
 #: Benches whose work actually fans out over workers; only these are
 #: held to the ``--min-speedup`` gate.  ``pipeline_execute`` is serial
@@ -152,6 +168,158 @@ def run_benches(perf, reps):
     return results
 
 
+def run_compiled_bench(reps, min_speedup):
+    """Cache-miss bench for the compiled simulation core.
+
+    Times a channel-parameter sweep (one cold timing pass per variant)
+    through the interpreted walk vs the compiled batched evaluator, on
+    the same scheduling plan; asserts the busy sums are bit-identical
+    at every point, and gates the median speedup when asked.  Also
+    records per-app MTEPS under each path — the end-to-end numbers the
+    figures quote — whose equality is enforced digest-style too.
+
+    Returns ``(report, failed)``.
+    """
+    import dataclasses
+    import statistics as stats
+
+    from repro.compiled import (
+        CompiledEngine,
+        compile_plan,
+        configure_compiled,
+    )
+    from repro.core.framework import ReGraph
+    from repro.core.system import SystemSimulator
+    from repro.graph.generators import rmat_graph
+    from repro.hbm.channel import HbmChannelModel, HbmTimingParams
+    from repro.perf import configure_cache, get_cache
+
+    graph = rmat_graph(12, 16, seed=3)
+    framework = ReGraph("U280")
+    pre = framework.preprocess(graph)
+    variants = [
+        dataclasses.replace(HbmTimingParams(), **overrides)
+        for overrides in COMPILED_CHANNEL_VARIANTS
+    ]
+
+    # Sweep bench: timing passes only, cache off so every variant is a
+    # genuine miss on both paths.
+    configure_cache(enabled=False)
+    interp_times, compiled_times = [], []
+    interp_sums = compiled_sums = None
+    compile_seconds = None
+    for _ in range(reps):
+        configure_compiled(False)
+        start = time.perf_counter()
+        sums = []
+        for params in variants:
+            sim = SystemSimulator(
+                pre.plan, framework.platform, HbmChannelModel(params)
+            )
+            report = sim.iteration_timing(graph.num_vertices)
+            sums.append((report.little_cycles, report.big_cycles))
+        interp_times.append(time.perf_counter() - start)
+        interp_sums = sums
+
+        configure_compiled(True)
+        start = time.perf_counter()
+        cplan = compile_plan(pre.plan)  # cold structure every rep
+        compile_seconds = time.perf_counter() - start
+        engine = CompiledEngine(cplan)
+        start = time.perf_counter()
+        sums = []
+        for params in variants:
+            little, big = engine.busy_cycles(HbmChannelModel(params))
+            sums.append((little, big))
+        compiled_times.append(time.perf_counter() - start)
+        compiled_sums = sums
+    configure_cache(enabled=True)
+
+    failed = False
+    if interp_sums != compiled_sums:
+        print("FAIL: compiled busy sums differ from interpreted sums")
+        failed = True
+    interp_median = stats.median(interp_times)
+    compiled_median = stats.median(compiled_times)
+    speedup = interp_median / max(compiled_median, 1e-9)
+    print(f"  compiled sweep: interpreted {interp_median * 1e3:.1f} ms, "
+          f"compiled {compiled_median * 1e3:.1f} ms "
+          f"(+{(compile_seconds or 0) * 1e3:.1f} ms compile) -> "
+          f"{speedup:.1f}x over {len(variants)} channel variants")
+    if min_speedup is not None and speedup < min_speedup:
+        print(f"FAIL: compiled cache-miss speedup {speedup:.2f}x < "
+              f"required {min_speedup}x")
+        failed = True
+
+    # Per-app MTEPS under both paths (small graph, full runs).
+    apps_report = {}
+    app_graph = rmat_graph(10, 8, seed=5)
+    for app in ("pagerank", "bfs", "closeness", "sssp", "wcc"):
+        per_path = {}
+        for compiled in (True, False):
+            get_cache().clear()
+            configure_compiled(compiled)
+            fw = ReGraph("U280")
+            start = time.perf_counter()
+            run = _run_app(fw, app, app_graph)
+            seconds = time.perf_counter() - start
+            key = "compiled" if compiled else "interpreted"
+            per_path[key] = {
+                "mteps": run.mteps,
+                "total_cycles": run.total_cycles,
+                "wall_seconds": seconds,
+            }
+        if (per_path["compiled"]["total_cycles"]
+                != per_path["interpreted"]["total_cycles"]):
+            print(f"FAIL: {app} total_cycles differ between paths")
+            failed = True
+        apps_report[app] = per_path
+        print(f"  {app:>18}: {per_path['compiled']['mteps']:.0f} MTEPS "
+              f"(both paths, cycles identical)")
+    configure_compiled(True)
+
+    return {
+        "schema": COMPILED_SCHEMA,
+        "graph": {"kind": "rmat", "scale": 12, "edge_factor": 16, "seed": 3},
+        "variants": len(variants),
+        "reps": reps,
+        "interpreted_median_seconds": interp_median,
+        "compiled_median_seconds": compiled_median,
+        "compile_seconds": compile_seconds,
+        "speedup": speedup,
+        "sums_identical": interp_sums == compiled_sums,
+        "apps": apps_report,
+    }, failed
+
+
+def _run_app(framework, app, graph):
+    """Name-dispatched app run (the chaos campaign's mapping)."""
+    if app == "pagerank":
+        return framework.run_pagerank(graph, max_iterations=8)
+    if app == "bfs":
+        return framework.run_bfs(graph, root=0, max_iterations=8)
+    if app == "closeness":
+        return framework.run_closeness(graph, root=0, max_iterations=8)
+    if app == "sssp":
+        from repro.apps.sssp import SingleSourceShortestPaths
+        from repro.check.runner import with_random_weights
+
+        pre = framework.preprocess(with_random_weights(graph, seed=5))
+        root = pre.to_internal_vertex(0)
+        return framework.run(
+            pre,
+            lambda g: SingleSourceShortestPaths(g, root=root),
+            max_iterations=8,
+        )
+    if app == "wcc":
+        from repro.apps.wcc import WeaklyConnectedComponents, symmetrized
+
+        return framework.run(
+            symmetrized(graph), WeaklyConnectedComponents, max_iterations=8
+        )
+    raise ValueError(app)
+
+
 def compare_to_baseline(report, baseline_path, min_speedup):
     with open(baseline_path) as fh:
         baseline = json.load(fh)
@@ -195,6 +363,13 @@ def main(argv=None):
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail if a parallel-friendly bench beats the "
                              "baseline by less than this factor")
+    parser.add_argument("--compiled-out", default=None,
+                        help="also run the compiled-core cache-miss bench "
+                             "and write its report to this path")
+    parser.add_argument("--min-compiled-speedup", type=float, default=None,
+                        help="fail if the compiled sweep beats the "
+                             "interpreted sweep by less than this factor "
+                             "(implies the compiled bench)")
     args = parser.parse_args(argv)
 
     from repro.perf import PerfConfig
@@ -221,6 +396,16 @@ def main(argv=None):
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
     print(f"report written to {args.out}")
+
+    if args.compiled_out or args.min_compiled_speedup is not None:
+        compiled_report, compiled_failed = run_compiled_bench(
+            args.reps, args.min_compiled_speedup
+        )
+        failed = failed or compiled_failed
+        compiled_out = args.compiled_out or "BENCH_compiled.json"
+        with open(compiled_out, "w") as fh:
+            json.dump(compiled_report, fh, indent=2)
+        print(f"compiled report written to {compiled_out}")
     return 1 if failed else 0
 
 

@@ -28,6 +28,102 @@ from repro.perf.simcache import config_digest_prefix, get_cache, timing_key
 from repro.utils.prefix import running_release_times
 
 
+def _cumcount_sorted(values: np.ndarray) -> np.ndarray:
+    """Occurrence index of each element within its run (sorted input)."""
+    if values.size == 0:
+        return values.copy()
+    is_start = np.empty(values.size, dtype=bool)
+    is_start[0] = True
+    is_start[1:] = values[1:] != values[:-1]
+    run_starts = np.flatnonzero(is_start)
+    run_id = np.cumsum(is_start) - 1
+    return np.arange(values.size) - run_starts[run_id]
+
+
+def merge_group_edges(partitions: List[Partition]):
+    """Merge a group's edge lists back into ascending-source order.
+
+    The host preprocessing *interleaves* the per-partition lists when
+    writing a merged group: for a source shared by several partitions,
+    edges alternate across partitions instead of forming long
+    single-partition runs.  This keeps the Data Router's output lanes
+    balanced at FIFO timescales — without it, a hot source's edges
+    into one destination interval would serialise its Gather PE.
+
+    Also returns each edge's Gather PE lane (the index of the
+    partition owning its destination), which drives the router
+    serialisation model.  Pure structure — no channel dependence — so
+    the compiled simulation core calls it directly at lowering time.
+    """
+    src = np.concatenate([p.src for p in partitions])
+    dst = np.concatenate([p.dst for p in partitions])
+    lanes = np.concatenate(
+        [np.full(p.num_edges, i, dtype=np.int64)
+         for i, p in enumerate(partitions)]
+    )
+    rank = np.concatenate(
+        [_cumcount_sorted(p.src) for p in partitions]
+    )
+    weights = None
+    if partitions[0].weights is not None:
+        weights = np.concatenate([p.weights for p in partitions])
+    # Ascending src; ties interleave round-robin across partitions.
+    order = np.lexsort((lanes, rank, src))
+    return (
+        src[order],
+        dst[order],
+        lanes[order],
+        None if weights is None else weights[order],
+    )
+
+
+#: Router output FIFO depth in edge sets; short occupancy bursts are
+#: absorbed, so sustained service tracks the windowed per-lane rate.
+ROUTER_FIFO_SETS = 16
+
+
+def gather_service_cycles(
+    lanes: np.ndarray, num_lanes: int, config: PipelineConfig
+) -> np.ndarray:
+    """Per-set Gather stage service cycles under Data Router dispatch.
+
+    Each Gather PE owns one partition of the group and absorbs one
+    tuple per cycle (II = 1), so sustained throughput is bounded by
+    the busiest lane's tuple rate.  The router's per-lane FIFOs absorb
+    transient bursts, hence the rate is measured over a FIFO-deep
+    window rather than per set.  Balanced sparse groups reach one set
+    per cycle; a group dominated by one dense partition serialises on
+    its PE — the micro-architectural reason Little pipelines win dense
+    partitions (Fig. 9).  Channel-independent, so the compiled core
+    evaluates it once per lowered node.
+    """
+    k = config.edges_per_set
+    num_sets = -(-lanes.size // k)
+    floor = config.edges_per_set * config.proc_cycles_per_edge
+    if num_sets == 0:
+        return np.zeros(0)
+    window = min(ROUTER_FIFO_SETS, num_sets)
+    # One bincount over flattened (set, lane) pairs replaces the old
+    # per-lane masking loop: counts[s, l] = edges of lane l in set s.
+    # The old code's -1 padding never matched a lane, so simply not
+    # counting the pad is equivalent.
+    set_idx = np.arange(lanes.size, dtype=np.int64) // k
+    counts = np.bincount(
+        set_idx * num_lanes + lanes,
+        minlength=num_sets * num_lanes,
+    ).reshape(num_sets, num_lanes).astype(np.float64)
+    csum = np.vstack(
+        [np.zeros((1, num_lanes)), np.cumsum(counts, axis=0)]
+    )
+    rate = np.empty((num_sets, num_lanes))
+    rate[window - 1:] = (csum[window:] - csum[:-window]) / window
+    # Head of stream: average over what has arrived so far.
+    head = np.arange(1, window, dtype=np.float64)[:, None]
+    rate[: window - 1] = csum[1:window] / head
+    busiest = rate.max(axis=1)
+    return np.maximum(busiest, floor)
+
+
 class BigPipelineSim:
     """One Big pipeline: Burst Read + Vertex Loader + Router + PEs."""
 
@@ -44,52 +140,11 @@ class BigPipelineSim:
             "big", config, channel.params
         )
 
-    @staticmethod
-    def _cumcount_sorted(values: np.ndarray) -> np.ndarray:
-        """Occurrence index of each element within its run (sorted input)."""
-        if values.size == 0:
-            return values.copy()
-        is_start = np.empty(values.size, dtype=bool)
-        is_start[0] = True
-        is_start[1:] = values[1:] != values[:-1]
-        run_starts = np.flatnonzero(is_start)
-        run_id = np.cumsum(is_start) - 1
-        return np.arange(values.size) - run_starts[run_id]
+    _cumcount_sorted = staticmethod(_cumcount_sorted)
 
     def _merge_edges(self, partitions: List[Partition]):
-        """Merge the group's edge lists back into ascending-source order.
-
-        The host preprocessing *interleaves* the per-partition lists when
-        writing a merged group: for a source shared by several partitions,
-        edges alternate across partitions instead of forming long
-        single-partition runs.  This keeps the Data Router's output lanes
-        balanced at FIFO timescales — without it, a hot source's edges
-        into one destination interval would serialise its Gather PE.
-
-        Also returns each edge's Gather PE lane (the index of the
-        partition owning its destination), which drives the router
-        serialisation model.
-        """
-        src = np.concatenate([p.src for p in partitions])
-        dst = np.concatenate([p.dst for p in partitions])
-        lanes = np.concatenate(
-            [np.full(p.num_edges, i, dtype=np.int64)
-             for i, p in enumerate(partitions)]
-        )
-        rank = np.concatenate(
-            [self._cumcount_sorted(p.src) for p in partitions]
-        )
-        weights = None
-        if partitions[0].weights is not None:
-            weights = np.concatenate([p.weights for p in partitions])
-        # Ascending src; ties interleave round-robin across partitions.
-        order = np.lexsort((lanes, rank, src))
-        return (
-            src[order],
-            dst[order],
-            lanes[order],
-            None if weights is None else weights[order],
-        )
+        """See :func:`merge_group_edges` (kept as a method for callers)."""
+        return merge_group_edges(partitions)
 
     def execute(
         self,
@@ -134,47 +189,13 @@ class BigPipelineSim:
                 ]
         return timing, outputs
 
-    #: Router output FIFO depth in edge sets; short occupancy bursts are
-    #: absorbed, so sustained service tracks the windowed per-lane rate.
-    ROUTER_FIFO_SETS = 16
+    #: Router output FIFO depth in edge sets (module constant mirrored
+    #: for existing callers/tests).
+    ROUTER_FIFO_SETS = ROUTER_FIFO_SETS
 
     def _gather_service(self, lanes: np.ndarray, num_lanes: int) -> np.ndarray:
-        """Per-set Gather stage service cycles under Data Router dispatch.
-
-        Each Gather PE owns one partition of the group and absorbs one
-        tuple per cycle (II = 1), so sustained throughput is bounded by
-        the busiest lane's tuple rate.  The router's per-lane FIFOs absorb
-        transient bursts, hence the rate is measured over a FIFO-deep
-        window rather than per set.  Balanced sparse groups reach one set
-        per cycle; a group dominated by one dense partition serialises on
-        its PE — the micro-architectural reason Little pipelines win dense
-        partitions (Fig. 9).
-        """
-        k = self.config.edges_per_set
-        num_sets = -(-lanes.size // k)
-        floor = self.config.edges_per_set * self.config.proc_cycles_per_edge
-        if num_sets == 0:
-            return np.zeros(0)
-        window = min(self.ROUTER_FIFO_SETS, num_sets)
-        # One bincount over flattened (set, lane) pairs replaces the old
-        # per-lane masking loop: counts[s, l] = edges of lane l in set s.
-        # The old code's -1 padding never matched a lane, so simply not
-        # counting the pad is equivalent.
-        set_idx = np.arange(lanes.size, dtype=np.int64) // k
-        counts = np.bincount(
-            set_idx * num_lanes + lanes,
-            minlength=num_sets * num_lanes,
-        ).reshape(num_sets, num_lanes).astype(np.float64)
-        csum = np.vstack(
-            [np.zeros((1, num_lanes)), np.cumsum(counts, axis=0)]
-        )
-        rate = np.empty((num_sets, num_lanes))
-        rate[window - 1:] = (csum[window:] - csum[:-window]) / window
-        # Head of stream: average over what has arrived so far.
-        head = np.arange(1, window, dtype=np.float64)[:, None]
-        rate[: window - 1] = csum[1:window] / head
-        busiest = rate.max(axis=1)
-        return np.maximum(busiest, floor)
+        """See :func:`gather_service_cycles` (kept as a method)."""
+        return gather_service_cycles(lanes, num_lanes, self.config)
 
     def _gather_service_reference(
         self, lanes: np.ndarray, num_lanes: int

@@ -55,6 +55,26 @@ class PingPongBufferSim:
         stats)`` in the same shape as the Vertex Loader simulator, so the
         Big/Little pipeline simulators share their outer loop.
         """
+        fill_at_set, stats = self.access_structure(src)
+        if fill_at_set.size == 0:
+            return fill_at_set, stats
+        # Adding the channel latency after the per-set gather is bitwise
+        # equal to adding it before (same float64 operands either way) —
+        # the split is what lets the compiled core reuse the structure
+        # across channel-parameter changes.
+        return fill_at_set + self.channel.base_latency(), stats
+
+    def access_structure(self, src: np.ndarray):
+        """Channel-independent part of :meth:`access_ready_times`.
+
+        Returns ``(fill_at_set, stats)`` where ``fill_at_set[i]`` is the
+        burst-relative cycle at which the last block edge set ``i`` needs
+        finishes filling.  Adding the channel's base latency yields the
+        ready times; everything computed here depends only on the edge
+        content and the frozen :class:`PipelineConfig`, so the compiled
+        simulation core extracts it once and re-evaluates cheaply under
+        new channel parameters.
+        """
         if src.size == 0:
             return np.zeros(0), PingPongStats(0, 0, 0, 0, 0)
 
@@ -81,9 +101,7 @@ class PingPongBufferSim:
         # whole needed segments stream back-to-back at 1 block/cycle.
         seg_rank = np.searchsorted(needed_segments, segments)
         fill_pos = seg_rank * seg_blocks + (rel - segments * seg_blocks) + 1.0
-
-        fill_ready = fill_pos + self.channel.base_latency()
-        ready = fill_ready[last_of_set]
+        fill_at_set = fill_pos[last_of_set]
 
         fetched = int(needed_segments.size) * seg_blocks
         # The final segment is only streamed up to the last needed block.
@@ -97,4 +115,4 @@ class PingPongBufferSim:
             blocks_skipped=max(span - fetched, 0),
             span_blocks=span,
         )
-        return ready, stats
+        return fill_at_set, stats

@@ -43,6 +43,28 @@ class VertexLoaderStats:
         return self.requests_saved / max(total, 1)
 
 
+@dataclass
+class LoaderStructure:
+    """Channel-independent request structure of one edge stream.
+
+    Everything here is a pure function of the edge content and the
+    frozen :class:`PipelineConfig` — the channel parameters only enter
+    when the structure is *evaluated* (request service rates plus the
+    base latency), which is what lets the compiled simulation core
+    extract the structure once and re-time it cheaply per channel
+    variant.
+    """
+
+    #: Byte stride between consecutive issued requests (first is 0).
+    strides: np.ndarray
+    #: Earliest cycle each request can be issued (edge-set arrival).
+    arrival: np.ndarray
+    #: Index of the releasing request per edge set (-1 = no request).
+    last_req_per_set: np.ndarray
+    num_sets: int
+    stats: VertexLoaderStats
+
+
 class VertexLoaderSim:
     """Timing model of vertex-property access in the Big pipeline."""
 
@@ -72,8 +94,34 @@ class VertexLoaderSim:
             ``ready[i]`` is the earliest cycle edge set ``i`` can enter the
             Scatter PEs; ``stats`` counts issued vs deduplicated requests.
         """
+        s = self.access_structure(src)
+        if s.num_sets == 0:
+            return np.zeros(0), s.stats
+        service = self.channel.effective_request_cycles(s.strides)
+        response = (
+            running_release_times(s.arrival, service)
+            + self.channel.base_latency()
+        )
+        ready = np.where(
+            s.last_req_per_set >= 0, response[s.last_req_per_set], 0.0
+        )
+        return ready, s.stats
+
+    def access_structure(self, src: np.ndarray) -> LoaderStructure:
+        """Channel-independent part of :meth:`access_ready_times`.
+
+        Deduplicates the block-request stream and records each request's
+        stride, arrival set and per-set releasing request — the inputs
+        the channel model turns into ready times.
+        """
         if src.size == 0:
-            return np.zeros(0), VertexLoaderStats(0, 0, 0, 0)
+            return LoaderStructure(
+                strides=np.zeros(0),
+                arrival=np.zeros(0),
+                last_req_per_set=np.zeros(0, dtype=np.int64),
+                num_sets=0,
+                stats=VertexLoaderStats(0, 0, 0, 0),
+            )
 
         k = self.config.edges_per_set
         padded = self._pad_to_sets(np.asarray(src, dtype=np.int64))
@@ -99,19 +147,11 @@ class VertexLoaderSim:
         # (one set per cycle from the edge burst stream).
         req_set = req_idx // k
         arrival = req_set.astype(np.float64) + 1.0
-        service = self.channel.effective_request_cycles(strides)
-        response = (
-            running_release_times(arrival, service)
-            + self.channel.base_latency()
-        )
 
         # Each set is released by the response of the last request at or
         # before its end; sets with no request of their own inherit it.
         last_req_per_set = (
             np.searchsorted(req_set, np.arange(num_sets), side="right") - 1
-        )
-        ready = np.where(
-            last_req_per_set >= 0, response[last_req_per_set], 0.0
         )
 
         saved = int(padded.size - req_idx.size)
@@ -121,4 +161,10 @@ class VertexLoaderSim:
             requests_issued=int(req_idx.size),
             requests_saved=saved,
         )
-        return ready, stats
+        return LoaderStructure(
+            strides=strides,
+            arrival=arrival,
+            last_req_per_set=last_req_per_set,
+            num_sets=num_sets,
+            stats=stats,
+        )

@@ -72,6 +72,12 @@ def _add_perf_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-entries", type=int, default=None, metavar="N",
         help="simulation-cache capacity in entries (default 4096)",
     )
+    parser.add_argument(
+        "--no-compiled", action="store_true",
+        help="disable the compiled simulation core and take the "
+             "interpreted reference path (results are bit-identical "
+             "either way; this is the escape hatch)",
+    )
 
 
 def _perf_config(args):
@@ -84,6 +90,7 @@ def _perf_config(args):
         workers=args.jobs,
         cache_enabled=not args.no_sim_cache,
         cache_entries=entries,
+        compiled=not args.no_compiled,
     )
 
 
@@ -99,6 +106,14 @@ def _print_cache_stats() -> None:
           f"(hit rate {stats['hit_rate']:.1%}), "
           f"{stats['entries']}/{stats['max_entries']} entries, "
           f"{stats['bypasses']} fault bypasses")
+    from repro.compiled import compiled_stats
+
+    cstats = compiled_stats()
+    if cstats["evaluations"] or cstats["plans_compiled"]:
+        print(f"compiled core: {cstats['plans_compiled']} plans "
+              f"({cstats['nodes_lowered']} nodes) compiled, "
+              f"{cstats['evaluations']} batched evaluations, "
+              f"{cstats['memo_hits']} memo hits")
 
 
 def _load_graph(args):

@@ -1,0 +1,61 @@
+"""Compiled simulation core: lower once, evaluate batched, reuse.
+
+The interpreted cycle simulators walk one task at a time through
+Python; this package compiles a
+:class:`~repro.sched.plan.SchedulingPlan` into a static node plan
+(:mod:`repro.compiled.lower`), evaluates all nodes' timing recurrences
+in a few batched numpy passes (:mod:`repro.compiled.evaluate`) and
+re-evaluates only affected nodes when a channel parameter, a single
+task or one fault site changes (:mod:`repro.compiled.incremental`).
+Results are **bit-identical** to the interpreted path — the equivalence
+harness in ``tests/test_compiled_equivalence.py`` is the contract — and
+populate the same content-addressed
+:class:`~repro.perf.simcache.SimulationCache` entries.
+
+The process-global switch (:func:`configure_compiled`, normally set via
+:attr:`repro.perf.config.PerfConfig.compiled` / the ``--no-compiled``
+CLI flag) gates whether :class:`~repro.core.system.SystemSimulator`
+routes its fault-free timing passes through the compiled engine; runs
+with an active timing fault always take the interpreted path, whose
+per-task injector hooks the faults need.
+"""
+
+from repro.compiled.evaluate import (
+    CompiledEngine,
+    compiled_stats,
+    evaluate_plan,
+    plan_engine,
+    reset_compiled_stats,
+)
+from repro.compiled.incremental import IncrementalEvaluator
+from repro.compiled.lower import CompiledPlan, compile_plan
+from repro.compiled.spec import CompiledSpec
+
+_ENABLED = True
+
+
+def compiled_enabled() -> bool:
+    """Whether fault-free timing passes use the compiled engine."""
+    return _ENABLED
+
+
+def configure_compiled(enabled: bool) -> bool:
+    """Flip the process-global compiled switch; returns the new state."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+    return _ENABLED
+
+
+__all__ = [
+    "CompiledEngine",
+    "CompiledPlan",
+    "CompiledSpec",
+    "IncrementalEvaluator",
+    "compile_plan",
+    "compiled_enabled",
+    "compiled_stats",
+    "configure_compiled",
+    "evaluate_plan",
+    "plan_engine",
+    "reset_compiled_stats",
+]

@@ -144,15 +144,51 @@ class SystemSimulator:
         for fault-free runs); recomputed uncached — and never written to
         the cache — while injected timing faults are active, so clean
         iterations before/after a fault window keep the baseline counts.
+
+        Fault-free passes route through the compiled engine when it is
+        enabled (:func:`repro.compiled.compiled_enabled`); faulty passes
+        always take the interpreted walk, whose per-task injector hooks
+        the faults need.  The two paths are bit-identical on fault-free
+        input — the equivalence harness's contract — and an *inactive*
+        injector is safe to skip: its hooks draw no randomness and scale
+        nothing while ``timing_faults_active()`` is False.
         """
         faulty = (
             self.injector is not None and self.injector.timing_faults_active()
         )
         if not faulty:
             if self._cached_iteration is None:
-                self._cached_iteration = self._compute_timing(num_vertices)
+                from repro.compiled import compiled_enabled
+
+                if compiled_enabled():
+                    self._cached_iteration = self._compiled_timing(
+                        num_vertices
+                    )
+                else:
+                    self._cached_iteration = self._compute_timing(
+                        num_vertices
+                    )
             return self._cached_iteration
         return self._compute_timing(num_vertices)
+
+    def _compiled_timing(self, num_vertices: int) -> IterationReport:
+        """One timing pass through the compiled engine.
+
+        The engine compiles the plan on first use (structure is attached
+        to the plan object and reused across simulators, iterations and
+        channel variants), evaluates all nodes batched under this
+        simulator's channel, publishes the per-task timings into the
+        simulation cache, and replays the interpreted busy-sum order.
+        """
+        from repro.compiled import plan_engine
+
+        little, big = plan_engine(self.plan).busy_cycles(self.channel)
+        return IterationReport(
+            little_cycles=little,
+            big_cycles=big,
+            apply_cycles=self._apply.cycles(num_vertices),
+            writer_cycles=self._writer.cycles(num_vertices),
+        )
 
     def _compute_timing(self, num_vertices: int) -> IterationReport:
         """One uncached timing pass over every pipeline's task list."""

@@ -29,6 +29,10 @@ class PerfConfig:
     cache_enabled: bool = True
     #: LRU bound of the simulation cache.
     cache_entries: int = DEFAULT_CACHE_ENTRIES
+    #: Whether fault-free timing passes use the compiled simulation
+    #: core (bit-identical to the interpreted path; ``--no-compiled``
+    #: is the escape hatch back to the reference oracle).
+    compiled: bool = True
 
     def __post_init__(self):
         if self.workers < 1:
@@ -46,16 +50,22 @@ class PerfConfig:
         return self.workers > 1
 
     def apply(self) -> None:
-        """Configure the process-global simulation cache accordingly."""
+        """Configure the process-global cache and compiled switch."""
+        # Imported lazily: repro.compiled pulls in the arch simulators,
+        # which import this package right back.
+        from repro.compiled import configure_compiled
+
         configure_cache(
             enabled=self.cache_enabled, max_entries=self.cache_entries
         )
+        configure_compiled(self.compiled)
 
     def to_dict(self) -> dict:
         return {
             "workers": self.workers,
             "cache_enabled": self.cache_enabled,
             "cache_entries": self.cache_entries,
+            "compiled": self.compiled,
         }
 
     @staticmethod
@@ -66,4 +76,5 @@ class PerfConfig:
             cache_entries=int(
                 data.get("cache_entries", DEFAULT_CACHE_ENTRIES)
             ),
+            compiled=bool(data.get("compiled", True)),
         )

@@ -139,6 +139,15 @@ class SimulationCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def contains(self, key: str) -> bool:
+        """Presence probe that counts as neither hit nor miss.
+
+        Used by the compiled evaluator to avoid re-publishing entries it
+        already seeded without distorting the hit-rate counters real
+        lookups produce.
+        """
+        return self.enabled and key in self._entries
+
     def note_bypass(self) -> None:
         """Record one call that skipped the cache (active timing fault)."""
         self.bypasses += 1

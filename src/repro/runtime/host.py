@@ -341,6 +341,15 @@ class AcceleratorHandle:
 
         return get_cache().stats()
 
+    def compiled_stats(self) -> dict:
+        """Compiled-core counters (plans/nodes compiled, evaluations,
+        memo hits), process-global like :meth:`cache_stats`."""
+        from repro.compiled import compiled_enabled, compiled_stats
+
+        stats = compiled_stats()
+        stats["enabled"] = compiled_enabled()
+        return stats
+
     def release(self) -> None:
         """Free the context; further calls raise."""
         self.programmed = False

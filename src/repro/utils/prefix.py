@@ -61,3 +61,32 @@ def running_release_times(ready: np.ndarray, cost: np.ndarray) -> np.ndarray:
     # the slack (ready[j] - csum[j]) floored at the pure-service path.
     slack = np.maximum.accumulate(ready - csum)
     return csum + np.maximum(slack, 0.0)
+
+
+def running_release_times_batched(
+    ready: np.ndarray, cost: np.ndarray
+) -> np.ndarray:
+    """Row-wise :func:`running_release_times` over a 2-D batch.
+
+    Each row is resolved independently along the last axis with the
+    exact same operation sequence as the 1-D form — ``cumsum`` and
+    ``maximum.accumulate`` reduce left-to-right per row, so row ``i`` of
+    the result is bit-identical to ``running_release_times(ready[i],
+    cost[i])``.  Columns past a row's true length may hold arbitrary
+    padding: they only influence columns further right, never the last
+    valid one.
+    """
+    ready = np.asarray(ready, dtype=np.float64)
+    cost = np.asarray(cost, dtype=np.float64)
+    if ready.shape != cost.shape:
+        raise ValueError(
+            f"ready and cost must have the same shape, "
+            f"got {ready.shape} vs {cost.shape}"
+        )
+    if ready.ndim != 2:
+        raise ValueError(f"expected a 2-D batch, got shape {ready.shape}")
+    if ready.size == 0:
+        return np.zeros(ready.shape, dtype=np.float64)
+    csum = np.cumsum(cost, axis=-1)
+    slack = np.maximum.accumulate(ready - csum, axis=-1)
+    return csum + np.maximum(slack, 0.0)

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
-from repro.arch.config import PipelineConfig
+from repro.arch.config import AcceleratorConfig, PipelineConfig
 from repro.chaos.spec import GraphSpec
+from repro.compiled import CompiledSpec
 from repro.faults.plan import (
     BitFlipFault,
     DeadChannelFault,
@@ -24,7 +25,7 @@ from repro.faults.plan import (
 from repro.fleet.job import FLEET_APPS, Job
 from repro.graph.coo import Graph
 from repro.graph.partition import partition_graph
-from repro.hbm.channel import HbmChannelModel
+from repro.hbm.channel import HbmChannelModel, HbmTimingParams
 from repro.model.calibrate import calibrate_performance_model
 from repro.sched.scheduler import build_schedule
 
@@ -96,6 +97,51 @@ def scheduling_plans(draw, max_pipelines=4, **graph_kwargs):
     pset = partition_graph(graph, STRATEGY_CONFIG.partition_vertices)
     plan = build_schedule(pset, STRATEGY_MODEL, num_pipelines)
     return graph, plan
+
+
+@st.composite
+def channel_param_perturbations(draw):
+    """Valid :class:`HbmTimingParams` drawn around the silicon defaults.
+
+    The perturbation ranges keep the frozen-dataclass invariants
+    (``max_latency >= min_latency``, ``max_outstanding >= 1``) while
+    covering the band the model sweeps explore — the inputs the
+    compiled evaluator must re-time without recompiling.
+    """
+    min_latency = draw(st.floats(4.0, 64.0, allow_nan=False))
+    extra = draw(st.floats(0.0, 96.0, allow_nan=False))
+    return HbmTimingParams(
+        min_latency=min_latency,
+        max_latency=min_latency + extra,
+        latency_per_stride_byte=draw(
+            st.floats(0.0, 0.05, allow_nan=False)
+        ),
+        max_outstanding=draw(st.integers(1, 64)),
+        burst_blocks_per_cycle=draw(
+            st.floats(0.25, 2.0, allow_nan=False)
+        ),
+    )
+
+
+@st.composite
+def compiled_specs(draw):
+    """Device × pipeline-combo × channel-param compiled-spec space.
+
+    Drives the spec digest key-injectivity test and lets conformance /
+    chaos properties pin the compiled path to arbitrary bindings.
+    """
+    num_little = draw(st.integers(0, 4))
+    num_big = draw(st.integers(0 if num_little else 1, 4))
+    return CompiledSpec(
+        device=draw(st.sampled_from(("U280", "U50", ""))),
+        accelerator=AcceleratorConfig(
+            num_little=num_little,
+            num_big=num_big,
+            pipeline=STRATEGY_CONFIG,
+        ),
+        channel=draw(channel_param_perturbations()),
+        edge_bytes=draw(st.sampled_from((8, 12))),
+    )
 
 
 @st.composite

@@ -14,8 +14,10 @@ from repro.chaos import (
     run_campaign,
     run_cell,
 )
+from repro.compiled import configure_compiled
 from repro.errors import UserInputError
-from repro.faults.plan import DeadChannelFault, FaultPlan
+from repro.faults.plan import DeadChannelFault, FaultPlan, LatencySpikeFault
+from repro.perf import get_cache
 
 
 # ----------------------------------------------------------------------
@@ -164,6 +166,36 @@ class TestRunCell:
         assert a.digest == b.digest
         assert a.status == b.status == "ok"
         assert a.health["replans"] == b.health["replans"] >= 1
+
+    def test_digest_identical_without_compiled_core(self):
+        # A fault-heavy cell exercises both the compiled fast path
+        # (clean iterations) and the interpreted fault walk; disabling
+        # the compiled core must not move a single bit of the digest.
+        plan = FaultPlan(
+            seed=9,
+            dead_channels=(DeadChannelFault(channel=2, onset_cycle=0.0),),
+            latency_spikes=(
+                LatencySpikeFault(
+                    channel=1,
+                    onset_cycle=0.0,
+                    duration_cycles=1e4,
+                    multiplier=5.0,
+                ),
+            ),
+        )
+        cell = self._cell(plan=plan)
+        results = {}
+        try:
+            for compiled in (True, False):
+                get_cache().clear()
+                configure_compiled(compiled)
+                results[compiled] = run_cell(cell)
+        finally:
+            configure_compiled(True)
+            get_cache().clear()
+        assert results[True].digest == results[False].digest
+        assert results[True].health == results[False].health
+        assert results[True].total_cycles == results[False].total_cycles
 
     def test_result_dict_round_trip(self):
         result = run_cell(self._cell())

@@ -31,6 +31,7 @@ from tests.helpers import make_framework
 from tests.strategies import (
     STRATEGY_CONFIG,
     STRATEGY_MODEL,
+    channel_param_perturbations,
     edge_lists,
     fault_plans,
     graphs,
@@ -180,3 +181,38 @@ class TestFaultPlanRoundTrip:
     @settings(max_examples=60, deadline=None)
     def test_to_dict_from_dict_is_identity(self, plan):
         assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestCompiledPathConformance:
+    """The compiled evaluator obeys the suite's channel laws for every
+    drawn plan × channel-parameter binding — not just the defaults the
+    interpreted monotonicity tests exercise."""
+
+    @given(gp=scheduling_plans(), params=channel_param_perturbations())
+    @settings(max_examples=25, deadline=None)
+    def test_compiled_evaluation_is_deterministic(self, gp, params):
+        from repro.compiled import compile_plan, evaluate_plan
+
+        _graph, plan = gp
+        cplan = compile_plan(plan)
+        channel = HbmChannelModel(params)
+        assert evaluate_plan(cplan, channel) == evaluate_plan(
+            cplan, channel
+        )
+
+    @given(gp=scheduling_plans(), params=channel_param_perturbations())
+    @settings(max_examples=25, deadline=None)
+    def test_more_outstanding_never_slower(self, gp, params):
+        import dataclasses
+
+        from repro.compiled import compile_plan, evaluate_plan
+
+        _graph, plan = gp
+        cplan = compile_plan(plan)
+        base = evaluate_plan(cplan, HbmChannelModel(params))
+        boosted = dataclasses.replace(
+            params, max_outstanding=params.max_outstanding * 2
+        )
+        fast = evaluate_plan(cplan, HbmChannelModel(boosted))
+        for slow_t, fast_t in zip(base, fast):
+            assert fast_t.total_cycles <= slow_t.total_cycles

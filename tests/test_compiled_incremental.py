@@ -1,0 +1,200 @@
+"""Property tests for the incremental re-simulation layer.
+
+Two invariants, each pinned by hypothesis over random scheduling plans:
+
+* **Minimality** — every mutation's recorded dirty set is exactly the
+  blast radius the compiled structure implies: one node for a task swap,
+  one pipeline's non-empty nodes for a fault site, every non-empty node
+  for a channel-parameter switch, and the empty set for no-op mutations.
+  Untouched nodes keep *object identity*, the strongest possible "was
+  not recomputed" witness.
+* **Bit-identity** — after any mutation sequence, the incrementally
+  maintained timings equal a cold :meth:`full_evaluation` under the
+  final state, element for element.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiled import IncrementalEvaluator
+from repro.hbm.channel import HbmTimingParams
+
+from tests.strategies import channel_param_perturbations, scheduling_plans
+
+
+def node_rows(evaluator):
+    """(kind, pipeline, tasks) rows that actually hold tasks."""
+    rows = []
+    for pipe, row in enumerate(evaluator.cplan.little_by_pipe):
+        if row:
+            rows.append(("little", pipe, row))
+    for pipe, row in enumerate(evaluator.cplan.big_by_pipe):
+        if row:
+            rows.append(("big", pipe, row))
+    return rows
+
+
+def assert_matches_cold(evaluator):
+    cold = evaluator.full_evaluation()
+    assert len(cold) == len(evaluator.timings)
+    for incremental, full in zip(evaluator.timings, cold):
+        assert incremental == full
+
+
+class TestChannelParamMutation:
+    @given(gp=scheduling_plans(), params=channel_param_perturbations())
+    @settings(max_examples=20, deadline=None)
+    def test_dirty_set_is_non_empty_nodes_and_result_is_cold(
+        self, gp, params
+    ):
+        _graph, plan = gp
+        inc = IncrementalEvaluator(plan)
+        before = list(inc.timings)
+        dirty = inc.set_channel_params(params)
+        expected = frozenset(
+            n.index for n in inc.cplan.nodes if n.num_edges
+        )
+        assert dirty == inc.last_dirty == expected
+        # Empty nodes were not recomputed: same objects as before.
+        for node in inc.cplan.nodes:
+            if not node.num_edges:
+                assert inc.timings[node.index] is before[node.index]
+        assert_matches_cold(inc)
+
+    @given(gp=scheduling_plans())
+    @settings(max_examples=10, deadline=None)
+    def test_same_params_is_a_noop(self, gp):
+        _graph, plan = gp
+        inc = IncrementalEvaluator(plan)
+        before = list(inc.timings)
+        assert inc.set_channel_params(HbmTimingParams()) == frozenset()
+        assert all(a is b for a, b in zip(inc.timings, before))
+
+
+class TestTaskReplacement:
+    @given(
+        gp=scheduling_plans(),
+        row_seed=st.integers(0, 2**30),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_dirty_set_is_exactly_one_node(self, gp, row_seed):
+        _graph, plan = gp
+        inc = IncrementalEvaluator(plan)
+        rows = node_rows(inc)
+        kind, pipe, row = rows[row_seed % len(rows)]
+        order = row_seed % len(row)
+        tasks = (
+            plan.little_tasks if kind == "little" else plan.big_tasks
+        )[pipe]
+        # Re-lowering the same task is the sharpest minimality probe:
+        # the dirty set must still be that single node, and the result
+        # must stay bit-identical to the cold oracle.
+        before = list(inc.timings)
+        target = row[order].index
+        dirty = inc.replace_task(kind, pipe, order, tasks[order])
+        assert row[order].index == target  # index survives re-lowering
+        assert dirty == frozenset((target,))
+        for index, timing in enumerate(before):
+            if index != target:
+                assert inc.timings[index] is timing
+        assert_matches_cold(inc)
+
+
+class TestFaultSiteMutation:
+    @given(
+        gp=scheduling_plans(),
+        row_seed=st.integers(0, 2**30),
+        scale=st.floats(1.5, 16.0, allow_nan=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_dirty_set_is_one_pipelines_nodes(self, gp, row_seed, scale):
+        _graph, plan = gp
+        inc = IncrementalEvaluator(plan)
+        rows = node_rows(inc)
+        kind, pipe, _row = rows[row_seed % len(rows)]
+        before = list(inc.timings)
+        dirty = inc.set_fault(kind, pipe, scale)
+        expected = frozenset(
+            n.index
+            for n in inc.cplan.nodes
+            if n.num_edges and (n.kind, n.pipeline) == (kind, pipe)
+        )
+        assert dirty == expected
+        for index, timing in enumerate(before):
+            if index not in expected:
+                assert inc.timings[index] is timing
+        assert_matches_cold(inc)
+
+    @given(
+        gp=scheduling_plans(),
+        row_seed=st.integers(0, 2**30),
+        scale=st.floats(1.5, 16.0, allow_nan=False),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_clearing_a_fault_restores_clean_timings(
+        self, gp, row_seed, scale
+    ):
+        _graph, plan = gp
+        inc = IncrementalEvaluator(plan)
+        clean = list(inc.timings)
+        rows = node_rows(inc)
+        kind, pipe, _row = rows[row_seed % len(rows)]
+        set_dirty = inc.set_fault(kind, pipe, scale)
+        clear_dirty = inc.set_fault(kind, pipe, 1.0)
+        assert clear_dirty == set_dirty
+        assert not inc.fault_scales
+        assert inc.timings == clean
+        # Re-setting an identical scale is a no-op.
+        inc.set_fault(kind, pipe, scale)
+        assert inc.set_fault(kind, pipe, scale) == frozenset()
+
+
+class TestMutationSequences:
+    @given(
+        gp=scheduling_plans(),
+        params=channel_param_perturbations(),
+        row_seed=st.integers(0, 2**30),
+        scale=st.floats(1.5, 16.0, allow_nan=False),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_interleaved_mutations_stay_bit_identical_to_cold(
+        self, gp, params, row_seed, scale
+    ):
+        _graph, plan = gp
+        inc = IncrementalEvaluator(plan)
+        rows = node_rows(inc)
+        kind, pipe, row = rows[row_seed % len(rows)]
+        order = row_seed % len(row)
+        tasks = (
+            plan.little_tasks if kind == "little" else plan.big_tasks
+        )[pipe]
+        inc.set_fault(kind, pipe, scale)
+        inc.set_channel_params(params)
+        inc.replace_task(kind, pipe, order, tasks[order])
+        assert_matches_cold(inc)
+        little, big = inc.busy_cycles()
+        assert len(little) == len(inc.cplan.little_by_pipe)
+        assert len(big) == len(inc.cplan.big_by_pipe)
+
+    def test_busy_cycles_match_engine_on_clean_state(self):
+        from repro.compiled import plan_engine
+        from repro.graph.generators import rmat_graph
+        from repro.hbm.channel import HbmChannelModel
+
+        from tests.helpers import make_framework
+
+        framework = make_framework()
+        pre = framework.preprocess(rmat_graph(9, 8, seed=4))
+        inc = IncrementalEvaluator(pre.plan)
+        channel = HbmChannelModel()
+        engine_little, engine_big = plan_engine(pre.plan).busy_cycles(
+            channel
+        )
+        little, big = inc.busy_cycles()
+        assert little == engine_little
+        assert big == engine_big
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

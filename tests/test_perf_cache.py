@@ -22,10 +22,16 @@ from repro.perf import configure_cache, get_cache
 from repro.perf.simcache import (
     DEFAULT_CACHE_ENTRIES,
     SimulationCache,
+    config_digest_prefix,
     timing_key,
 )
 
 from tests.helpers import make_framework
+from tests.strategies import (
+    STRATEGY_CONFIG,
+    channel_param_perturbations,
+    compiled_specs,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -90,6 +96,44 @@ class TestKeying:
             assert ka == kb
         else:
             assert ka != kb
+
+    @given(spec_a=compiled_specs(), spec_b=compiled_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_compiled_spec_digest_is_injective(self, spec_a, spec_b):
+        # The compiled core keys its published cache entries off the
+        # same (config, channel-params) material the spec digests; two
+        # distinct device/combo/channel-param bindings must never share
+        # a digest, or a compiled evaluation could serve another spec's
+        # timings.
+        if spec_a == spec_b:
+            assert spec_a.digest() == spec_b.digest()
+        else:
+            assert spec_a.digest() != spec_b.digest()
+
+    @given(
+        params_a=channel_param_perturbations(),
+        params_b=channel_param_perturbations(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_covers_channel_params(self, params_a, params_b):
+        # Audit: every HbmTimingParams field reaches the key prefix, so
+        # the compiled path's per-params cache publication can never
+        # collide across channel variants of the same plan.
+        config = STRATEGY_CONFIG
+        pa = config_digest_prefix("little", config, params_a)
+        pb = config_digest_prefix("little", config, params_b)
+        assert (pa == pb) == (params_a == params_b)
+        assert config_digest_prefix("big", config, params_a) != pa
+
+    def test_contains_probe_does_not_count(self):
+        cache = get_cache()
+        cache.put("k", _timing())
+        stats_before = cache.stats()
+        assert cache.contains("k")
+        assert not cache.contains("missing")
+        stats_after = cache.stats()
+        assert stats_after["hits"] == stats_before["hits"]
+        assert stats_after["misses"] == stats_before["misses"]
 
 
 class TestLruBound:
