@@ -14,9 +14,18 @@ Gate: without per-append fsync the *wall-clock* throughput cost stays
 ``pytest benchmarks --journal`` additionally measures the full
 fsync-per-append contract, which is reported but never gated — fsync
 latency is a property of the host's storage, not of this code.
+
+Besides the human-readable tables, the scaling benchmark persists a
+machine-readable ``results/BENCH_fleet.json`` (schema
+``regraph-bench-fleet/v1``, the ``BENCH_compiled.json`` precedent):
+p50/p99 modelled latency per pool size, the 1->4 throughput scaling
+ratio, and the shed/hedge counters of a deliberately overloaded run —
+the numbers regression dashboards diff across commits.
 """
 
+import json
 import time
+from pathlib import Path
 
 from repro.chaos.spec import GraphSpec
 from repro.fleet import (
@@ -36,6 +45,16 @@ NUM_JOBS = 24
 JOB_APPS = ("pagerank", "bfs", "closeness", "wcc")
 ITERATIONS = 8
 MIN_SPEEDUP_1_TO_4 = 1.5
+
+#: Versioned machine-readable output (the BENCH_compiled.json twin).
+BENCH_FLEET_SCHEMA = "regraph-bench-fleet/v1"
+BENCH_FLEET_JSON = Path(__file__).parent / "results" / "BENCH_fleet.json"
+
+#: Overload scenario: the same stream squeezed through 2 replicas
+#: behind a shallow admission queue, with deadlines that arm hedging.
+OVERLOAD_QUEUE_DEPTH = 6
+OVERLOAD_POOL_SIZE = 2
+OVERLOAD_DEADLINE_SECONDS = 0.004
 
 
 def _jobs():
@@ -67,13 +86,125 @@ def _serve(pool_size: int):
     return runtime.run(_jobs())
 
 
+def _overload_jobs():
+    """The bench stream with a deadline on every other job."""
+    from dataclasses import replace
+
+    jobs = []
+    for i, job in enumerate(_jobs()):
+        if i % 2 == 0:
+            job = replace(
+                job, deadline_seconds=OVERLOAD_DEADLINE_SECONDS
+            )
+        jobs.append(job)
+    return jobs
+
+
+def _serve_overloaded():
+    """Shallow queue + t=0 burst: sheds on purpose."""
+    pool = [
+        make_replica(f"r{i}", POOL_DEVICES[i % len(POOL_DEVICES)])
+        for i in range(OVERLOAD_POOL_SIZE)
+    ]
+    runtime = FleetRuntime(
+        pool,
+        FleetPolicy(
+            max_queue_depth=OVERLOAD_QUEUE_DEPTH, hedge_enabled=True
+        ),
+    )
+    return runtime.run(_overload_jobs())
+
+
+#: Hedge scenario: staggered arrivals on a 4-replica pool with
+#: deadlines tighter than one service time, so every deadline job's
+#: predicted finish misses and a backup replica is idle to race it.
+HEDGE_POOL_SIZE = 4
+HEDGE_SUBMIT_SPACING = 0.001
+HEDGE_DEADLINE_SECONDS = 0.00002
+
+
+def _serve_hedged():
+    from dataclasses import replace
+
+    pool = [
+        make_replica(f"r{i}", POOL_DEVICES[i % len(POOL_DEVICES)])
+        for i in range(HEDGE_POOL_SIZE)
+    ]
+    runtime = FleetRuntime(
+        pool, FleetPolicy(max_queue_depth=NUM_JOBS, hedge_enabled=True)
+    )
+    jobs = [
+        replace(
+            job,
+            submit_time=i * HEDGE_SUBMIT_SPACING,
+            deadline_seconds=HEDGE_DEADLINE_SECONDS,
+        )
+        for i, job in enumerate(_jobs())
+    ]
+    return runtime.run(jobs)
+
+
+def _pool_stats(report) -> dict:
+    latency = report.latency_percentiles()
+    return {
+        "completed": report.completed,
+        "jobs_per_second_virtual": report.jobs_per_second,
+        "makespan_seconds": report.makespan_seconds,
+        "p50_latency_seconds": latency["p50"],
+        "p99_latency_seconds": latency["p99"],
+    }
+
+
+def _write_bench_json(reports, overload_report, hedge_report) -> None:
+    counters = overload_report.counters
+    hedge_counters = hedge_report.counters
+    payload = {
+        "schema": BENCH_FLEET_SCHEMA,
+        "jobs": NUM_JOBS,
+        "iterations": ITERATIONS,
+        "pool_devices": list(POOL_DEVICES),
+        "pools": {
+            str(size): _pool_stats(reports[size]) for size in POOL_SIZES
+        },
+        "scaling_ratio_1_to_4": (
+            reports[4].jobs_per_second / reports[1].jobs_per_second
+        ),
+        "overload": {
+            "replicas": OVERLOAD_POOL_SIZE,
+            "max_queue_depth": OVERLOAD_QUEUE_DEPTH,
+            "deadline_seconds": OVERLOAD_DEADLINE_SECONDS,
+            **_pool_stats(overload_report),
+            "shed": overload_report.rejected,
+            "admission": dict(overload_report.admission),
+            "hedges": counters.get("hedges", 0),
+            "hedge_wins": counters.get("hedge_wins", 0),
+        },
+        "hedged": {
+            "replicas": HEDGE_POOL_SIZE,
+            "submit_spacing_seconds": HEDGE_SUBMIT_SPACING,
+            "deadline_seconds": HEDGE_DEADLINE_SECONDS,
+            **_pool_stats(hedge_report),
+            "hedges": hedge_counters.get("hedges", 0),
+            "hedge_wins": hedge_counters.get("hedge_wins", 0),
+        },
+    }
+    BENCH_FLEET_JSON.parent.mkdir(parents=True, exist_ok=True)
+    with open(BENCH_FLEET_JSON, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
 def test_fleet_throughput_scaling(benchmark):
     reports = {}
+    extra = []
 
     def run_all():
         reports.clear()
+        extra.clear()
         for size in POOL_SIZES:
             reports[size] = _serve(size)
+        extra.append(_serve_overloaded())
+        extra.append(_serve_hedged())
         return reports
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -109,6 +240,25 @@ def test_fleet_throughput_scaling(benchmark):
     )
     # More replicas never slows the fleet down.
     assert reports[2].jobs_per_second >= reports[1].jobs_per_second
+
+    # The versioned machine-readable record (regraph-bench-fleet/v1).
+    overload_report, hedge_report = extra
+    _write_bench_json(reports, overload_report, hedge_report)
+    data = json.loads(BENCH_FLEET_JSON.read_text())
+    assert data["schema"] == BENCH_FLEET_SCHEMA
+    assert data["scaling_ratio_1_to_4"] > MIN_SPEEDUP_1_TO_4
+    # The shallow queue must actually shed under a t=0 burst; every
+    # non-shed job still finishes (shedding is the only loss mode).
+    assert data["overload"]["shed"] > 0, overload_report.to_dict()
+    assert (
+        overload_report.completed + overload_report.rejected == NUM_JOBS
+    ), overload_report.to_dict()
+    # Impossible deadlines + idle backups must arm hedged execution.
+    assert data["hedged"]["hedges"] > 0, hedge_report.to_dict()
+    print(f"BENCH_fleet.json: scaling {data['scaling_ratio_1_to_4']:.2f}x, "
+          f"overload shed {data['overload']['shed']}, "
+          f"hedges {data['hedged']['hedges']} "
+          f"({data['hedged']['hedge_wins']} won)")
 
 
 JOURNAL_POOL_SIZE = 2

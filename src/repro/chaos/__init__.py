@@ -11,7 +11,9 @@ and PR 2 (conformance oracles + trace invariants) *together* at scale:
 * :mod:`repro.chaos.bundle`   — replayable repro bundles;
 * :mod:`repro.chaos.fleet_soak` — seeded job streams against the fleet;
 * :mod:`repro.chaos.kill_restart` — hard-kill the fleet mid-soak,
-  recover from the write-ahead journal, assert recovery equivalence.
+  recover from the write-ahead journal, assert recovery equivalence;
+* :mod:`repro.chaos.serve_kill` — crash the wall-clock serving gateway
+  mid-load, recover from its SQLite store + traffic bundle.
 """
 
 from repro.chaos.bundle import (
@@ -56,6 +58,9 @@ _LAZY_EXPORTS = {
     "KillRestartResult": "repro.chaos.kill_restart",
     "plan_crash_points": "repro.chaos.kill_restart",
     "run_kill_restart": "repro.chaos.kill_restart",
+    "ServeKillConfig": "repro.chaos.serve_kill",
+    "ServeKillResult": "repro.chaos.serve_kill",
+    "run_serve_kill": "repro.chaos.serve_kill",
 }
 
 
@@ -83,6 +88,8 @@ __all__ = [
     "KillRestartConfig",
     "KillRestartResult",
     "ReplayResult",
+    "ServeKillConfig",
+    "ServeKillResult",
     "ShrinkResult",
     "ddmin",
     "failure_digest",
@@ -96,6 +103,7 @@ __all__ = [
     "result_digest",
     "run_campaign",
     "run_cell",
+    "run_serve_kill",
     "shrink_cell",
     "write_bundle",
 ]

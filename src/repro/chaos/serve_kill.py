@@ -1,0 +1,340 @@
+"""Serving kill-restart chaos: crash the wall-clock gateway, resume.
+
+The serving-facade counterpart of :mod:`repro.chaos.kill_restart`.
+Where that cell hard-kills the virtual-clock *runtime* and recovers
+from its JSONL journal, this one crashes the whole asyncio **gateway**
+(:class:`~repro.serving.gateway.ServingGateway`) mid-load and recovers
+from its dual durability pair — the SQLite-WAL job store and the
+``regraph-traffic/v1`` bundle.  One cell:
+
+1. runs the job stream through a plain in-memory
+   :class:`~repro.serving.session.KernelSession` as the uninterrupted
+   reference — its report digest is the ground truth;
+2. serves the same stream through a real gateway (store + traffic
+   bundle attached), submitting every job — so every job is
+   *acknowledged* — and abandons the process SIGKILL-style once
+   ``crash_after_results`` terminal results are durable: no drain, no
+   flush, no checkpoint;
+3. optionally damages one durable file between death and rebirth — a
+   :class:`~repro.faults.plan.StorageFault` on the traffic bundle
+   (torn write / partial fsync / bit-flip, the JSONL vocabulary) or a
+   ``torn-wal`` truncation of the SQLite write-ahead log;
+4. restarts with ``resume=True``: recovery merges the acceptance
+   sequence from the store and the bundle (each file covers holes in
+   the other) and replays it through a fresh kernel session, then
+   drains gracefully;
+5. checks the **oracles**: zero acknowledged jobs lost (every acked id
+   has a durable terminal result), exactly-once results (recomputed
+   duplicates suppressed, never re-emitted), zero replay divergences,
+   and digest equality — the recovered session's report digest is
+   bit-identical to the uninterrupted reference's.
+
+The wall-clock crash point is deliberately *not* deterministic (the
+worker races the poll loop) — digest equality holding anyway is the
+point: the kernel outcome depends only on the acceptance sequence,
+which is durable before each ack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.chaos.fleet_soak import FleetSoakConfig, generate_jobs
+from repro.errors import UserInputError
+from repro.faults.plan import StorageFault
+from repro.fleet.journal import apply_storage_fault
+from repro.serving.config import ServingConfig, TenantSpec
+from repro.serving.gateway import ServingGateway
+from repro.serving.session import KernelSession
+from repro.serving.traffic import read_traffic
+
+#: Storage-fault targets a serve-kill cell understands.
+SERVE_FAULT_TARGETS = ("traffic", "store-wal")
+
+
+def _snapshot_store(store_path: Path) -> dict:
+    """Byte-copies of the database and WAL at the moment of death."""
+    snapshot = {}
+    for suffix in ("", "-wal"):
+        victim = Path(str(store_path) + suffix)
+        if victim.exists():
+            snapshot[suffix] = victim.read_bytes()
+    return snapshot
+
+
+def _restore_store(store_path: Path, snapshot: dict) -> None:
+    """Put the crash-time bytes back; drop the stale shm index."""
+    for suffix in ("", "-wal"):
+        victim = Path(str(store_path) + suffix)
+        if suffix in snapshot:
+            victim.write_bytes(snapshot[suffix])
+        elif victim.exists():
+            victim.unlink()
+    shm = Path(str(store_path) + "-shm")
+    if shm.exists():
+        shm.unlink()
+
+
+def tear_wal(store_path: Union[str, Path]) -> str:
+    """Truncate the SQLite WAL's tail (a torn write at rest).
+
+    SQLite's per-frame checksums make this self-healing: the next open
+    rolls back to the last intact commit instead of refusing — commits
+    lost from the tail are re-derived by replay (or merged back from
+    the traffic bundle).
+    """
+    wal = Path(str(store_path) + "-wal")
+    if not wal.exists() or wal.stat().st_size == 0:
+        return "no-op: WAL is empty (already checkpointed)"
+    size = wal.stat().st_size
+    keep = size * 2 // 3
+    with open(wal, "rb+") as fh:
+        fh.truncate(keep)
+    return f"torn WAL: truncated {size - keep} of {size} bytes"
+
+
+@dataclass(frozen=True)
+class ServeKillConfig:
+    """Inputs of one serving kill-restart cell."""
+
+    #: Job stream recipe (apps/graphs/fault plans; arrival times and
+    #: replica kills are ignored — the gateway sets its own clock).
+    soak: FleetSoakConfig = field(
+        default_factory=lambda: FleetSoakConfig(jobs=8, seed=11)
+    )
+    #: Terminal results that must be durable before the crash.
+    crash_after_results: int = 3
+    #: Damage applied between death and rebirth (``None`` = clean crash).
+    storage_fault: Optional[StorageFault] = None
+    #: fsync per append (the WAL contract; tests trade it for speed).
+    fsync: bool = True
+
+    def __post_init__(self):
+        if self.crash_after_results < 0:
+            raise UserInputError(
+                "crash_after_results must be >= 0, got "
+                f"{self.crash_after_results}"
+            )
+        if self.crash_after_results >= self.soak.jobs:
+            raise UserInputError(
+                f"crash_after_results ({self.crash_after_results}) must "
+                f"leave work unfinished (stream has {self.soak.jobs} jobs)"
+            )
+        if (
+            self.storage_fault is not None
+            and self.storage_fault.target not in SERVE_FAULT_TARGETS
+        ):
+            raise UserInputError(
+                f"serve-kill fault target must be one of "
+                f"{SERVE_FAULT_TARGETS}, got "
+                f"{self.storage_fault.target!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "soak": self.soak.to_dict(),
+            "crash_after_results": self.crash_after_results,
+            "storage_fault": (
+                {
+                    "kind": self.storage_fault.kind,
+                    "record": self.storage_fault.record,
+                    "target": self.storage_fault.target,
+                }
+                if self.storage_fault is not None
+                else None
+            ),
+            "fsync": self.fsync,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ServeKillConfig":
+        fault = data.get("storage_fault")
+        return ServeKillConfig(
+            soak=FleetSoakConfig.from_dict(data.get("soak", {})),
+            crash_after_results=int(data.get("crash_after_results", 3)),
+            storage_fault=(
+                StorageFault(**fault) if fault is not None else None
+            ),
+            fsync=bool(data.get("fsync", True)),
+        )
+
+
+@dataclass
+class ServeKillResult:
+    """Outcome of one serving kill-restart cell (oracles itemised)."""
+
+    config: ServeKillConfig
+    reference_digest: str = ""
+    final_digest: str = ""
+    #: Jobs acknowledged before the crash (all of them, by design).
+    acked: int = 0
+    #: Durable terminal results at the moment of death.
+    results_at_crash: int = 0
+    storage_fault_log: str = ""
+    #: Oracle: acked job ids with no durable result after recovery.
+    lost_acked: List[str] = field(default_factory=list)
+    #: Oracle: recomputed results that disagreed with durable copies.
+    replay_divergences: int = 0
+    #: Replay duplicates the store suppressed (exactly-once, visibly).
+    duplicates_suppressed: int = 0
+    #: Accepts the store lost and the traffic bundle restored.
+    accepts_merged_from_traffic: int = 0
+    #: The resumed gateway drained cleanly (traffic-end recorded).
+    drained: bool = False
+    #: Corrupt traffic-bundle lines skipped during recovery/verification.
+    corrupt_traffic_lines: int = 0
+
+    @property
+    def equivalent(self) -> bool:
+        return (
+            self.reference_digest != ""
+            and self.reference_digest == self.final_digest
+        )
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.equivalent
+            and not self.lost_acked
+            and self.replay_divergences == 0
+            and self.drained
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "reference_digest": self.reference_digest,
+            "final_digest": self.final_digest,
+            "equivalent": self.equivalent,
+            "acked": self.acked,
+            "results_at_crash": self.results_at_crash,
+            "storage_fault_log": self.storage_fault_log,
+            "lost_acked": list(self.lost_acked),
+            "replay_divergences": self.replay_divergences,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "accepts_merged_from_traffic": self.accepts_merged_from_traffic,
+            "drained": self.drained,
+            "corrupt_traffic_lines": self.corrupt_traffic_lines,
+            "passed": self.passed,
+        }
+
+
+def _payloads(config: ServeKillConfig) -> List[dict]:
+    """The cell's job stream as wire payloads, acceptance order."""
+    return [job.to_dict() for job in generate_jobs(config.soak)]
+
+
+def _serving_config(config: ServeKillConfig, workdir: Path) -> ServingConfig:
+    return ServingConfig(
+        devices=tuple(config.soak.replicas),
+        buffer_vertices=config.soak.buffer_vertices,
+        num_pipelines=config.soak.num_pipelines,
+        tenants=(TenantSpec(name="chaos", api_key="chaos-key"),),
+        store_path=str(workdir / "jobs.sqlite"),
+        traffic_path=str(workdir / "traffic.jsonl"),
+        fsync=config.fsync,
+    )
+
+
+def run_serve_kill(
+    config: ServeKillConfig, workdir: Union[str, Path]
+) -> ServeKillResult:
+    """Execute one serving kill-restart cell (see module docstring).
+
+    ``workdir`` receives the store (``jobs.sqlite`` + its WAL) and the
+    traffic bundle (``traffic.jsonl``) — on failure they *are* the
+    evidence, so CI uploads them.
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    serving = _serving_config(config, workdir)
+    for stale in workdir.glob("jobs.sqlite*"):
+        stale.unlink()
+    traffic_path = Path(serving.traffic_path)
+    if traffic_path.exists():
+        traffic_path.unlink()
+
+    payloads = _payloads(config)
+    result = ServeKillResult(config=config)
+
+    # 1. Uninterrupted reference: the pure kernel, no gateway at all.
+    reference = KernelSession(serving.session_spec())
+    reference.replay(payloads)
+    result.reference_digest = reference.digest()
+
+    # 2. Live gateway: ack everything, die once enough results landed.
+    # SIGKILL is emulated faithfully: the database and its WAL are
+    # snapshotted *while the dying connection is still open* (sqlite
+    # checkpoints the WAL on close — cleanup a kill never runs), then
+    # the snapshot is restored over the cleanly-closed files and the
+    # stale ``-shm`` index is dropped, which is exactly the disk state
+    # a reboot leaves behind.
+    store_path = Path(serving.store_path)
+
+    async def live() -> None:
+        gateway = ServingGateway(serving)
+        try:
+            for payload in payloads:
+                await gateway.submit("chaos-key", payload)
+            result.acked = gateway.store.job_count()
+            while (
+                gateway.store.result_count() < config.crash_after_results
+            ):
+                await asyncio.sleep(0.002)
+        finally:
+            result.results_at_crash = gateway.store.result_count()
+            gateway.abandon()
+            snapshot = _snapshot_store(store_path)
+            gateway.store.close()
+            _restore_store(store_path, snapshot)
+
+    asyncio.run(live())
+
+    # 3. Storage fault between death and rebirth.
+    if config.storage_fault is not None:
+        fault = config.storage_fault
+        if fault.target == "store-wal":
+            result.storage_fault_log = (
+                f"store-wal: {tear_wal(serving.store_path)}"
+            )
+        else:
+            result.storage_fault_log = (
+                f"traffic: {apply_storage_fault(traffic_path, fault)}"
+            )
+
+    # 4. Rebirth: resume-by-replay, then a graceful drain.
+    async def resumed() -> None:
+        gateway = ServingGateway(serving, resume=True)
+        try:
+            result.replay_divergences = gateway.recovery_stats[
+                "replay_divergences"
+            ]
+            result.duplicates_suppressed = gateway.recovery_stats[
+                "duplicates_suppressed"
+            ]
+            result.accepts_merged_from_traffic = gateway.recovery_stats[
+                "accepts_merged_from_traffic"
+            ]
+            # Checked against the *submitted* stream, not the store's
+            # own rows: a job both files lost would otherwise vanish
+            # without tripping the oracle.
+            result.lost_acked = sorted(
+                p["job_id"] for p in payloads
+                if gateway.store.get_result(p["job_id"]) is None
+            )
+            if gateway.session.served_jobs:
+                result.final_digest = gateway.session.digest()
+            summary = await gateway.drain()
+            result.drained = bool(summary["drained"])
+        finally:
+            gateway.close()
+
+    asyncio.run(resumed())
+
+    # 5. The bundle must still read end-to-end (damage skipped+counted).
+    bundle = read_traffic(traffic_path)
+    result.corrupt_traffic_lines = bundle.corrupt_lines
+    return result

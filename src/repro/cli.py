@@ -17,10 +17,21 @@ Fig. 8:
 * ``fleet``     — serve a seeded job stream over a replica pool while
   killing replicas mid-campaign (run/resume/status/report); ``run
   --journal`` write-ahead logs every transition and ``resume`` rebuilds
-  a hard-killed soak from its journal (docs/DURABILITY.md).
+  a hard-killed soak from its journal (docs/DURABILITY.md);
+* ``serve``     — wall-clock HTTP gateway over the fleet kernel:
+  tenant API keys and quotas, durable SQLite job store, traffic
+  recording, graceful drain on SIGINT/SIGTERM, ``--resume`` after a
+  kill -9 (docs/SERVING.md);
+* ``traffic``   — record a seeded stream into a ``regraph-traffic/v1``
+  bundle, replay a bundle to a bit-identical report digest, or
+  summarise one (record/replay/show).
 
 Graphs come either from ``--dataset KEY`` (synthetic Table III stand-ins,
 with ``--scale``) or ``--edge-list FILE``.
+
+Exit codes are uniform across commands (docs/TESTING.md): 0 success,
+1 oracle/check failure, 2 user or fault error, 3 interrupted or
+hard-killed but resumable.
 """
 
 from __future__ import annotations
@@ -29,9 +40,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.arch.config import PipelineConfig
 from repro.core.framework import ReGraph
-from repro.errors import FleetKilledError, ReproError
+from repro.errors import FleetKilledError, ReproError, RunInterrupted
 from repro.graph.datasets import DATASETS, load_dataset, table3_rows
 from repro.graph.io import read_edge_list
 from repro.hbm.channel import HbmChannelModel
@@ -412,6 +424,8 @@ def cmd_chaos(args) -> int:
         return _chaos_replay(args)
     if args.chaos_command == "kill-restart":
         return _chaos_kill_restart(args)
+    if args.chaos_command == "serve-kill":
+        return _chaos_serve_kill(args)
     return _chaos_report(args)
 
 
@@ -468,14 +482,20 @@ def _chaos_run(args) -> int:
             print(f"  [{index + 1}/{total}] {result.cell_id}: "
                   f"{result.status} ({result.category})")
 
-    report = run_campaign(
-        config,
-        bundle_dir=args.bundle_dir,
-        shrink_failures=not args.no_shrink,
-        max_probes=args.max_probes,
-        progress=progress,
-        perf=perf,
-    )
+    from repro.serving.signals import graceful_interrupts
+
+    with graceful_interrupts():
+        # Campaign cells are independent and seeded; an interrupt here
+        # surfaces as RunInterrupted -> exit 3 (re-run with the same
+        # --chaos-seed to reproduce the full campaign).
+        report = run_campaign(
+            config,
+            bundle_dir=args.bundle_dir,
+            shrink_failures=not args.no_shrink,
+            max_probes=args.max_probes,
+            progress=progress,
+            perf=perf,
+        )
     _print_campaign_summary(report)
     _print_cache_stats()
     if args.report_json:
@@ -519,7 +539,7 @@ def _chaos_report(args) -> int:
     return 0 if report.passed else 1
 
 
-def _parse_storage_fault(spec: str):
+def _parse_storage_fault(spec: str, default_target: str = "journal"):
     """``KIND[:RECORD][@TARGET]`` -> StorageFault.
 
     Examples: ``torn-write``, ``bit-flip:5``, ``bit-flip:-1@store``.
@@ -533,7 +553,7 @@ def _parse_storage_fault(spec: str):
         return StorageFault(
             kind=kind,
             record=int(record) if record else -1,
-            target=target or "journal",
+            target=target or default_target,
         )
     except (ValueError, TypeError) as exc:
         raise UserInputError(
@@ -598,6 +618,59 @@ def _chaos_kill_restart(args) -> int:
         print(f"report written to {args.report_json}")
     print("kill-restart PASSED: recovery is lossless, exactly-once and "
           "bit-equivalent" if result.passed else "kill-restart FAILED")
+    return 0 if result.passed else 1
+
+
+def _chaos_serve_kill(args) -> int:
+    import json
+
+    from repro.chaos.fleet_soak import FleetSoakConfig
+    from repro.chaos.serve_kill import ServeKillConfig, run_serve_kill
+
+    config = ServeKillConfig(
+        soak=FleetSoakConfig(
+            seed=args.fleet_seed,
+            jobs=args.num_jobs,
+            replicas=tuple(args.replica or ["U280", "U50"]),
+            intensity=args.intensity,
+            buffer_vertices=args.buffer_vertices,
+            num_pipelines=args.pipelines or 4,
+            max_iterations=args.iterations,
+        ),
+        crash_after_results=args.crash_after,
+        storage_fault=(
+            _parse_storage_fault(args.corrupt, default_target="traffic")
+            if args.corrupt else None
+        ),
+        fsync=not args.no_fsync,
+    )
+    print(f"serve-kill: {config.soak.jobs} jobs over "
+          f"{'/'.join(config.soak.replicas)}, seed {config.soak.seed}, "
+          f"SIGKILL after {config.crash_after_results} durable result(s)"
+          + (f", fault {args.corrupt}" if args.corrupt else ""))
+    result = run_serve_kill(config, args.workdir)
+    print(f"acked before crash: {result.acked}, "
+          f"durable results at crash: {result.results_at_crash}")
+    if result.storage_fault_log:
+        print(f"  corrupt: {result.storage_fault_log}")
+    print(f"recovery: {result.accepts_merged_from_traffic} accept(s) "
+          f"merged back from the traffic bundle, "
+          f"{result.duplicates_suppressed} replay duplicate(s) "
+          f"suppressed, {result.corrupt_traffic_lines} corrupt bundle "
+          f"line(s) skipped")
+    print(f"reference digest: {result.reference_digest}")
+    print(f"recovered digest: {result.final_digest}")
+    print(f"oracles: lost-acked={len(result.lost_acked)} "
+          f"divergences={result.replay_divergences} "
+          f"drained={'yes' if result.drained else 'NO'} "
+          f"equivalent={'yes' if result.equivalent else 'NO'}")
+    if args.report_json:
+        with open(args.report_json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"report written to {args.report_json}")
+    print("serve-kill PASSED: no acknowledged job lost, recovery is "
+          "exactly-once and digest-equivalent" if result.passed
+          else "serve-kill FAILED")
     return 0 if result.passed else 1
 
 
@@ -698,18 +771,29 @@ def _fleet_run(args) -> int:
             "--store/--crash-after need --journal (recovery replays the "
             "journaled input batch)"
         )
+    from repro.serving.signals import graceful_interrupts
+
     try:
-        result = run_fleet_soak(
-            config, policy, perf=perf,
-            journal_path=args.journal,
-            store_path=args.store,
-            halt_after_events=args.crash_after,
-            journal_fsync=not args.no_fsync,
+        # SIGINT/SIGTERM raise a typed RunInterrupted instead of dying
+        # mid-write: the journal/store appends are atomic-per-record,
+        # so whatever is flushed is exactly what resume replays.
+        with graceful_interrupts():
+            result = run_fleet_soak(
+                config, policy, perf=perf,
+                journal_path=args.journal,
+                store_path=args.store,
+                halt_after_events=args.crash_after,
+                journal_fsync=not args.no_fsync,
+            )
+    except (FleetKilledError, RunInterrupted) as exc:
+        verb = (
+            "interrupted" if isinstance(exc, RunInterrupted)
+            else "hard-killed"
         )
-    except FleetKilledError as exc:
-        print(f"fleet hard-killed: {exc}")
-        print(f"recover with: repro fleet resume {args.journal}"
-              + (f" --store {args.store}" if args.store else ""))
+        print(f"fleet {verb}: {exc}")
+        if args.journal:
+            print(f"recover with: repro fleet resume {args.journal}"
+                  + (f" --store {args.store}" if args.store else ""))
         return 3
     for kill in result.kills:
         print(f"  kill: {kill.replica_id} at t={kill.at_seconds * 1e3:.2f} ms")
@@ -760,10 +844,15 @@ def _fleet_resume(args) -> int:
     for job_id, info in sorted(view.inflight.items()):
         print(f"  was in flight: {job_id} on {info['replica_id']} "
               f"(attempt {info['attempt']}, {info['kind']})")
+    from repro.serving.signals import graceful_interrupts
+
     try:
-        report = recovered.resume(fsync=not args.no_fsync)
-    except FleetKilledError as exc:
+        with graceful_interrupts():
+            report = recovered.resume(fsync=not args.no_fsync)
+    except (FleetKilledError, RunInterrupted) as exc:
         print(f"fleet hard-killed again: {exc}")
+        print(f"recover with: repro fleet resume {args.journal}"
+              + (f" --store {args.store}" if args.store else ""))
         return 3
     _print_fleet_summary(report)
     _print_recovery_stats(recovered.runtime.recovery_stats)
@@ -859,11 +948,208 @@ def _fleet_report(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.errors import UserInputError
+    from repro.serving import (
+        EXIT_RESUMABLE,
+        HttpServer,
+        ServingConfig,
+        ServingGateway,
+        TenantSpec,
+        install_async_drain,
+    )
+
+    if args.resume and not args.store:
+        raise UserInputError(
+            "--resume needs --store (recovery replays the acknowledged "
+            "jobs persisted there, merged with the --record bundle)"
+        )
+    tenants = tuple(TenantSpec.parse(s) for s in (args.tenant or []))
+    kwargs = dict(
+        devices=tuple(args.replica or ["U280", "U50"]),
+        buffer_vertices=args.buffer_vertices,
+        num_pipelines=args.pipelines or 4,
+        rate_jobs_per_second=args.rate_limit,
+        max_pending=args.max_pending,
+        drain_budget_seconds=args.drain_budget,
+        store_path=args.store,
+        traffic_path=args.record,
+        fsync=not args.no_fsync,
+    )
+    if tenants:
+        kwargs["tenants"] = tenants
+    config = ServingConfig(**kwargs)
+
+    async def _serve() -> int:
+        gateway = ServingGateway(config, resume=args.resume)
+        try:
+            if args.resume:
+                stats = gateway.recovery_stats
+                print(f"recovered store {args.store}: "
+                      f"{stats['accepts_restored']} accept(s) replayed "
+                      f"({stats['accepts_merged_from_traffic']} merged "
+                      f"back from the traffic bundle), "
+                      f"{stats['duplicates_suppressed']} duplicate(s) "
+                      f"suppressed, "
+                      f"{stats['replay_divergences']} divergence(s)")
+            server = HttpServer(gateway, args.host, args.port)
+            await server.start()
+            print(f"serving on http://{args.host}:{server.port} "
+                  f"({len(config.tenants)} tenant(s); SIGINT/SIGTERM "
+                  f"drains within {config.drain_budget_seconds:.0f}s)")
+            stop = asyncio.Event()
+
+            def _on_signal(name: str) -> None:
+                print(f"{name}: draining — no new submissions; signal "
+                      "again to force-quit")
+                stop.set()
+
+            uninstall = install_async_drain(
+                asyncio.get_running_loop(), _on_signal
+            )
+            try:
+                await stop.wait()
+            finally:
+                uninstall()
+            await server.stop()
+            summary = await gateway.drain()
+            print(f"drained: {summary['served']} job(s) served, "
+                  f"{len(summary['outstanding'])} outstanding"
+                  + (f", digest {summary['digest']}"
+                     if summary["digest"] else ""))
+            if summary["outstanding"]:
+                print(f"resume with: repro serve --resume "
+                      f"--store {args.store}"
+                      + (f" --record {args.record}" if args.record else ""))
+            return 0 if summary["drained"] else EXIT_RESUMABLE
+        finally:
+            gateway.close()
+
+    return asyncio.run(_serve())
+
+
+def cmd_traffic(args) -> int:
+    if args.traffic_command == "record":
+        return _traffic_record(args)
+    if args.traffic_command == "replay":
+        return _traffic_replay(args)
+    return _traffic_show(args)
+
+
+def _traffic_record(args) -> int:
+    import asyncio
+    import os
+
+    from repro.chaos.fleet_soak import FleetSoakConfig, generate_jobs
+    from repro.errors import UserInputError
+    from repro.serving import ServingConfig, ServingGateway, TenantSpec
+
+    if os.path.exists(args.bundle) and os.path.getsize(args.bundle) > 0:
+        raise UserInputError(
+            f"traffic bundle {args.bundle} already exists; recording "
+            "never overwrites evidence — pick a fresh path"
+        )
+    soak = FleetSoakConfig(
+        seed=args.fleet_seed,
+        jobs=args.num_jobs,
+        replicas=tuple(args.replica or ["U280", "U50"]),
+        intensity=args.intensity,
+        buffer_vertices=args.buffer_vertices,
+        num_pipelines=args.pipelines or 4,
+        max_iterations=args.iterations,
+    )
+    payloads = [job.to_dict() for job in generate_jobs(soak)]
+    config = ServingConfig(
+        devices=soak.replicas,
+        buffer_vertices=soak.buffer_vertices,
+        num_pipelines=soak.num_pipelines,
+        tenants=(TenantSpec(name="recorder", api_key="recorder-key"),),
+        traffic_path=args.bundle,
+        fsync=not args.no_fsync,
+    )
+
+    async def _record() -> dict:
+        gateway = ServingGateway(config)
+        try:
+            for payload in payloads:
+                await gateway.submit("recorder-key", payload)
+            return await gateway.drain()
+        finally:
+            gateway.close()
+
+    summary = asyncio.run(_record())
+    print(f"recorded {summary['served']} job(s) (seed {soak.seed}) "
+          f"-> {args.bundle}")
+    print(f"session digest: {summary['digest']}")
+    print(f"verify with: repro traffic replay {args.bundle}")
+    return 0 if summary["drained"] else 1
+
+
+def _traffic_replay(args) -> int:
+    from repro.serving import replay_traffic
+
+    session, bundle = replay_traffic(args.bundle)
+    info = bundle.summary()
+    print(f"replayed {info['accepts']} accepted job(s) from "
+          f"{args.bundle} ({info['rejects']} reject(s), "
+          f"{info['corrupt_lines']} corrupt line(s) skipped)")
+    digest = session.digest() if session.served_jobs else ""
+    print(f"replayed digest: {digest or '(no jobs)'}")
+    if not bundle.drained:
+        print("bundle has no traffic-end record (undrained / crashed "
+              "run): the replayed digest above is the ground truth")
+        return 0
+    recorded = info["recorded_digest"]
+    print(f"recorded digest: {recorded or '(none)'}")
+    print("traffic replay reproduced the live digest bit-for-bit"
+          if digest == recorded
+          else "DIGEST MISMATCH: the bundle does not reproduce its run")
+    return 0 if digest == recorded else 1
+
+
+def _traffic_show(args) -> int:
+    from repro.serving import read_traffic
+
+    bundle = read_traffic(args.bundle)
+    info = bundle.summary()
+    print(f"traffic bundle {args.bundle} ({info['schema']})")
+    print(f"  accepts:  {info['accepts']}")
+    print(f"  rejects:  {info['rejects']}")
+    print(f"  results:  {info['results']}")
+    print(f"  drained:  {'yes' if info['drained'] else 'no'}")
+    print(f"  corrupt:  {info['corrupt_lines']} line(s) skipped")
+    if info["recorded_digest"]:
+        print(f"  digest:   {info['recorded_digest']}")
+    for seq, tenant, payload in bundle.accepts:
+        print(f"  [{seq:>4}] {payload.get('job_id', '?')} "
+              f"({tenant}: {payload.get('app', '?')})")
+    return 0
+
+
+#: Uniform exit-code contract of every subcommand (docs/TESTING.md).
+EXIT_CODE_EPILOG = """\
+exit codes:
+  0  success — the command (and its oracles, if any) passed
+  1  a check, oracle or campaign failed (output says which)
+  2  user or fault error — one-line message on stderr, no traceback
+  3  interrupted (SIGINT/SIGTERM) or hard-killed, but *resumable*:
+     durable state is flushed; continue with `repro fleet resume`
+     or `repro serve --resume`
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ReGraph reproduction: heterogeneous graph pipelines "
                     "on simulated HBM FPGAs",
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -1037,6 +1323,40 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("--report-json", default=None,
                     help="write the cell result as JSON")
 
+    pk = chaos_sub.add_parser(
+        "serve-kill",
+        help="SIGKILL the serving gateway mid-load, resume from the "
+             "store+bundle pair, assert lossless digest-equal recovery",
+    )
+    pk.add_argument("--num-jobs", type=int, default=8,
+                    help="jobs in the submitted stream (default 8)")
+    pk.add_argument("--fleet-seed", type=int, default=11,
+                    help="stream seed (apps/graphs/fault plans)")
+    pk.add_argument("--replica", action="append", metavar="DEVICE",
+                    help="device of one pool member (repeatable; "
+                         "default U280 U50)")
+    pk.add_argument("--intensity", default="moderate",
+                    choices=["light", "moderate", "heavy"])
+    pk.add_argument("--crash-after", type=int, default=3,
+                    metavar="RESULTS",
+                    help="durable terminal results required before the "
+                         "SIGKILL (default 3)")
+    pk.add_argument("--corrupt", metavar="KIND[:RECORD][@TARGET]",
+                    help="storage fault between death and rebirth: "
+                         "kinds torn-write / partial-fsync / bit-flip, "
+                         "targets traffic (default) or store-wal")
+    pk.add_argument("--iterations", type=int, default=30)
+    pk.add_argument("--buffer-vertices", type=int, default=256)
+    pk.add_argument("--pipelines", type=int, default=4)
+    pk.add_argument("--workdir", default="serve-kill",
+                    help="directory for jobs.sqlite and traffic.jsonl "
+                         "(on failure they are the evidence)")
+    pk.add_argument("--no-fsync", action="store_true",
+                    help="skip per-append fsync (faster; determinism "
+                         "is unaffected)")
+    pk.add_argument("--report-json", default=None,
+                    help="write the cell result as JSON")
+
     p = sub.add_parser(
         "fleet",
         help="serve a seeded job stream over a replica pool under faults",
@@ -1121,6 +1441,85 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="summarise a fleet report JSON"
     )
     pf.add_argument("report", help="path written by fleet run --report-json")
+
+    p = sub.add_parser(
+        "serve",
+        help="wall-clock HTTP gateway over the fleet kernel: tenants, "
+             "quotas, durable store, graceful drain (docs/SERVING.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8373,
+                   help="listen port (0 picks a free one; the bound "
+                        "port is printed)")
+    p.add_argument("--replica", action="append", metavar="DEVICE",
+                   help="device of one pool member (repeatable; "
+                        "default U280 U50)")
+    p.add_argument("--buffer-vertices", type=int, default=256)
+    p.add_argument("--pipelines", type=int, default=4)
+    p.add_argument("--tenant", action="append",
+                   metavar="NAME:KEY[:RATE[:BURST]]",
+                   help="tenant + API key, optional per-tenant admission "
+                        "rate in jobs/s (repeatable; default "
+                        "demo:demo-key, unmetered)")
+    p.add_argument("--rate-limit", type=float, default=None,
+                   help="gateway-wide admission rate (jobs per wall "
+                        "second; default unlimited)")
+    p.add_argument("--max-pending", type=int, default=256,
+                   help="jobs allowed to wait across all tenants")
+    p.add_argument("--drain-budget", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="graceful-drain budget; past it the gateway "
+                        "exits with the resumable code 3")
+    p.add_argument("--store", default=None, metavar="PATH",
+                   help="durable SQLite job/result store: acknowledged "
+                        "jobs survive kill -9 (needed by --resume)")
+    p.add_argument("--record", default=None, metavar="PATH",
+                   help="record accepted traffic into a "
+                        "regraph-traffic/v1 bundle (docs/SERVING.md)")
+    p.add_argument("--resume", action="store_true",
+                   help="before serving, replay the store (merged with "
+                        "the --record bundle) through a fresh kernel "
+                        "session — recovers a killed gateway")
+    p.add_argument("--no-fsync", action="store_true",
+                   help="skip fsync on store/bundle appends (faster; "
+                        "crash guarantee weakened)")
+
+    p = sub.add_parser(
+        "traffic",
+        help="record / replay / inspect regraph-traffic/v1 bundles",
+    )
+    traffic_sub = p.add_subparsers(dest="traffic_command", required=True)
+
+    pt = traffic_sub.add_parser(
+        "record",
+        help="serve a seeded job stream through a recording gateway",
+    )
+    pt.add_argument("bundle", help="bundle path to write (must not exist)")
+    pt.add_argument("--num-jobs", type=int, default=8)
+    pt.add_argument("--fleet-seed", type=int, default=0,
+                    help="stream seed: determines every job exactly")
+    pt.add_argument("--replica", action="append", metavar="DEVICE",
+                    help="device of one pool member (repeatable; "
+                         "default U280 U50)")
+    pt.add_argument("--intensity", default="moderate",
+                    choices=["light", "moderate", "heavy"])
+    pt.add_argument("--iterations", type=int, default=30)
+    pt.add_argument("--buffer-vertices", type=int, default=256)
+    pt.add_argument("--pipelines", type=int, default=4)
+    pt.add_argument("--no-fsync", action="store_true")
+
+    pt = traffic_sub.add_parser(
+        "replay",
+        help="re-serve a bundle through a fresh virtual-clock session "
+             "and verify the recorded report digest bit-for-bit",
+    )
+    pt.add_argument("bundle", help="path written by serve --record or "
+                                   "traffic record")
+
+    pt = traffic_sub.add_parser(
+        "show", help="summarise a bundle without executing anything"
+    )
+    pt.add_argument("bundle")
     return parser
 
 
@@ -1136,19 +1535,28 @@ _COMMANDS = {
     "check": cmd_check,
     "chaos": cmd_chaos,
     "fleet": cmd_fleet,
+    "serve": cmd_serve,
+    "traffic": cmd_traffic,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
-    User errors — bad dataset keys, unreadable files, invalid
-    configuration, unrecoverable fault scenarios — print a one-line
-    message on stderr and exit 2 instead of dumping a traceback.
+    The exit-code contract is uniform (:data:`EXIT_CODE_EPILOG`,
+    docs/TESTING.md): 0 success, 1 oracle/check failure, 2 user or
+    fault error (one-line message on stderr, never a traceback),
+    3 interrupted-or-killed but resumable.
     """
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except RunInterrupted as exc:
+        # Graceful SIGINT/SIGTERM: durable state is already flushed
+        # (fsync-per-append WAL), so the run is resumable — exit 3,
+        # the documented killed-but-resumable code, never a traceback.
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 3
     except (ReproError, OSError, KeyError, ValueError) as exc:
         # str(KeyError) wraps the message in quotes; unwrap it.
         detail = (

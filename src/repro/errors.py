@@ -145,6 +145,21 @@ class JobFailoverExhaustedError(FleetError):
     """A job failed on every attempt up to the per-job attempt cap."""
 
 
+class TenantQuotaExceededError(FleetOverloadError):
+    """A tenant blew its per-tenant quota (429-style rejection).
+
+    Subclasses :class:`FleetOverloadError` so the fleet's typed-shedding
+    machinery (rejected :class:`~repro.fleet.job.JobResult`, admission
+    counters) handles tenant-level rejections unchanged; ``tenant``
+    and ``reason`` (``"tenant-rate"`` or ``"tenant-pending"``) say who
+    and why.
+    """
+
+    def __init__(self, message: str, tenant: str = "", reason: str = "tenant-rate"):
+        super().__init__(message, reason=reason)
+        self.tenant = tenant
+
+
 class FleetKilledError(FleetError):
     """The fleet runtime process was hard-killed mid-run (chaos).
 
@@ -158,6 +173,40 @@ class FleetKilledError(FleetError):
     def __init__(self, message: str, events_processed: int = 0):
         super().__init__(message)
         self.events_processed = events_processed
+
+
+# ----------------------------------------------------------------------
+# Wall-clock serving facade (repro.serving)
+# ----------------------------------------------------------------------
+class ServingError(ReproError):
+    """Base class of the serving facade's typed errors."""
+
+
+class TenantAuthError(ServingError):
+    """The request carried no API key, or one no tenant owns (401)."""
+
+
+class ServingDrainingError(ServingError):
+    """The gateway is draining: no new submissions are accepted (503).
+
+    In-flight and queued jobs still finish (or are journaled for
+    resume); only *new* work is turned away.
+    """
+
+
+class RunInterrupted(ReproError):
+    """SIGTERM/SIGINT arrived mid-run and the graceful handler fired.
+
+    Raised out of the signal handler installed by
+    :func:`repro.serving.signals.graceful_interrupts`; commands catch it
+    (or let :func:`repro.cli.main` catch it), flush whatever durable
+    state they own, and exit with the documented *resumable* code 3 —
+    never mid-write corruption, never a traceback.
+    """
+
+    def __init__(self, message: str, signal_name: str = ""):
+        super().__init__(message)
+        self.signal_name = signal_name
 
 
 # ----------------------------------------------------------------------

@@ -85,6 +85,10 @@ class PipelineStallFault:
 #: Ways a journal/store file can be damaged by real storage.
 STORAGE_FAULT_KINDS = ("torn-write", "partial-fsync", "bit-flip")
 
+#: Files a storage fault may hit: the fleet's JSONL pair, plus the
+#: serving facade's traffic bundle and SQLite write-ahead log.
+STORAGE_FAULT_TARGETS = ("journal", "store", "traffic", "store-wal")
+
 
 @dataclass(frozen=True)
 class StorageFault:
@@ -97,8 +101,11 @@ class StorageFault:
 
     ``record`` selects the victim line for ``bit-flip`` (negative counts
     from the end of the file); torn writes and partial fsyncs always hit
-    the tail, where real ones do.  ``target`` picks the victim file:
-    the write-ahead journal or the result store.
+    the tail, where real ones do.  ``target`` picks the victim file
+    (:data:`STORAGE_FAULT_TARGETS`): the fleet's write-ahead journal or
+    result store, the serving facade's traffic bundle, or the SQLite
+    job store's WAL (``store-wal``, where ``kind`` is moot — the tail
+    is truncated and SQLite's frame checksums absorb it).
     """
 
     kind: str
@@ -111,10 +118,10 @@ class StorageFault:
                 f"storage fault kind must be one of {STORAGE_FAULT_KINDS}, "
                 f"got {self.kind!r}"
             )
-        if self.target not in ("journal", "store"):
+        if self.target not in STORAGE_FAULT_TARGETS:
             raise ValueError(
-                f"storage fault target must be 'journal' or 'store', "
-                f"got {self.target!r}"
+                f"storage fault target must be one of "
+                f"{STORAGE_FAULT_TARGETS}, got {self.target!r}"
             )
 
 

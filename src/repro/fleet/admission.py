@@ -6,15 +6,29 @@ so an overloaded fleet degrades into explicit rejections, never into
 silently dropped jobs.  The token bucket refills against the fleet's
 deterministic virtual clock, which keeps admission decisions — like
 everything else in the runtime — bit-reproducible from the seed.
+
+On top of the fleet-wide bucket the controller can carry **per-tenant**
+buckets (:meth:`AdmissionController.register_tenant`): the serving
+facade maps API keys to tenants and each tenant burns its own tokens
+before touching the shared ones.  A tenant over quota is shed with
+:class:`~repro.errors.TenantQuotaExceededError` (a 429-style subclass of
+the overload error) and never consumes fleet-wide capacity — checks are
+peek-then-take across both buckets, so a rejection charges nothing.
+The controller is clock-agnostic: the fleet feeds it virtual time, the
+wall-clock gateway feeds it ``time.monotonic()``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
-from repro.errors import FleetOverloadError, UserInputError
+from repro.errors import (
+    FleetOverloadError,
+    TenantQuotaExceededError,
+    UserInputError,
+)
 
 
 class TokenBucket:
@@ -54,6 +68,11 @@ class TokenBucket:
         self._refill(now)
         return self._tokens
 
+    def take(self, now: float) -> None:
+        """Unconditionally consume one token (caller peeked first)."""
+        self._refill(now)
+        self._tokens -= 1.0
+
 
 @dataclass
 class AdmissionStats:
@@ -63,6 +82,7 @@ class AdmissionStats:
     admitted: int = 0
     shed_queue_depth: int = 0
     shed_rate_limit: int = 0
+    shed_tenant_quota: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -70,6 +90,7 @@ class AdmissionStats:
             "admitted": self.admitted,
             "shed_queue_depth": self.shed_queue_depth,
             "shed_rate_limit": self.shed_rate_limit,
+            "shed_tenant_quota": self.shed_tenant_quota,
         }
 
 
@@ -92,13 +113,38 @@ class AdmissionController:
             if rate_limit_jobs_per_second is not None
             else None
         )
+        self.tenant_buckets: Dict[str, TokenBucket] = {}
         self.stats = AdmissionStats()
 
-    def admit(self, job, queue_depth: int, now: float) -> None:
+    def register_tenant(
+        self,
+        tenant: str,
+        rate_per_second: Optional[float],
+        burst: int = 8,
+    ) -> None:
+        """Attach a per-tenant bucket (``None`` rate = unmetered tenant)."""
+        if not tenant:
+            raise UserInputError("tenant name must be non-empty")
+        if rate_per_second is None:
+            self.tenant_buckets.pop(tenant, None)
+            return
+        self.tenant_buckets[tenant] = TokenBucket(rate_per_second, burst)
+
+    def admit(
+        self,
+        job,
+        queue_depth: int,
+        now: float,
+        tenant: Optional[str] = None,
+    ) -> None:
         """Accept ``job`` or raise a typed :class:`FleetOverloadError`.
 
         ``queue_depth`` is the number of jobs already waiting; ``now``
-        is the fleet's virtual time (token refill reference).
+        is the admission clock (virtual time in the fleet, wall clock in
+        the serving gateway).  When ``tenant`` names a registered
+        bucket, the tenant's tokens and the fleet-wide tokens are
+        checked peek-first and only charged together on acceptance — a
+        rejection at either level consumes nothing anywhere.
         """
         self.stats.submitted += 1
         if queue_depth >= self.max_queue_depth:
@@ -108,11 +154,27 @@ class AdmissionController:
                 f"limit {self.max_queue_depth}",
                 reason="queue-depth",
             )
-        if self.bucket is not None and not self.bucket.try_take(now):
+        tenant_bucket = (
+            self.tenant_buckets.get(tenant) if tenant is not None else None
+        )
+        if tenant_bucket is not None and tenant_bucket.tokens_at(now) < 1.0:
+            self.stats.shed_tenant_quota += 1
+            raise TenantQuotaExceededError(
+                f"job {job.job_id} shed: tenant {tenant!r} over quota "
+                f"({tenant_bucket.rate:g} jobs/s, "
+                f"burst {tenant_bucket.burst})",
+                tenant=tenant or "",
+                reason="tenant-rate",
+            )
+        if self.bucket is not None and self.bucket.tokens_at(now) < 1.0:
             self.stats.shed_rate_limit += 1
             raise FleetOverloadError(
                 f"job {job.job_id} shed: admission rate limit exceeded "
                 f"({self.bucket.rate:g} jobs/s, burst {self.bucket.burst})",
                 reason="rate-limit",
             )
+        if tenant_bucket is not None:
+            tenant_bucket.take(now)
+        if self.bucket is not None:
+            self.bucket.take(now)
         self.stats.admitted += 1

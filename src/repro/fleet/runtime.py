@@ -1119,6 +1119,24 @@ class FleetRuntime:
             repair=repair,
         )
 
+    def report_for(
+        self, jobs: Sequence[Job], kills: Sequence[ReplicaKill] = ()
+    ) -> FleetReport:
+        """A report over ``jobs`` served by earlier :meth:`run` calls.
+
+        The serving facade pushes micro-batches through one persistent
+        runtime (one virtual clock, state carried between calls) and
+        asks for the aggregate report at drain time; every job must
+        already have a terminal result.
+        """
+        missing = [j.job_id for j in jobs if j.job_id not in self._results]
+        if missing:
+            raise UserInputError(
+                f"no terminal result for job(s) {missing[:5]}; "
+                "report_for only covers jobs already served by run()"
+            )
+        return self._build_report(jobs, kills)
+
     def _build_report(
         self, jobs: Sequence[Job], kills: Sequence[ReplicaKill]
     ) -> FleetReport:

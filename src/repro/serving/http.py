@@ -1,0 +1,227 @@
+"""Minimal stdlib HTTP/1.1 transport for the serving gateway.
+
+A deliberately small asyncio server (no third-party web framework —
+the container pins its dependency set) that does nothing but shovel
+bytes: parse a request, hand the JSON to
+:class:`~repro.serving.gateway.ServingGateway`, map the gateway's
+typed errors onto status codes, write the JSON back.  Every robustness
+property lives in the gateway and is tested through it in-process;
+this module only has to be honest about framing.
+
+Routes (all responses are JSON; errors are
+``{"error": <type>, "detail": <message>}``):
+
+=======  =========================  ===========================================
+POST     ``/v1/jobs``               submit one job; 202 on acceptance
+GET      ``/v1/jobs/<id>``          status / terminal result
+GET      ``/v1/jobs/<id>/stream``   chunked status stream until terminal
+GET      ``/v1/health``             liveness + queue/admission counters
+GET      ``/v1/report``             session FleetReport digest so far
+POST     ``/v1/drain``              begin graceful drain (idempotent)
+=======  =========================  ===========================================
+
+Authentication: ``Authorization: Bearer <key>`` or ``X-Api-Key:
+<key>``.  Status mapping: 400 bad payload, 401 unknown key, 404
+unknown job, 429 quota/overload (with ``Retry-After``), 503 draining.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from repro.errors import (
+    FleetOverloadError,
+    ReproError,
+    ServingDrainingError,
+    TenantAuthError,
+    UserInputError,
+)
+from repro.serving.gateway import ServingGateway
+
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 401: "Unauthorized",
+    404: "Not Found", 405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def status_for(exc: ReproError) -> int:
+    """The HTTP status a gateway error maps onto."""
+    if isinstance(exc, TenantAuthError):
+        return 401
+    if isinstance(exc, ServingDrainingError):
+        return 503
+    if isinstance(exc, FleetOverloadError):
+        return 429
+    if isinstance(exc, UserInputError):
+        return 400
+    return 500
+
+
+def _error_body(exc: BaseException) -> dict:
+    return {"error": exc.__class__.__name__, "detail": str(exc)}
+
+
+def _response(status: int, body: dict, extra: Tuple[str, ...] = ()) -> bytes:
+    payload = (json.dumps(body, sort_keys=True) + "\n").encode()
+    head = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+        *extra,
+    ]
+    return ("\r\n".join(head) + "\r\n\r\n").encode() + payload
+
+
+class HttpServer:
+    """One listening socket bound to one gateway."""
+
+    def __init__(self, gateway: ServingGateway, host: str = "127.0.0.1",
+                 port: int = 8373):
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        await self.gateway.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        addr = self._server.sockets[0].getsockname()
+        self.port = addr[1]  # resolve port 0 to the bound port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling -------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            await self._handle_one(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # the client went away; nothing to clean up
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_one(self, reader, writer) -> None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            writer.write(_response(413, {"error": "headers too large"}))
+            await writer.drain()
+            return
+        if len(head) > _MAX_HEADER_BYTES:
+            writer.write(_response(413, {"error": "headers too large"}))
+            await writer.drain()
+            return
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _ = lines[0].split(" ", 2)
+        except ValueError:
+            writer.write(_response(400, {"error": "bad request line"}))
+            await writer.drain()
+            return
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            writer.write(_response(413, {"error": "body too large"}))
+            await writer.drain()
+            return
+        body = await reader.readexactly(length) if length else b""
+        api_key = self._api_key(headers)
+        await self._route(method, target, api_key, body, writer)
+
+    @staticmethod
+    def _api_key(headers: dict) -> Optional[str]:
+        auth = headers.get("authorization", "")
+        if auth.lower().startswith("bearer "):
+            return auth[7:].strip()
+        return headers.get("x-api-key") or None
+
+    async def _route(self, method, target, api_key, body, writer) -> None:
+        path = target.split("?", 1)[0]
+        try:
+            if method == "POST" and path == "/v1/jobs":
+                try:
+                    payload = json.loads(body.decode() or "{}")
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    raise UserInputError(f"body is not JSON: {exc}")
+                if not isinstance(payload, dict):
+                    raise UserInputError("job payload must be an object")
+                ack = await self.gateway.submit(api_key, payload)
+                writer.write(_response(202, ack))
+            elif method == "GET" and path == "/v1/health":
+                writer.write(_response(200, self.gateway.health()))
+            elif method == "GET" and path == "/v1/report":
+                writer.write(_response(200, self.gateway.report()))
+            elif method == "POST" and path == "/v1/drain":
+                summary = await self.gateway.drain()
+                writer.write(_response(200, summary))
+            elif method == "GET" and path.startswith("/v1/jobs/"):
+                rest = path[len("/v1/jobs/"):]
+                if rest.endswith("/stream"):
+                    await self._stream(rest[: -len("/stream")].rstrip("/"),
+                                       writer)
+                    return
+                try:
+                    status = self.gateway.status(rest)
+                except UserInputError as exc:
+                    writer.write(_response(404, _error_body(exc)))
+                else:
+                    writer.write(_response(200, status))
+            else:
+                writer.write(_response(
+                    405 if path.startswith("/v1/") else 404,
+                    {"error": "no such route", "detail": f"{method} {path}"},
+                ))
+        except ReproError as exc:
+            extra = ("Retry-After: 1",) if status_for(exc) == 429 else ()
+            writer.write(_response(status_for(exc), _error_body(exc), extra))
+        await writer.drain()
+
+    async def _stream(self, job_id: str, writer) -> None:
+        """Chunked transfer: one JSON line per status update."""
+        try:
+            updates = self.gateway.stream(job_id)
+            first = await updates.__anext__()
+        except UserInputError as exc:
+            writer.write(_response(404, _error_body(exc)))
+            await writer.drain()
+            return
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        )
+        writer.write(head.encode())
+
+        def chunk(data: dict) -> bytes:
+            line = (json.dumps(data, sort_keys=True) + "\n").encode()
+            return f"{len(line):x}\r\n".encode() + line + b"\r\n"
+
+        writer.write(chunk(first))
+        await writer.drain()
+        async for update in updates:
+            writer.write(chunk(update))
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()

@@ -1,0 +1,105 @@
+"""Graceful SIGINT/SIGTERM handling with a typed, resumable exit.
+
+Two flavours for the two worlds:
+
+* :func:`graceful_interrupts` — a context manager for the synchronous
+  CLI paths (``repro fleet run``, ``repro chaos run``): the handler
+  raises :class:`~repro.errors.RunInterrupted` at the interrupted
+  bytecode boundary, the command's ``finally`` blocks flush the journal
+  and store, and :func:`repro.cli.main` turns it into the documented
+  *resumable* exit code 3 — never a traceback, never a mid-record tear
+  beyond what the WAL already tolerates.
+* :func:`install_async_drain` — for the asyncio gateway: signals must
+  not raise into the event loop mid-callback, so the first signal
+  schedules the drain callback (finish in-flight work, flush, exit 0
+  or 3) and a second signal of the same kind falls through to the
+  default handler (a stuck drain can still be killed).
+
+Both are no-ops off the main thread (CPython only delivers signals
+there), so library code stays importable from worker threads.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Callable, Iterable, Optional
+
+from repro.errors import RunInterrupted
+
+#: Signals the graceful paths care about.
+GRACEFUL_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+#: Exit code of an interrupted-but-resumable run (docs/TESTING.md).
+EXIT_RESUMABLE = 3
+
+
+def _is_main_thread() -> bool:
+    return threading.current_thread() is threading.main_thread()
+
+
+@contextlib.contextmanager
+def graceful_interrupts(
+    signals: Iterable[signal.Signals] = GRACEFUL_SIGNALS,
+):
+    """Raise :class:`RunInterrupted` (not ``KeyboardInterrupt``) on
+    SIGINT/SIGTERM for the duration of the block.
+
+    The previous handlers are restored on exit, even when the block
+    leaves via the interrupt itself.  Off the main thread this is a
+    transparent no-op.
+    """
+    if not _is_main_thread():
+        yield
+        return
+
+    def _handler(signum, frame):
+        name = signal.Signals(signum).name
+        raise RunInterrupted(
+            f"interrupted by {name}; durable state is flushed and the "
+            "run is resumable",
+            signal_name=name,
+        )
+
+    previous = {}
+    for sig in signals:
+        previous[sig] = signal.signal(sig, _handler)
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
+def install_async_drain(
+    loop,
+    callback: Callable[[str], None],
+    signals: Iterable[signal.Signals] = GRACEFUL_SIGNALS,
+) -> Callable[[], None]:
+    """Route the first SIGINT/SIGTERM on ``loop`` into ``callback``.
+
+    ``callback(signal_name)`` runs inside the event loop (schedule the
+    drain there); the handler then uninstalls itself so a *second*
+    signal gets the default behaviour — an operator can always
+    ctrl-C twice.  Returns an uninstall function for clean shutdown.
+    """
+    installed = set()
+
+    def _uninstall() -> None:
+        for sig in tuple(installed):
+            with contextlib.suppress(ValueError, RuntimeError, OSError):
+                loop.remove_signal_handler(sig)
+            installed.discard(sig)
+
+    def _on_signal(sig: signal.Signals) -> None:
+        _uninstall()
+        callback(signal.Signals(sig).name)
+
+    for sig in signals:
+        try:
+            loop.add_signal_handler(sig, _on_signal, sig)
+        except (NotImplementedError, RuntimeError):
+            continue  # non-unix / non-main-thread loop: rely on default
+        installed.add(sig)
+    return _uninstall

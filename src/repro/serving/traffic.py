@@ -1,0 +1,267 @@
+"""Live-traffic recording and deterministic replay.
+
+A traffic bundle (``regraph-traffic/v1``) is the serving gateway's
+flight recorder: an append-only JSONL file, one CRC-checksummed record
+per line in exactly the fleet journal's wire format
+(:class:`~repro.fleet.journal.JournalRecord`), capturing
+
+* ``traffic-begin`` — the schema tag and the kernel session spec
+  (pool recipe + policy) the gateway was started with;
+* ``accept``       — one record per *acknowledged* job, carrying the
+  acceptance sequence number, the tenant, the full job payload and the
+  wall-clock arrival time.  The ordered accept stream **is** the
+  session input: feeding it back through a fresh
+  :class:`~repro.serving.session.KernelSession` reproduces the live
+  run's :class:`~repro.fleet.report.FleetReport` digest bit-for-bit;
+* ``reject``       — typed turn-aways (401/429/503) for observability;
+* ``result``       — terminal results as they were streamed back;
+* ``resume``       — a recovered gateway reopened this bundle;
+* ``traffic-end``  — counts + the session report digest at drain.
+
+Because accepts are written *before* the acknowledgement leaves the
+gateway, the bundle doubles as a second write-ahead log of the
+acceptance sequence: recovery merges accepts from the SQLite store and
+the bundle, so an acked job survives as long as either file does.
+Reading is damage-tolerant by the same machinery the fleet journal
+uses — corrupt lines are skipped and counted, a torn tail never blocks
+replay.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import UserInputError
+from repro.fleet.job import JobResult
+from repro.fleet.journal import JournalRecord, read_journal
+
+#: Traffic-bundle schema identifier; bump on incompatible changes.
+TRAFFIC_SCHEMA = "regraph-traffic/v1"
+
+#: Record types a bundle may contain.
+TRAFFIC_RECORD_TYPES = (
+    "traffic-begin",  # schema + the kernel session spec
+    "accept",         # one acknowledged job (seq, tenant, payload, wall)
+    "reject",         # a typed turn-away (auth / quota / draining)
+    "result",         # a terminal JobResult as streamed to the client
+    "resume",         # a recovered gateway reopened this bundle
+    "traffic-end",    # drain summary: counts + session report digest
+)
+
+
+class TrafficRecorder:
+    """Append-side handle: records one gateway's request stream.
+
+    Same durability contract as :class:`~repro.fleet.journal.JobJournal`
+    — synchronous, fsync'd (by default) appends with per-record CRCs and
+    a monotone sequence — and the same reopen semantics: opening an
+    existing bundle continues its sequence with a ``resume`` marker, so
+    one file spans every restart of the same session.
+    """
+
+    def __init__(self, path: Union[str, Path], spec: dict, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = bool(fsync)
+        self._next_seq = 0
+        self.appended = 0
+        fresh = not (self.path.exists() and self.path.stat().st_size > 0)
+        if fresh:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        else:
+            scan = read_journal(self.path)
+            if scan.records:
+                self._next_seq = scan.records[-1].seq + 1
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self.append("traffic-begin", {
+                "schema": TRAFFIC_SCHEMA,
+                "session": dict(spec),
+            })
+        else:
+            self.append("resume", {"session": dict(spec)})
+
+    def append(self, rtype: str, payload: dict) -> int:
+        if rtype not in TRAFFIC_RECORD_TYPES:
+            raise UserInputError(
+                f"unknown traffic record type {rtype!r}; "
+                f"expected one of {TRAFFIC_RECORD_TYPES}"
+            )
+        record = JournalRecord(self._next_seq, rtype, payload)
+        self._fh.write(record.line())
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self._next_seq += 1
+        self.appended += 1
+        return record.seq
+
+    # -- the recording vocabulary ----------------------------------------
+    def record_accept(
+        self, accept_seq: int, tenant: str, job_payload: dict, wall: float
+    ) -> None:
+        """Durably log an acknowledged job (call *before* the ack)."""
+        self.append("accept", {
+            "accept_seq": accept_seq,
+            "tenant": tenant,
+            "job": dict(job_payload),
+            "wall": wall,
+        })
+
+    def record_reject(
+        self, tenant: str, job_id: str, error_type: str,
+        detail: str, wall: float,
+    ) -> None:
+        self.append("reject", {
+            "tenant": tenant,
+            "job_id": job_id,
+            "error_type": error_type,
+            "detail": detail,
+            "wall": wall,
+        })
+
+    def record_result(self, result: JobResult, wall: float) -> None:
+        self.append("result", {
+            "result": result.to_dict(),
+            "wall": wall,
+        })
+
+    def record_end(self, digest: str, counts: dict) -> None:
+        self.append("traffic-end", {
+            "report_digest": digest,
+            "counts": dict(counts),
+        })
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __enter__(self) -> "TrafficRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class TrafficBundle:
+    """Everything an intact-enough traffic bundle contains."""
+
+    path: str
+    #: Session spec from ``traffic-begin`` (or the newest ``resume``);
+    #: ``None`` when every copy of it was damaged.
+    spec: Optional[dict] = None
+    #: Acknowledged jobs ordered by acceptance sequence:
+    #: ``(accept_seq, tenant, job_payload)``.
+    accepts: List[tuple] = field(default_factory=list)
+    rejects: List[dict] = field(default_factory=list)
+    #: Terminal results as recorded: job_id -> JobResult payload.
+    results: Dict[str, dict] = field(default_factory=dict)
+    #: ``traffic-end`` payload; ``None`` for a crashed (undrained) run.
+    end: Optional[dict] = None
+    #: Lines that failed parsing or their checksum (skipped, counted).
+    corrupt_lines: int = 0
+
+    @property
+    def drained(self) -> bool:
+        return self.end is not None
+
+    def job_payloads(self) -> List[dict]:
+        """The replay input: accepted jobs in acceptance order."""
+        return [payload for _, _, payload in self.accepts]
+
+    def summary(self) -> dict:
+        return {
+            "schema": TRAFFIC_SCHEMA,
+            "accepts": len(self.accepts),
+            "rejects": len(self.rejects),
+            "results": len(self.results),
+            "drained": self.drained,
+            "corrupt_lines": self.corrupt_lines,
+            "recorded_digest": (
+                self.end.get("report_digest", "") if self.end else ""
+            ),
+        }
+
+
+def read_traffic(path: Union[str, Path]) -> TrafficBundle:
+    """Scan a traffic bundle, skipping (and counting) damaged lines.
+
+    Never raises on corruption — a torn or bit-flipped bundle still
+    yields every record that was durably written, which is exactly the
+    property the dual-durability recovery path relies on.  Only a
+    missing file is a typed error.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise UserInputError(
+            f"traffic bundle not found: {path} (record one with "
+            "`repro serve --record <path>`)"
+        )
+    scan = read_journal(path)
+    bundle = TrafficBundle(path=str(path), corrupt_lines=len(scan.corrupt))
+    accepts: Dict[int, tuple] = {}
+    for record in scan.records:
+        payload = record.payload
+        if record.type == "traffic-begin":
+            if bundle.spec is None:
+                bundle.spec = payload.get("session")
+        elif record.type == "resume":
+            # A resume marker repeats the spec: it covers for a damaged
+            # traffic-begin record.
+            if bundle.spec is None:
+                bundle.spec = payload.get("session")
+        elif record.type == "accept":
+            try:
+                seq = int(payload["accept_seq"])
+                job = dict(payload["job"])
+            except (KeyError, TypeError, ValueError):
+                bundle.corrupt_lines += 1
+                continue
+            # Replays after a resume repeat earlier accepts: first copy
+            # wins, which keeps the sequence exactly-once.
+            accepts.setdefault(
+                seq, (seq, str(payload.get("tenant", "")), job)
+            )
+        elif record.type == "reject":
+            bundle.rejects.append(dict(payload))
+        elif record.type == "result":
+            result = payload.get("result", {})
+            job_id = str(result.get("job_id", ""))
+            if job_id:
+                bundle.results.setdefault(job_id, result)
+        elif record.type == "traffic-end":
+            bundle.end = dict(payload)
+    bundle.accepts = [accepts[s] for s in sorted(accepts)]
+    return bundle
+
+
+def replay_traffic(
+    path: Union[str, Path],
+    spec_override: Optional[dict] = None,
+):
+    """Re-serve a recorded bundle through a fresh virtual-clock session.
+
+    Returns ``(session, bundle)``: the session has served every
+    acknowledged job in the recorded order, so ``session.digest()``
+    must equal the live run's report digest (and, for a drained
+    bundle, the digest stored in ``traffic-end``).  ``spec_override``
+    substitutes for a bundle whose spec records were all damaged.
+    """
+    from repro.serving.session import KernelSession
+
+    bundle = read_traffic(path)
+    spec = spec_override if spec_override is not None else bundle.spec
+    if spec is None:
+        raise UserInputError(
+            f"traffic bundle {path} has no intact session spec and no "
+            "override was given; replay cannot rebuild the kernel pool"
+        )
+    session = KernelSession(spec)
+    session.replay(bundle.job_payloads())
+    return session, bundle

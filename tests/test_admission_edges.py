@@ -1,0 +1,214 @@
+"""AdmissionController edge cases: capacity, refill, tenant buckets.
+
+The serving gateway leans on three properties of admission control
+that only show up at the edges: a burst is a *hard* capacity (the
+burst-plus-first job sheds, deterministically), refill is a pure
+function of the clock value handed in (virtual or wall, jumps included,
+never negative), and the per-tenant buckets compose with the fleet-wide
+bucket peek-then-take — a rejection at either level charges nothing
+anywhere, so one tenant's quota storm cannot drain another's tokens.
+"""
+
+import pytest
+
+from repro.errors import (
+    FleetOverloadError,
+    TenantQuotaExceededError,
+    UserInputError,
+)
+from repro.fleet.admission import AdmissionController, TokenBucket
+
+
+class _StubJob:
+    """The controller only reads ``job_id``."""
+
+    job_id = "edge-job"
+
+
+JOB = _StubJob()
+
+
+class TestTokenBucketEdges:
+    def test_zero_rate_is_typed(self):
+        with pytest.raises(UserInputError):
+            TokenBucket(0.0, 1)
+
+    def test_negative_rate_is_typed(self):
+        with pytest.raises(UserInputError):
+            TokenBucket(-1.0, 1)
+
+    def test_non_finite_rate_is_typed(self):
+        with pytest.raises(UserInputError):
+            TokenBucket(float("inf"), 1)
+        with pytest.raises(UserInputError):
+            TokenBucket(float("nan"), 1)
+
+    def test_zero_capacity_burst_is_typed(self):
+        with pytest.raises(UserInputError):
+            TokenBucket(1.0, 0)
+
+    def test_burst_exactly_at_capacity(self):
+        """Exactly ``burst`` takes succeed at one instant, never more."""
+        bucket = TokenBucket(1.0, 4)
+        assert all(bucket.try_take(0.0) for _ in range(4))
+        assert not bucket.try_take(0.0)
+
+    def test_refill_caps_at_burst_across_clock_jump(self):
+        """An arbitrarily large jump refills to ``burst``, not beyond."""
+        bucket = TokenBucket(5.0, 3)
+        for _ in range(3):
+            assert bucket.try_take(0.0)
+        assert bucket.tokens_at(1e9) == pytest.approx(3.0)
+        for _ in range(3):
+            assert bucket.try_take(1e9)
+        assert not bucket.try_take(1e9)
+
+    def test_fractional_refill_is_exact(self):
+        """A token appears exactly when ``rate * dt`` reaches 1."""
+        bucket = TokenBucket(2.0, 1)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.49)  # 0.98 tokens
+        assert bucket.try_take(0.5)       # exactly 1.0
+
+    def test_backwards_clock_refills_nothing(self):
+        bucket = TokenBucket(1000.0, 1)
+        assert bucket.try_take(1.0)
+        assert not bucket.try_take(0.0)
+
+    def test_tokens_at_is_inspection_only(self):
+        bucket = TokenBucket(1.0, 2)
+        assert bucket.tokens_at(0.0) == pytest.approx(2.0)
+        assert bucket.tokens_at(0.0) == pytest.approx(2.0)
+
+
+class TestControllerEdges:
+    def test_zero_queue_capacity_is_typed(self):
+        with pytest.raises(UserInputError):
+            AdmissionController(0)
+
+    def test_queue_depth_at_limit_sheds(self):
+        ctl = AdmissionController(2)
+        ctl.admit(JOB, 0, 0.0)
+        ctl.admit(JOB, 1, 0.0)
+        with pytest.raises(FleetOverloadError) as exc:
+            ctl.admit(JOB, 2, 0.0)
+        assert exc.value.reason == "queue-depth"
+        assert ctl.stats.shed_queue_depth == 1
+        assert ctl.stats.admitted == 2
+
+    def test_global_burst_exactly_at_capacity(self):
+        ctl = AdmissionController(
+            99, rate_limit_jobs_per_second=1.0, rate_limit_burst=2
+        )
+        ctl.admit(JOB, 0, 0.0)
+        ctl.admit(JOB, 0, 0.0)
+        with pytest.raises(FleetOverloadError) as exc:
+            ctl.admit(JOB, 0, 0.0)
+        assert exc.value.reason == "rate-limit"
+        assert ctl.stats.shed_rate_limit == 1
+
+    def test_refill_across_virtual_clock_jumps(self):
+        """Burst 1 at 0.5 jobs/s: the next token lands exactly at t=2."""
+        ctl = AdmissionController(
+            99, rate_limit_jobs_per_second=0.5, rate_limit_burst=1
+        )
+        ctl.admit(JOB, 0, 0.0)
+        with pytest.raises(FleetOverloadError):
+            ctl.admit(JOB, 0, 1.9)
+        ctl.admit(JOB, 0, 2.0)
+        # A long idle gap refills to the burst cap only: one admit
+        # succeeds, the second sheds again.
+        ctl.admit(JOB, 0, 1e6)
+        with pytest.raises(FleetOverloadError):
+            ctl.admit(JOB, 0, 1e6)
+
+
+class TestTenantBuckets:
+    def _controller(self, **kwargs):
+        defaults = dict(
+            max_queue_depth=99,
+            rate_limit_jobs_per_second=100.0,
+            rate_limit_burst=100,
+        )
+        defaults.update(kwargs)
+        return AdmissionController(**defaults)
+
+    def test_register_requires_a_name(self):
+        ctl = self._controller()
+        with pytest.raises(UserInputError):
+            ctl.register_tenant("", 1.0)
+
+    def test_tenant_over_quota_is_typed_and_charges_nothing(self):
+        ctl = self._controller()
+        ctl.register_tenant("acme", 1.0, burst=1)
+        ctl.admit(JOB, 0, 0.0, tenant="acme")
+        global_before = ctl.bucket.tokens_at(0.0)
+        with pytest.raises(TenantQuotaExceededError) as exc:
+            ctl.admit(JOB, 0, 0.0, tenant="acme")
+        assert exc.value.tenant == "acme"
+        assert exc.value.reason == "tenant-rate"
+        # The 429 subclasses the fleet's overload error, so the typed
+        # shedding machinery handles it unchanged.
+        assert isinstance(exc.value, FleetOverloadError)
+        # Peek-then-take: the rejection burned no fleet-wide token.
+        assert ctl.bucket.tokens_at(0.0) == pytest.approx(global_before)
+        assert ctl.stats.shed_tenant_quota == 1
+
+    def test_global_rejection_charges_no_tenant_token(self):
+        ctl = self._controller(
+            rate_limit_jobs_per_second=1.0, rate_limit_burst=1
+        )
+        ctl.register_tenant("acme", 100.0, burst=100)
+        ctl.admit(JOB, 0, 0.0, tenant="acme")
+        tenant_before = ctl.tenant_buckets["acme"].tokens_at(0.0)
+        with pytest.raises(FleetOverloadError) as exc:
+            ctl.admit(JOB, 0, 0.0, tenant="acme")
+        assert not isinstance(exc.value, TenantQuotaExceededError)
+        assert exc.value.reason == "rate-limit"
+        assert ctl.tenant_buckets["acme"].tokens_at(0.0) == pytest.approx(
+            tenant_before
+        )
+
+    def test_acceptance_charges_both_buckets_once(self):
+        ctl = self._controller()
+        ctl.register_tenant("acme", 10.0, burst=5)
+        ctl.admit(JOB, 0, 0.0, tenant="acme")
+        assert ctl.tenant_buckets["acme"].tokens_at(0.0) == pytest.approx(4.0)
+        assert ctl.bucket.tokens_at(0.0) == pytest.approx(99.0)
+
+    def test_unregistering_makes_a_tenant_unmetered(self):
+        ctl = self._controller()
+        ctl.register_tenant("acme", 1.0, burst=1)
+        ctl.admit(JOB, 0, 0.0, tenant="acme")
+        ctl.register_tenant("acme", None)
+        for _ in range(5):  # no tenant bucket left to shed on
+            ctl.admit(JOB, 0, 0.0, tenant="acme")
+
+    def test_unknown_tenant_uses_only_the_global_bucket(self):
+        ctl = self._controller(
+            rate_limit_jobs_per_second=1.0, rate_limit_burst=1
+        )
+        ctl.admit(JOB, 0, 0.0, tenant="stranger")
+        with pytest.raises(FleetOverloadError) as exc:
+            ctl.admit(JOB, 0, 0.0, tenant="stranger")
+        assert exc.value.reason == "rate-limit"
+
+    def test_two_tenants_do_not_share_tokens(self):
+        ctl = self._controller()
+        ctl.register_tenant("a", 1.0, burst=1)
+        ctl.register_tenant("b", 1.0, burst=1)
+        ctl.admit(JOB, 0, 0.0, tenant="a")
+        with pytest.raises(TenantQuotaExceededError):
+            ctl.admit(JOB, 0, 0.0, tenant="a")
+        ctl.admit(JOB, 0, 0.0, tenant="b")  # b's bucket is untouched
+
+    def test_stats_dict_includes_tenant_sheds(self):
+        ctl = self._controller()
+        ctl.register_tenant("acme", 1.0, burst=1)
+        ctl.admit(JOB, 0, 0.0, tenant="acme")
+        with pytest.raises(TenantQuotaExceededError):
+            ctl.admit(JOB, 0, 0.0, tenant="acme")
+        stats = ctl.stats.to_dict()
+        assert stats["submitted"] == 2
+        assert stats["admitted"] == 1
+        assert stats["shed_tenant_quota"] == 1
