@@ -7,7 +7,16 @@ edges over *total* simulated cycles, overhead included) plus what the
 resilient layer absorbed.  The clean scenario doubles as the
 zero-overhead check: it must reproduce the fault-free cycle count
 exactly.
+
+Besides the human-readable table, the sweep persists a machine-readable
+``results/BENCH_resilience.json`` (schema ``regraph-bench-resilience/v1``,
+the ``BENCH_fleet.json`` precedent): per-scenario MTEPS, degradation
+ratio vs clean, and the absorbed-fault accounting regression dashboards
+diff across commits.
 """
+
+import json
+from pathlib import Path
 
 from repro.faults import (
     BitFlipFault,
@@ -20,6 +29,12 @@ from repro.reporting import format_table, write_report
 from conftest import bench_framework
 
 PR_ITERATIONS = 10
+
+#: Versioned machine-readable output (the BENCH_fleet.json twin).
+BENCH_RESILIENCE_SCHEMA = "regraph-bench-resilience/v1"
+BENCH_RESILIENCE_JSON = (
+    Path(__file__).parent / "results" / "BENCH_resilience.json"
+)
 
 #: (label, FaultPlan) scenarios, mildest first.
 SCENARIOS = (
@@ -90,3 +105,34 @@ def test_fault_resilience_overhead(benchmark, datasets):
     # bit-flip family, and every faulted scenario pays some overhead.
     assert results["flips 2%"].mteps <= results["flips 0.5%"].mteps
     assert results["dead channel"].health.replans >= 1
+
+    # The versioned machine-readable record (regraph-bench-resilience/v1).
+    payload = {
+        "schema": BENCH_RESILIENCE_SCHEMA,
+        "app": "pagerank",
+        "dataset": "HD",
+        "iterations": PR_ITERATIONS,
+        "baseline_mteps": baseline.mteps,
+        "scenarios": {
+            label: {
+                "mteps": run.mteps,
+                "vs_clean": run.mteps / baseline.mteps,
+                "faults": run.health.fault_count,
+                "retries": run.health.retries,
+                "replans": run.health.replans,
+                "overhead_fraction": run.health.overhead_fraction,
+                "final_label": run.health.final_label,
+                "converged": run.converged,
+            }
+            for label, run in results.items()
+        },
+    }
+    BENCH_RESILIENCE_JSON.parent.mkdir(parents=True, exist_ok=True)
+    with open(BENCH_RESILIENCE_JSON, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    data = json.loads(BENCH_RESILIENCE_JSON.read_text())
+    assert data["schema"] == BENCH_RESILIENCE_SCHEMA
+    assert data["scenarios"]["clean"]["vs_clean"] == 1.0
+    print(f"BENCH_resilience.json: {len(data['scenarios'])} scenarios, "
+          f"clean {data['baseline_mteps']:,.0f} MTEPS")

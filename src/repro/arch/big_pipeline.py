@@ -24,7 +24,12 @@ from repro.arch.timing import PartitionTiming
 from repro.arch.vertex_loader import VertexLoaderSim
 from repro.graph.partition import Partition
 from repro.hbm.channel import HbmChannelModel
-from repro.perf.simcache import config_digest_prefix, get_cache, timing_key
+from repro.perf.simcache import (
+    config_digest,
+    config_digest_prefix,
+    get_cache,
+    timing_key,
+)
 from repro.utils.prefix import running_release_times
 
 
@@ -139,6 +144,9 @@ class BigPipelineSim:
         self._cache_prefix = config_digest_prefix(
             "big", config, channel.params
         )
+        #: Staleness tag for the shared (tier-2) cache: entries written
+        #: under a different configuration digest are never served.
+        self._config_digest = config_digest(self._cache_prefix)
 
     _cumcount_sorted = staticmethod(_cumcount_sorted)
 
@@ -252,10 +260,10 @@ class BigPipelineSim:
         key = timing_key(
             self._cache_prefix, edge_bytes, (src, lanes), extra=(num_lanes,)
         )
-        timing = cache.get(key)
+        timing = cache.get(key, self._config_digest)
         if timing is None:
             timing = self._compute_timing(src, lanes, num_lanes, edge_bytes)
-            cache.put(key, timing)
+            cache.put(key, timing, self._config_digest)
         return timing
 
     def _compute_timing(

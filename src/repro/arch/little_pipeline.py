@@ -21,7 +21,12 @@ from repro.arch.pingpong import PingPongBufferSim
 from repro.arch.timing import PartitionTiming
 from repro.graph.partition import Partition
 from repro.hbm.channel import HbmChannelModel
-from repro.perf.simcache import config_digest_prefix, get_cache, timing_key
+from repro.perf.simcache import (
+    config_digest,
+    config_digest_prefix,
+    get_cache,
+    timing_key,
+)
 from repro.utils.prefix import running_release_times
 
 
@@ -40,6 +45,9 @@ class LittlePipelineSim:
         self._cache_prefix = config_digest_prefix(
             "little", config, channel.params
         )
+        #: Staleness tag for the shared (tier-2) cache: entries written
+        #: under a different configuration digest are never served.
+        self._config_digest = config_digest(self._cache_prefix)
 
     def execute(
         self,
@@ -90,10 +98,10 @@ class LittlePipelineSim:
             cache.note_bypass()
             return self._compute_timing(src, edge_bytes)
         key = timing_key(self._cache_prefix, edge_bytes, (src,))
-        timing = cache.get(key)
+        timing = cache.get(key, self._config_digest)
         if timing is None:
             timing = self._compute_timing(src, edge_bytes)
-            cache.put(key, timing)
+            cache.put(key, timing, self._config_digest)
         return timing
 
     def _compute_timing(

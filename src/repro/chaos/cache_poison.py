@@ -1,0 +1,352 @@
+"""Cache-poison chaos: corrupt the shared timing store, prove containment.
+
+The shared cache (:mod:`repro.perf.sharedcache`) sits on real storage,
+so it inherits real storage's failure modes: bit rot, torn writes, a
+kill -9 between staging and publish, and *staleness* — perfectly intact
+entries written by an incompatible configuration.  This cell proves the
+containment contract for all of them:
+
+1. **Cold reference** — the seeded workload runs with no shared store;
+   its combined result digest is the ground truth.
+2. **Seed** — the same workload runs against a fresh store, populating
+   it write-through.  Digest must equal the reference (the store is an
+   optimisation, never an observable).
+3. **Warm** — a third run with an empty L1 but the populated store must
+   serve tier-2 hits *and* still match the reference digest.
+4. **Poison** — entry files are damaged in place
+   (:func:`~repro.fleet.journal.apply_storage_fault`: bit-flip,
+   torn-write), one entry is forged with a wrong config digest (stale),
+   a junk file is dropped into the store, and a leftover ``.tmp-``
+   staging file fakes a kill -9 mid-sync.
+5. **Poisoned rerun** — the workload runs again over the damaged store.
+   **Oracles**: the digest is still bit-identical to the cold reference
+   (poisoned entries were *never served*); every damaged/stale victim
+   ends in a ``regraph-cache-quarantine/v1`` bundle; a final
+   :meth:`~repro.perf.sharedcache.SharedTimingStore.verify` scrub
+   sweeps the orphaned staging file (the only thing a kill -9 may
+   lose) and quarantines the junk file.
+
+Everything is a pure function of :class:`CachePoisonConfig` — cells,
+victim selection and damage are all seeded — so a failing cell
+reproduces from its serialized config alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from repro.chaos.campaign import run_cell
+from repro.chaos.spec import CellSpec, GraphSpec
+from repro.errors import UserInputError
+from repro.faults.plan import StorageFault
+from repro.fleet.journal import apply_storage_fault
+from repro.perf.sharedcache import SharedTimingStore, encode_entry
+from repro.perf.simcache import configure_cache, get_cache
+
+#: Victim-selection seed offset (jobs use the config seed itself).
+_POISON_SEED_OFFSET = 0xCA5E
+
+
+@dataclass(frozen=True)
+class CachePoisonConfig:
+    """Inputs that fully determine one cache-poison cell."""
+
+    apps: Tuple[str, ...] = ("pagerank", "bfs")
+    #: Seeded graphs per app (seeds ``seed .. seed+graphs-1``).
+    graphs: int = 3
+    vertices: int = 192
+    edges: int = 768
+    seed: int = 0
+    max_iterations: int = 5
+    #: Damage mix applied in the poison phase (clamped to the number of
+    #: published entries).
+    bit_flips: int = 2
+    torn_writes: int = 2
+    stale_entries: int = 1
+
+    def __post_init__(self):
+        if not self.apps:
+            raise UserInputError("cache-poison needs at least one app")
+        if self.graphs < 1:
+            raise UserInputError(
+                f"cache-poison needs >= 1 graph, got {self.graphs}"
+            )
+        if min(self.bit_flips, self.torn_writes, self.stale_entries) < 0:
+            raise UserInputError("damage counts must be non-negative")
+        if self.bit_flips + self.torn_writes + self.stale_entries < 1:
+            raise UserInputError("cache-poison needs >= 1 damaged entry")
+
+    def to_dict(self) -> dict:
+        return {
+            "apps": list(self.apps),
+            "graphs": self.graphs,
+            "vertices": self.vertices,
+            "edges": self.edges,
+            "seed": self.seed,
+            "max_iterations": self.max_iterations,
+            "bit_flips": self.bit_flips,
+            "torn_writes": self.torn_writes,
+            "stale_entries": self.stale_entries,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CachePoisonConfig":
+        data = dict(data)
+        apps = data.pop("apps", None)
+        return CachePoisonConfig(
+            **data,
+            **({"apps": tuple(apps)} if apps is not None else {}),
+        )
+
+
+@dataclass
+class CachePoisonResult:
+    """Outcome of one cache-poison cell (all oracles individually)."""
+
+    config: CachePoisonConfig
+    reference_digest: str = ""
+    seeded_digest: str = ""
+    warm_digest: str = ""
+    poisoned_digest: str = ""
+    #: Entries the seed run published into the store.
+    entries_seeded: int = 0
+    #: Tier-2 hits the warm run served (must be > 0 to prove tiering).
+    tier2_hits_warm: int = 0
+    #: What the poison phase did, per victim (human-readable).
+    poison_log: List[str] = field(default_factory=list)
+    #: Keys damaged (bit-flip/torn) or forged stale.
+    poisoned_keys: List[str] = field(default_factory=list)
+    #: Victims the rerun/scrub pulled into quarantine bundles.
+    quarantined_keys: List[str] = field(default_factory=list)
+    stale_served: int = 0
+    #: Final verify() scrub accounting.
+    swept_tmp: int = 0
+    scrub_quarantined: int = 0
+
+    @property
+    def digests_equal(self) -> bool:
+        """Every phase reproduced the cold reference bit-for-bit."""
+        return self.reference_digest != "" and (
+            self.reference_digest
+            == self.seeded_digest
+            == self.warm_digest
+            == self.poisoned_digest
+        )
+
+    @property
+    def all_victims_quarantined(self) -> bool:
+        quarantined = set(self.quarantined_keys)
+        return all(k in quarantined for k in self.poisoned_keys)
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.digests_equal
+            and self.entries_seeded > 0
+            and self.tier2_hits_warm > 0
+            and bool(self.poisoned_keys)
+            and self.all_victims_quarantined
+            and self.stale_served == 0
+            and self.swept_tmp >= 1
+            and self.scrub_quarantined >= 1
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "reference_digest": self.reference_digest,
+            "seeded_digest": self.seeded_digest,
+            "warm_digest": self.warm_digest,
+            "poisoned_digest": self.poisoned_digest,
+            "digests_equal": self.digests_equal,
+            "entries_seeded": self.entries_seeded,
+            "tier2_hits_warm": self.tier2_hits_warm,
+            "poison_log": list(self.poison_log),
+            "poisoned_keys": list(self.poisoned_keys),
+            "quarantined_keys": list(self.quarantined_keys),
+            "all_victims_quarantined": self.all_victims_quarantined,
+            "stale_served": self.stale_served,
+            "swept_tmp": self.swept_tmp,
+            "scrub_quarantined": self.scrub_quarantined,
+            "passed": self.passed,
+        }
+
+
+def _cells(config: CachePoisonConfig) -> List[CellSpec]:
+    """The deterministic workload: clean cells over seeded graphs."""
+    cells = []
+    for app in config.apps:
+        for offset in range(config.graphs):
+            cells.append(CellSpec(
+                cell_id=f"poison-{app}-{offset}",
+                device="U50",
+                app=app,
+                graph=GraphSpec(
+                    kind="uniform",
+                    vertices=config.vertices,
+                    edges=config.edges,
+                    seed=config.seed + offset,
+                ),
+                max_iterations=config.max_iterations,
+            ))
+    return cells
+
+
+def _run_workload(
+    config: CachePoisonConfig,
+    shared_dir: Optional[Path],
+    track_reads: Optional[Set[str]] = None,
+) -> str:
+    """Run every cell on an empty L1 (shared tier as given); combined
+    digest over the per-cell outcome digests.
+
+    ``track_reads`` collects every key the run looks up in the shared
+    tier — the read-reachable set stale forgery must target, since
+    staleness (unlike byte damage) is only detectable at a digest-
+    carrying lookup, never by the digest-less scrub.
+    """
+    cache = configure_cache(enabled=True, shared_dir=shared_dir)
+    cache.clear()
+    if track_reads is not None and cache.shared is not None:
+        store_get = cache.shared.get
+
+        def tracked_get(key, config_digest=None):
+            track_reads.add(key)
+            return store_get(key, config_digest)
+
+        cache.shared.get = tracked_get
+    digest = sha256()
+    for cell in _cells(config):
+        outcome = run_cell(cell)
+        digest.update(outcome.digest.encode())
+    return digest.hexdigest()
+
+
+def _pick_victims(
+    store: SharedTimingStore,
+    config: CachePoisonConfig,
+    read_keys: Set[str],
+) -> Tuple[List[str], List[str], List[str]]:
+    """Seeded, disjoint victim keys for (bit-flip, torn, stale).
+
+    Stale victims come from the *read-reachable* keys only: byte damage
+    is caught by checksums wherever it hides (the scrub included), but
+    a wrong config digest is only ever compared at a real lookup, so
+    forging an unread entry would prove nothing.
+    """
+    keys = store.keys()
+    rng = np.random.default_rng(config.seed + _POISON_SEED_OFFSET)
+    readable = sorted(set(read_keys) & set(keys))
+    stale_count = min(config.stale_entries, len(readable))
+    stale = sorted(
+        readable[i]
+        for i in rng.choice(
+            len(readable), size=stale_count, replace=False
+        )
+    ) if stale_count else []
+    remaining = [k for k in keys if k not in set(stale)]
+    wanted = config.bit_flips + config.torn_writes
+    count = min(wanted, len(remaining))
+    chosen = [
+        remaining[i]
+        for i in rng.choice(len(remaining), size=count, replace=False)
+    ]
+    flips = chosen[: config.bit_flips]
+    torn = chosen[config.bit_flips:]
+    return flips, torn, stale
+
+
+def run_cache_poison(
+    config: CachePoisonConfig,
+    workdir: Union[str, Path],
+) -> CachePoisonResult:
+    """Execute one cache-poison cell end to end (see module docstring).
+
+    ``workdir`` receives the shared store under ``shared-cache/``
+    (quarantine bundles end up in ``shared-cache/quarantine/``).
+    Restores the process-global cache configuration on exit.
+    """
+    workdir = Path(workdir)
+    store_dir = workdir / "shared-cache"
+    store_dir.mkdir(parents=True, exist_ok=True)
+    result = CachePoisonResult(config=config)
+
+    cache = get_cache()
+    saved = (cache.enabled, cache.max_entries, cache.shared)
+    try:
+        # 1. Cold reference: no shared tier anywhere near the run.
+        result.reference_digest = _run_workload(config, None)
+
+        # 2. Seed the store write-through; digest must not move.
+        result.seeded_digest = _run_workload(config, store_dir)
+        store = get_cache().shared
+        result.entries_seeded = store.writes
+
+        # 3. Warm: empty L1, populated store — tier-2 must serve.
+        read_keys: Set[str] = set()
+        result.warm_digest = _run_workload(
+            config, store_dir, track_reads=read_keys
+        )
+        result.tier2_hits_warm = get_cache().tier2_hits
+
+        # 4. Poison.
+        flips, torn, stale = _pick_victims(store, config, read_keys)
+        for key in flips:
+            note = apply_storage_fault(
+                store.entry_path(key),
+                StorageFault(kind="bit-flip", target="shared-cache"),
+            )
+            result.poison_log.append(f"bit-flip {key[:12]}...: {note}")
+        for key in torn:
+            note = apply_storage_fault(
+                store.entry_path(key),
+                StorageFault(kind="torn-write", target="shared-cache"),
+            )
+            result.poison_log.append(f"torn-write {key[:12]}...: {note}")
+        for key in stale:
+            timing = store.get(key)  # digest-agnostic read of the victim
+            if timing is None:
+                continue
+            store.entry_path(key).write_text(
+                encode_entry(key, timing, config_digest="0" * 64)
+            )
+            result.poison_log.append(
+                f"forged stale config digest on {key[:12]}..."
+            )
+        result.poisoned_keys = sorted(flips + torn + stale)
+        # A kill -9 between staging and publish: an orphaned tmp file.
+        orphan = store_dir / (
+            "f" * 64 + ".json.tmp-99999-deadbeef"
+        )
+        orphan.write_text('{"schema":"regraph-simcache/v1","key":"torn')
+        # Foreign junk in the store directory.
+        junk = store_dir / ("junk-" + "0" * 59 + ".json")
+        junk.write_text("not a cache entry\n")
+
+        # 5. Poisoned rerun: bit-identical or the cell fails.
+        stale_before = store.stale
+        result.poisoned_digest = _run_workload(config, store_dir)
+        rerun_store = get_cache().shared
+        # Served-stale would require get() to return a mismatched entry;
+        # the counter tracks detections, the digest equality above is
+        # what proves none leaked into results.
+        result.stale_served = 0 if rerun_store.stale >= stale_before else 1
+
+        # 6. Scrub: sweep the orphan, quarantine the junk.
+        scrub = rerun_store.verify()
+        result.swept_tmp = scrub["swept_tmp"]
+        result.scrub_quarantined = scrub["quarantined"]
+        result.quarantined_keys = sorted(
+            b.name[: -len(".quarantine.json")]
+            for b in rerun_store.quarantine_bundles()
+        )
+    finally:
+        cache = get_cache()
+        cache.enabled, cache.max_entries, cache.shared = saved
+        cache.clear()
+    return result

@@ -295,7 +295,7 @@ def run_campaign(
         config=config.to_dict(), cells=[c.to_dict() for c in cells]
     )
     runner = functools.partial(run_cell, policy=policy, bands=bands)
-    results = parallel_map(runner, cells, workers=workers)
+    results = parallel_map(runner, cells, workers=workers, perf=perf)
     for index, (cell, result) in enumerate(zip(cells, results)):
         report.results.append(result)
         if progress is not None:

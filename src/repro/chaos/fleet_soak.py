@@ -224,6 +224,11 @@ class FleetSoakResult:
     #: bit-identical to an in-memory one, so these never enter the
     #: report.
     recovery: dict = field(default_factory=dict)
+    #: Autoscaler decision trace + counters — the third side-channel:
+    #: scaling changes *when* jobs run, never what they compute, so the
+    #: per-job result digests stay pure while this records the pool's
+    #: shape over time.
+    autoscale: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         data = {
@@ -235,6 +240,8 @@ class FleetSoakResult:
             data["perf"] = dict(self.perf)
         if self.recovery:
             data["recovery"] = dict(self.recovery)
+        if self.autoscale:
+            data["autoscale"] = dict(self.autoscale)
         return data
 
     @staticmethod
@@ -245,6 +252,7 @@ class FleetSoakResult:
             kills=[ReplicaKill.from_dict(k) for k in data.get("kills", [])],
             perf=dict(data.get("perf", {})),
             recovery=dict(data.get("recovery", {})),
+            autoscale=dict(data.get("autoscale", {})),
         )
 
 
@@ -256,6 +264,7 @@ def run_fleet_soak(
     store_path=None,
     halt_after_events: Optional[int] = None,
     journal_fsync: bool = True,
+    autoscale=None,
 ) -> FleetSoakResult:
     """Generate and serve the soak's job stream under its kill schedule.
 
@@ -269,6 +278,12 @@ def run_fleet_soak(
     ``halt_after_events`` hard-kills the run mid-soak for chaos —
     :class:`~repro.errors.FleetKilledError` propagates to the caller,
     which recovers via :meth:`~repro.fleet.FleetRuntime.recover`.
+
+    ``autoscale`` attaches an :class:`~repro.fleet.autoscale.Autoscaler`
+    (or, given an :class:`~repro.fleet.autoscale.AutoscalePolicy`,
+    builds one wired to the shared timing store the ``perf`` config
+    attached, for warm-started spawns).  Per-job result digests are
+    unaffected — scaling changes when jobs run, not what they compute.
     """
     from repro.fleet.journal import JobJournal
     from repro.fleet.store import ResultStore
@@ -286,7 +301,19 @@ def run_fleet_soak(
         if store_path is not None
         else None
     )
-    runtime = FleetRuntime(pool, policy, journal=journal, store=store)
+    scaler = autoscale
+    if scaler is not None and not hasattr(scaler, "observe"):
+        # An AutoscalePolicy: build the engine, warm-starting from the
+        # shared store the perf config attaches (if any).
+        from repro.fleet.autoscale import Autoscaler
+        from repro.perf.simcache import get_cache
+
+        if perf is not None:
+            perf.apply()
+        scaler = Autoscaler(scaler, store=get_cache().shared)
+    runtime = FleetRuntime(
+        pool, policy, journal=journal, store=store, autoscaler=scaler
+    )
     prewarmed = 0
     if perf is not None:
         perf.apply()
@@ -310,4 +337,6 @@ def run_fleet_soak(
         }
     if journal is not None or store is not None:
         result.recovery = dict(runtime.recovery_stats)
+    if scaler is not None:
+        result.autoscale = scaler.stats()
     return result

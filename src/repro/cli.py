@@ -90,6 +90,12 @@ def _add_perf_arguments(parser: argparse.ArgumentParser) -> None:
              "interpreted reference path (results are bit-identical "
              "either way; this is the escape hatch)",
     )
+    parser.add_argument(
+        "--shared-cache", default=None, metavar="DIR",
+        help="attach a crash-safe on-disk timing store (tier 2) under "
+             "DIR, shared across processes; damaged entries are "
+             "quarantined, never served (see docs/PERFORMANCE.md)",
+    )
 
 
 def _perf_config(args):
@@ -103,6 +109,7 @@ def _perf_config(args):
         cache_enabled=not args.no_sim_cache,
         cache_entries=entries,
         compiled=not args.no_compiled,
+        shared_cache_dir=args.shared_cache,
     )
 
 
@@ -111,13 +118,25 @@ def _print_cache_stats() -> None:
     from repro.perf import get_cache
 
     stats = get_cache().stats()
-    activity = stats["hits"] + stats["misses"] + stats["bypasses"]
+    activity = (
+        stats["hits"] + stats["misses"] + stats["bypasses"]
+        + stats["tier2_hits"]
+    )
     if not stats["enabled"] or activity == 0:
         return
     print(f"sim cache: {stats['hits']} hits / {stats['misses']} misses "
           f"(hit rate {stats['hit_rate']:.1%}), "
           f"{stats['entries']}/{stats['max_entries']} entries, "
           f"{stats['bypasses']} fault bypasses")
+    shared = stats.get("shared")
+    if shared is not None:
+        print(f"shared cache [{shared['root']}]: "
+              f"{stats['tier2_hits']} tier-2 hits / "
+              f"{stats['tier2_misses']} tier-2 misses, "
+              f"{shared['entries']} entries on disk, "
+              f"{shared['writes']} written, "
+              f"{shared['quarantined']} quarantined "
+              f"({shared['stale']} stale)")
     from repro.compiled import compiled_stats
 
     cstats = compiled_stats()
@@ -426,6 +445,8 @@ def cmd_chaos(args) -> int:
         return _chaos_kill_restart(args)
     if args.chaos_command == "serve-kill":
         return _chaos_serve_kill(args)
+    if args.chaos_command == "cache-poison":
+        return _chaos_cache_poison(args)
     return _chaos_report(args)
 
 
@@ -621,6 +642,51 @@ def _chaos_kill_restart(args) -> int:
     return 0 if result.passed else 1
 
 
+def _chaos_cache_poison(args) -> int:
+    import json
+
+    from repro.chaos.cache_poison import CachePoisonConfig, run_cache_poison
+
+    config = CachePoisonConfig(
+        apps=tuple(args.app or ["pagerank", "bfs"]),
+        graphs=args.graphs,
+        vertices=args.vertices,
+        edges=args.edges,
+        seed=args.chaos_seed,
+        max_iterations=args.iterations,
+        bit_flips=args.bit_flips,
+        torn_writes=args.torn_writes,
+        stale_entries=args.stale_entries,
+    )
+    print(f"cache-poison: {'/'.join(config.apps)} over "
+          f"{config.graphs} graph(s) each, seed {config.seed}, "
+          f"damage {config.bit_flips} bit-flip / "
+          f"{config.torn_writes} torn / {config.stale_entries} stale")
+    result = run_cache_poison(config, args.workdir)
+    print(f"seeded {result.entries_seeded} entries; warm rerun served "
+          f"{result.tier2_hits_warm} tier-2 hit(s)")
+    for line in result.poison_log:
+        print(f"  poison: {line}")
+    print(f"quarantined: {len(result.quarantined_keys)} bundle(s), "
+          f"swept {result.swept_tmp} orphaned tmp file(s), "
+          f"scrub quarantined {result.scrub_quarantined} file(s)")
+    print(f"reference digest: {result.reference_digest}")
+    print(f"poisoned  digest: {result.poisoned_digest}")
+    print(f"oracles: digests_equal="
+          f"{'yes' if result.digests_equal else 'NO'} "
+          f"victims_quarantined="
+          f"{'yes' if result.all_victims_quarantined else 'NO'} "
+          f"stale_served={result.stale_served}")
+    if args.report_json:
+        with open(args.report_json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"report written to {args.report_json}")
+    print("cache-poison PASSED: damage quarantined, never served, "
+          "results bit-identical" if result.passed
+          else "cache-poison FAILED")
+    return 0 if result.passed else 1
+
+
 def _chaos_serve_kill(args) -> int:
     import json
 
@@ -773,6 +839,15 @@ def _fleet_run(args) -> int:
         )
     from repro.serving.signals import graceful_interrupts
 
+    autoscale = None
+    if args.autoscale:
+        from repro.fleet import AutoscalePolicy
+
+        autoscale = AutoscalePolicy(
+            min_replicas=args.autoscale_min,
+            max_replicas=args.autoscale_max,
+            cooldown_seconds=args.autoscale_cooldown,
+        )
     try:
         # SIGINT/SIGTERM raise a typed RunInterrupted instead of dying
         # mid-write: the journal/store appends are atomic-per-record,
@@ -784,6 +859,7 @@ def _fleet_run(args) -> int:
                 store_path=args.store,
                 halt_after_events=args.crash_after,
                 journal_fsync=not args.no_fsync,
+                autoscale=autoscale,
             )
     except (FleetKilledError, RunInterrupted) as exc:
         verb = (
@@ -800,6 +876,7 @@ def _fleet_run(args) -> int:
     _print_fleet_summary(result.report)
     _print_perf_stats(result.perf)
     _print_recovery_stats(result.recovery)
+    _print_autoscale_stats(result.autoscale)
     if args.report_json:
         with open(args.report_json, "w") as fh:
             json.dump(result.to_dict(), fh, indent=2)
@@ -876,10 +953,36 @@ def _print_perf_stats(perf: dict) -> None:
     if perf.get("bypasses", 0):
         line += f", {perf['bypasses']} fault bypasses"
     print(line)
+    shared = perf.get("shared")
+    if shared:
+        print(f"shared cache [{shared.get('root', '?')}]: "
+              f"{perf.get('tier2_hits', 0)} tier-2 hits / "
+              f"{perf.get('tier2_misses', 0)} tier-2 misses, "
+              f"{shared.get('entries', 0)} entries on disk, "
+              f"{shared.get('writes', 0)} written, "
+              f"{shared.get('quarantined', 0)} quarantined "
+              f"({shared.get('stale', 0)} stale)")
+
+
+def _print_autoscale_stats(autoscale: dict) -> None:
+    """Autoscaler side-channel lines (silent when not attached)."""
+    if not autoscale:
+        return
+    p99 = autoscale.get("p99_latency_seconds")
+    print(f"autoscaler: {autoscale.get('spawned', 0)} spawned / "
+          f"{autoscale.get('retired', 0)} retired, "
+          f"{autoscale.get('warmed_entries', 0)} cache entries "
+          f"warm-started"
+          + (f", p99 latency {p99 * 1e3:.2f} ms" if p99 else ""))
+    for decision in autoscale.get("decisions", []):
+        print(f"  {decision['action']}: {decision['replica_id']} "
+              f"at t={decision['time'] * 1e3:.2f} ms"
+              + (f" (warmed {decision['warmed_entries']})"
+                 if "warmed_entries" in decision else ""))
 
 
 def _load_fleet_report(path):
-    """-> (FleetReport, perf stats dict) from either JSON layout.
+    """-> (FleetReport, perf dict, autoscale dict) from either layout.
 
     Missing, empty or undecodable files raise a typed
     :class:`~repro.errors.UserInputError` (one-line message, exit 2)
@@ -917,8 +1020,8 @@ def _load_fleet_report(path):
     try:
         if "report" in data:
             result = FleetSoakResult.from_dict(data)
-            return result.report, result.perf
-        return FleetReport.from_dict(data), {}
+            return result.report, result.perf, result.autoscale
+        return FleetReport.from_dict(data), {}, {}
     except (AttributeError, KeyError, TypeError, ValueError) as exc:
         raise UserInputError(
             f"fleet report {path} is malformed: {exc!r}"
@@ -926,7 +1029,7 @@ def _load_fleet_report(path):
 
 
 def _fleet_status(args) -> int:
-    report, perf = _load_fleet_report(args.report)
+    report, perf, autoscale = _load_fleet_report(args.report)
     for r in report.replicas:
         note = f" ({r['retired_reason']})" if r.get("retired_reason") else ""
         print(f"{r['replica_id']} [{r['device']}] {r['state']}{note}: "
@@ -938,13 +1041,15 @@ def _fleet_status(args) -> int:
           f"{admission.get('shed_queue_depth', 0)} shed on queue depth, "
           f"{admission.get('shed_rate_limit', 0)} rate-limited")
     _print_perf_stats(perf)
+    _print_autoscale_stats(autoscale)
     return 0
 
 
 def _fleet_report(args) -> int:
-    report, perf = _load_fleet_report(args.report)
+    report, perf, autoscale = _load_fleet_report(args.report)
     _print_fleet_summary(report)
     _print_perf_stats(perf)
+    _print_autoscale_stats(autoscale)
     return 0 if report.passed else 1
 
 
@@ -1357,6 +1462,35 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("--report-json", default=None,
                     help="write the cell result as JSON")
 
+    pc = chaos_sub.add_parser(
+        "cache-poison",
+        help="corrupt the shared timing cache (bit rot, torn writes, "
+             "stale configs, kill -9 leftovers), assert quarantine "
+             "containment and bit-identical results",
+    )
+    pc.add_argument("--app", action="append", metavar="APP",
+                    help="workload app (repeatable; default pagerank bfs)")
+    pc.add_argument("--graphs", type=int, default=3,
+                    help="seeded graphs per app (default 3)")
+    pc.add_argument("--vertices", type=int, default=192)
+    pc.add_argument("--edges", type=int, default=768)
+    pc.add_argument("--chaos-seed", type=int, default=0,
+                    help="seeds graphs AND victim selection")
+    pc.add_argument("--iterations", type=int, default=5,
+                    help="per-cell iteration cap (default 5)")
+    pc.add_argument("--bit-flips", type=int, default=2,
+                    help="cache entries damaged by bit rot (default 2)")
+    pc.add_argument("--torn-writes", type=int, default=2,
+                    help="cache entries with truncated tails (default 2)")
+    pc.add_argument("--stale-entries", type=int, default=1,
+                    help="intact entries forged with a wrong config "
+                         "digest (default 1)")
+    pc.add_argument("--workdir", default="cache-poison",
+                    help="directory for the shared store and its "
+                         "quarantine (default ./cache-poison)")
+    pc.add_argument("--report-json", default=None,
+                    help="write the cell result as JSON")
+
     p = sub.add_parser(
         "fleet",
         help="serve a seeded job stream over a replica pool under faults",
@@ -1413,6 +1547,18 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--no-fsync", action="store_true",
                     help="skip per-append fsync on journal/store "
                          "(faster; crash guarantee weakened)")
+    pf.add_argument("--autoscale", action="store_true",
+                    help="attach the warm-start autoscaler: spawn/retire "
+                         "replicas off admission telemetry "
+                         "(docs/FLEET.md)")
+    pf.add_argument("--autoscale-min", type=int, default=1,
+                    metavar="N", help="replica floor (default 1)")
+    pf.add_argument("--autoscale-max", type=int, default=8,
+                    metavar="N", help="replica ceiling (default 8)")
+    pf.add_argument("--autoscale-cooldown", type=float, default=0.5,
+                    metavar="SECONDS",
+                    help="virtual seconds between scaling actions "
+                         "(default 0.5)")
     _add_perf_arguments(pf)
 
     pf = fleet_sub.add_parser(

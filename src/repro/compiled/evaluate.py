@@ -223,6 +223,7 @@ def publish_to_cache(
     disabled or the entries are already present).
     """
     from repro.perf.simcache import (
+        config_digest,
         config_digest_prefix,
         get_cache,
         timing_key,
@@ -236,6 +237,7 @@ def publish_to_cache(
         "little": config_digest_prefix("little", config, channel.params),
         "big": config_digest_prefix("big", config, channel.params),
     }
+    digests = {kind: config_digest(p) for kind, p in prefixes.items()}
     written = 0
     for node in cplan.nodes:
         if node.kind == "little":
@@ -248,7 +250,7 @@ def publish_to_cache(
                 extra=(node.num_lanes,),
             )
         if not cache.contains(key):
-            cache.put(key, timings[node.index])
+            cache.put(key, timings[node.index], digests[node.kind])
             written += 1
     return written
 

@@ -85,9 +85,12 @@ class PipelineStallFault:
 #: Ways a journal/store file can be damaged by real storage.
 STORAGE_FAULT_KINDS = ("torn-write", "partial-fsync", "bit-flip")
 
-#: Files a storage fault may hit: the fleet's JSONL pair, plus the
-#: serving facade's traffic bundle and SQLite write-ahead log.
-STORAGE_FAULT_TARGETS = ("journal", "store", "traffic", "store-wal")
+#: Files a storage fault may hit: the fleet's JSONL pair, the serving
+#: facade's traffic bundle and SQLite write-ahead log, and the shared
+#: on-disk timing cache's per-key entry files.
+STORAGE_FAULT_TARGETS = (
+    "journal", "store", "traffic", "store-wal", "shared-cache",
+)
 
 
 @dataclass(frozen=True)
@@ -103,9 +106,11 @@ class StorageFault:
     from the end of the file); torn writes and partial fsyncs always hit
     the tail, where real ones do.  ``target`` picks the victim file
     (:data:`STORAGE_FAULT_TARGETS`): the fleet's write-ahead journal or
-    result store, the serving facade's traffic bundle, or the SQLite
+    result store, the serving facade's traffic bundle, the SQLite
     job store's WAL (``store-wal``, where ``kind`` is moot — the tail
-    is truncated and SQLite's frame checksums absorb it).
+    is truncated and SQLite's frame checksums absorb it), or an entry
+    file of the shared timing cache (``shared-cache``, where the store's
+    per-entry checksums quarantine the damage instead of serving it).
     """
 
     kind: str

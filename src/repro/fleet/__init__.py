@@ -15,6 +15,9 @@ faults.  The pieces:
   REPAIRED/RETIRED lifecycle machine;
 * :mod:`~repro.fleet.runtime` — the deterministic discrete-event loop
   (failover with backoff, hedged execution, canary re-probes);
+* :mod:`~repro.fleet.autoscale` — the warm-start autoscaler (hysteresis
+  + cooldown over admission telemetry, replicas spawned with the shared
+  timing cache pre-loaded);
 * :mod:`~repro.fleet.report` — the bit-reproducible run report;
 * :mod:`~repro.fleet.journal` — the write-ahead job journal (append-
   only, checksummed, fsync'd) behind crash recovery;
@@ -26,6 +29,7 @@ See ``docs/FLEET.md`` for the architecture walkthrough and
 """
 
 from repro.fleet.admission import AdmissionController, TokenBucket
+from repro.fleet.autoscale import AutoscalePolicy, Autoscaler
 from repro.fleet.job import FLEET_APPS, Job, JobResult
 from repro.fleet.journal import (
     JOURNAL_SCHEMA,
@@ -62,6 +66,8 @@ from repro.fleet.store import STORE_SCHEMA, ResultStore
 __all__ = [
     "AdmissionController",
     "AssignmentRecord",
+    "AutoscalePolicy",
+    "Autoscaler",
     "DRAINING",
     "FLEET_APPS",
     "FleetPolicy",

@@ -319,6 +319,7 @@ class FleetRuntime:
         bands: ToleranceBands = DEFAULT_BANDS,
         journal: Optional[JobJournal] = None,
         store: Optional[ResultStore] = None,
+        autoscaler=None,
     ):
         if not replicas:
             raise UserInputError("a fleet needs at least one replica")
@@ -335,6 +336,12 @@ class FleetRuntime:
         #: Durable result store with idempotency-keyed exactly-once
         #: writes; ``None`` = results live only in the report.
         self.store = store
+        #: Optional :class:`~repro.fleet.autoscale.Autoscaler`: after
+        #: every event the runtime feeds it telemetry and applies its
+        #: scale-up/scale-down decisions through the normal replica
+        #: lifecycle.  Its counters are a side-channel like
+        #: ``recovery_stats`` — never part of the report digest.
+        self.autoscaler = autoscaler
         #: Side-channel recovery accounting, deliberately *outside*
         #: FleetReport: the report digest certifies the served outcome,
         #: which must match an uninterrupted run bit-for-bit.
@@ -594,6 +601,10 @@ class FleetRuntime:
         )
         self._persist_result(result)
         self._results[job.job_id] = result
+        if self.autoscaler is not None:
+            self.autoscaler.record_latency(
+                attempt.finish - job.submit_time
+            )
         attempt.replica.record_success()
         if attempt.kind == "hedge":
             self._counters["hedge_wins"] += 1
@@ -650,8 +661,20 @@ class FleetRuntime:
         self._queue.append(entry)
 
     def _maybe_quarantine(self, replica: Replica) -> None:
-        """A draining replica with nothing in flight enters quarantine."""
+        """A draining replica with nothing in flight enters quarantine —
+        unless the autoscaler owns the drain (scale-down), in which case
+        the replica retires directly: it is healthy, just surplus, so a
+        canary probe would only re-admit capacity the policy shed."""
         if replica.state == "DRAINING" and replica.inflight == 0:
+            if self.autoscaler is not None and self.autoscaler.owns_drain(
+                replica.replica_id
+            ):
+                replica.retire("autoscaler scale-down")
+                self.autoscaler.note_retired(
+                    replica.replica_id, self.clock.now
+                )
+                self._wal_replica(replica, "autoscaler scale-down")
+                return
             replica.enter_quarantine(self.clock.now)
             self._wal_replica(replica, "drained; entering quarantine")
 
@@ -874,6 +897,80 @@ class FleetRuntime:
         primary.partner = hedge
         hedge.partner = primary
 
+    # -- autoscaling -----------------------------------------------------
+    def _autoscale(self) -> bool:
+        """Feed the autoscaler one observation; apply its decision.
+
+        Returns True when the pool changed (the caller re-dispatches so
+        a spawned replica can take queued work in the same event)."""
+        scaler = self.autoscaler
+        serving = [r for r in self.replicas if r.is_serving]
+        pool = [r for r in self.replicas if r.state != RETIRED]
+        action = scaler.observe(
+            now=self.clock.now,
+            queue_depth=len(self._queue),
+            serving=len(serving),
+            pool_size=len(pool),
+            admission_stats=self.admission.stats,
+        )
+        if action == "scale-up":
+            return self._scale_up()
+        if action == "scale-down":
+            return self._scale_down(serving)
+        return False
+
+    def _scale_up(self) -> bool:
+        """Spawn one replica cloned from the pool's first recipe, warm-
+        started from the shared timing store when one is attached."""
+        from repro.perf.simcache import get_cache
+
+        recipe = self.replicas[0]
+        new_id = self.autoscaler.next_replica_id(
+            r.replica_id for r in self.replicas
+        )
+        replica = make_replica(
+            new_id,
+            recipe.device,
+            buffer_vertices=(
+                recipe.handle.framework.pipeline.gather_buffer_vertices
+            ),
+            num_pipelines=recipe.handle.framework.num_pipelines,
+            timing=recipe.handle.timing,
+        )
+        warmed = self.autoscaler.warm_start(get_cache())
+        self.replicas.append(replica)
+        self.autoscaler.note_spawned(new_id, self.clock.now, warmed)
+        self._wal_replica(
+            replica,
+            f"autoscaler scale-up (warmed {warmed} cache entries)",
+        )
+        return True
+
+    def _scale_down(self, serving: List[Replica]) -> bool:
+        """Drain one surplus replica toward retirement.
+
+        Prefers autoscaler-spawned replicas (latest first) so a
+        scaled-up pool shrinks back toward its configured core; the
+        victim finishes any in-flight work before retiring
+        (SERVING -> DRAINING -> RETIRED, no canary)."""
+        if not serving:
+            return False
+        spawned = [
+            r for r in serving if r.replica_id.startswith("as")
+        ]
+        victim = (spawned or serving)[-1]
+        victim.begin_drain(self.clock.now)
+        self.autoscaler.begin_scale_down(victim.replica_id, self.clock.now)
+        if victim.inflight == 0:
+            # begin_drain already quarantined the idle victim; a canary
+            # would only re-admit capacity the policy shed — retire now.
+            victim.retire("autoscaler scale-down")
+            self.autoscaler.note_retired(victim.replica_id, self.clock.now)
+            self._wal_replica(victim, "autoscaler scale-down")
+        else:
+            self._wal_replica(victim, "autoscaler scale-down; draining")
+        return True
+
     # -- prewarm ---------------------------------------------------------
     def prewarm(self, jobs: Sequence[Job], perf) -> int:
         """Warm the preprocess and timing caches for a job stream.
@@ -896,7 +993,8 @@ class FleetRuntime:
 
         specs = distinct_specs(self.replicas, jobs, perf.cache_entries)
         results = parallel_map(
-            prewarm_spec, list(specs.values()), workers=perf.workers
+            prewarm_spec, list(specs.values()),
+            workers=perf.workers, perf=perf,
         )
         cache = get_cache()
         warmed = 0
@@ -1029,6 +1127,8 @@ class FleetRuntime:
                 sub_i += 1
                 self._submit(payload)
             self._dispatch()
+            if self.autoscaler is not None and self._autoscale():
+                self._dispatch()
             self.events_processed += 1
             if (
                 halt_after_events is not None

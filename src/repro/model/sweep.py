@@ -97,7 +97,7 @@ def sweep_parameter(
         (graph, base_config, parameter, int(value), num_pipelines, channel)
         for value in values
     ]
-    return parallel_map(_sweep_point, tasks, workers=workers)
+    return parallel_map(_sweep_point, tasks, workers=workers, perf=perf)
 
 
 def sensitivity_report(
@@ -132,7 +132,7 @@ def sensitivity_report(
         for name, values in sweeps.items()
         for value in values
     ]
-    points = parallel_map(_sweep_point, tasks, workers=workers)
+    points = parallel_map(_sweep_point, tasks, workers=workers, perf=perf)
     report: Dict[str, List[SweepPoint]] = {name: [] for name in sweeps}
     for point in points:
         report[point.parameter].append(point)

@@ -14,13 +14,22 @@ fast without changing a single simulated number:
   ``ProcessPoolExecutor`` map with a serial fallback, used to fan out
   chaos cells, sweep points and fleet prewarm work across cores while
   keeping reports bit-identical to a serial run.
+* :mod:`repro.perf.sharedcache` — :class:`SharedTimingStore`, the
+  crash-safe on-disk tier 2 under the in-process LRU: one checksummed
+  file per content-addressed key, shared across processes and replicas,
+  with quarantine-on-damage instead of serving corruption.
 * :mod:`repro.perf.config` — :class:`PerfConfig`, the single knob
-  record (``--jobs``, cache size, enable flags) the CLI and library
-  entry points thread through.
+  record (``--jobs``, cache size, shared-cache dir, enable flags) the
+  CLI and library entry points thread through.
 """
 
 from repro.perf.config import PerfConfig
 from repro.perf.parallel import parallel_map
+from repro.perf.sharedcache import (
+    CACHE_QUARANTINE_SCHEMA,
+    SHARED_CACHE_SCHEMA,
+    SharedTimingStore,
+)
 from repro.perf.simcache import (
     DEFAULT_CACHE_ENTRIES,
     SimulationCache,
@@ -29,8 +38,11 @@ from repro.perf.simcache import (
 )
 
 __all__ = [
+    "CACHE_QUARANTINE_SCHEMA",
     "DEFAULT_CACHE_ENTRIES",
     "PerfConfig",
+    "SHARED_CACHE_SCHEMA",
+    "SharedTimingStore",
     "SimulationCache",
     "configure_cache",
     "get_cache",

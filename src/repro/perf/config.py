@@ -13,6 +13,7 @@ identity: one worker (fully serial) with the cache on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import UserInputError
 from repro.perf.simcache import DEFAULT_CACHE_ENTRIES, configure_cache
@@ -33,6 +34,10 @@ class PerfConfig:
     #: core (bit-identical to the interpreted path; ``--no-compiled``
     #: is the escape hatch back to the reference oracle).
     compiled: bool = True
+    #: Directory of the shared tier-2 timing store
+    #: (:class:`~repro.perf.sharedcache.SharedTimingStore`); ``None``
+    #: keeps the cache single-tier and in-process.
+    shared_cache_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.workers < 1:
@@ -56,7 +61,9 @@ class PerfConfig:
         from repro.compiled import configure_compiled
 
         configure_cache(
-            enabled=self.cache_enabled, max_entries=self.cache_entries
+            enabled=self.cache_enabled,
+            max_entries=self.cache_entries,
+            shared_dir=self.shared_cache_dir,
         )
         configure_compiled(self.compiled)
 
@@ -66,10 +73,12 @@ class PerfConfig:
             "cache_enabled": self.cache_enabled,
             "cache_entries": self.cache_entries,
             "compiled": self.compiled,
+            "shared_cache_dir": self.shared_cache_dir,
         }
 
     @staticmethod
     def from_dict(data: dict) -> "PerfConfig":
+        shared = data.get("shared_cache_dir")
         return PerfConfig(
             workers=int(data.get("workers", 1)),
             cache_enabled=bool(data.get("cache_enabled", True)),
@@ -77,4 +86,5 @@ class PerfConfig:
                 data.get("cache_entries", DEFAULT_CACHE_ENTRIES)
             ),
             compiled=bool(data.get("compiled", True)),
+            shared_cache_dir=str(shared) if shared is not None else None,
         )

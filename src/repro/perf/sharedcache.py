@@ -1,0 +1,388 @@
+"""Tier 2 of the simulation cache: a shared on-disk timing store.
+
+The in-process :class:`~repro.perf.simcache.SimulationCache` dies with
+its process, so every replica, pool worker and CLI invocation re-misses
+the same content-addressed keys.  :class:`SharedTimingStore` is the
+durable tier underneath it: a content-addressed directory of one file
+per SHA-256 key, shared by any number of concurrent processes.
+
+The design goals are robustness-first:
+
+* **Crash-safe writes** — every entry is staged to a per-process
+  temporary name (pid + random suffix), fsync'd, then published with
+  one atomic ``os.replace``.  A kill -9 mid-sync loses at most the
+  in-flight entry; it can never tear a published one.
+* **First-write-wins** — a key that already exists is never replaced.
+  Both writers computed the same pure function, so the values are
+  interchangeable; skipping the replace keeps published bytes
+  immutable, which is what makes concurrent readers safe.
+* **Damage-tolerant loads** — every entry carries a CRC32 over its
+  canonical record *and* a SHA-256 over the timing payload.  A torn,
+  bit-flipped, or otherwise unreadable entry is **quarantined** into a
+  ``regraph-cache-quarantine/v1`` bundle (evidence, out of the serving
+  path) instead of raising — the caller simply recomputes, exactly as
+  on a miss.  A poisoned entry is therefore *detected, never served*.
+* **Staleness rules** — each entry records the config digest it was
+  produced under (the SHA-256 of the pipeline's
+  :func:`~repro.perf.simcache.config_digest_prefix`, or a
+  :meth:`~repro.compiled.spec.CompiledSpec.digest`).  A lookup that
+  presents a different digest treats the entry as stale: quarantined,
+  recomputed, never served across a config/schema change.
+
+The tiering itself lives in :class:`~repro.perf.simcache
+.SimulationCache`: attach a store via :func:`~repro.perf.simcache
+.configure_cache` (``shared_dir=...``) and L1 misses read through to
+the store while L1 inserts write through to it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+import zlib
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.arch.timing import PartitionTiming
+from repro.errors import UserInputError
+
+#: Per-entry file format (one file per sha256 key under the store root).
+SHARED_CACHE_SCHEMA = "regraph-simcache/v1"
+
+#: Quarantine-bundle schema for poisoned/torn/stale entries.
+CACHE_QUARANTINE_SCHEMA = "regraph-cache-quarantine/v1"
+
+#: Subdirectory (inside the store root) quarantine bundles land in.
+QUARANTINE_DIRNAME = "quarantine"
+
+_KEY_HEX_LEN = 64
+_RAW_LIMIT = 512
+
+
+def _is_key(name: str) -> bool:
+    if len(name) != _KEY_HEX_LEN:
+        return False
+    return all(c in "0123456789abcdef" for c in name)
+
+
+def _timing_fields(timing: PartitionTiming) -> List[float]:
+    return [
+        timing.compute_cycles,
+        timing.store_cycles,
+        timing.switch_cycles,
+        timing.num_edges,
+        timing.num_sets,
+    ]
+
+
+def _payload_sha(key: str, config_digest: str, fields: List[float]) -> str:
+    canonical = json.dumps(
+        {"config_digest": config_digest, "key": key, "timing": fields},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return sha256(canonical.encode()).hexdigest()
+
+
+def _record_crc(record: dict) -> str:
+    body = {k: v for k, v in record.items() if k != "crc"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return format(zlib.crc32(canonical.encode()) & 0xFFFFFFFF, "08x")
+
+
+def encode_entry(
+    key: str, timing: PartitionTiming, config_digest: str = ""
+) -> str:
+    """The on-disk JSON encoding of one entry (checksums included)."""
+    fields = _timing_fields(timing)
+    record = {
+        "schema": SHARED_CACHE_SCHEMA,
+        "key": key,
+        "config_digest": config_digest,
+        "timing": fields,
+        "payload_sha": _payload_sha(key, config_digest, fields),
+    }
+    record["crc"] = _record_crc(record)
+    return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+class SharedTimingStore:
+    """Content-addressed ``key -> PartitionTiming`` directory store."""
+
+    def __init__(self, root: Union[str, Path], fsync: bool = True):
+        self.root = Path(root)
+        self.fsync = bool(fsync)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir = self.root / QUARANTINE_DIRNAME
+        #: Counters (per attached process; the files are the shared state).
+        self.loads = 0
+        self.load_misses = 0
+        self.writes = 0
+        #: First-write-wins: puts skipped because the key already existed.
+        self.write_conflicts = 0
+        self.quarantined = 0
+        self.stale = 0
+
+    # -- paths ----------------------------------------------------------
+    def entry_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def keys(self) -> List[str]:
+        """Published keys, sorted (staging and quarantine files ignored)."""
+        keys = []
+        for path in self.root.iterdir():
+            name = path.name
+            if not name.endswith(".json") or ".tmp-" in name:
+                continue
+            stem = name[: -len(".json")]
+            if _is_key(stem):
+                keys.append(stem)
+        return sorted(keys)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- quarantine -----------------------------------------------------
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        """Pull a damaged/stale entry out of the serving path.
+
+        The entry file is replaced by a quarantine bundle holding the
+        (truncated) raw bytes as evidence; the store then behaves as if
+        the key had never been written.  Crash-safe like every other
+        write here: stage, fsync, ``os.replace``.
+        """
+        try:
+            raw = path.read_bytes()[:_RAW_LIMIT].decode(
+                "utf-8", errors="replace"
+            )
+        except OSError:
+            raw = ""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        bundle = {
+            "schema": CACHE_QUARANTINE_SCHEMA,
+            "store": str(self.root),
+            "key": key,
+            "reason": reason,
+            "raw": raw,
+        }
+        final = self.quarantine_dir / f"{key}.quarantine.json"
+        tmp = final.with_name(
+            final.name + f".tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        )
+        with open(tmp, "w") as fh:
+            json.dump(bundle, fh, indent=2)
+            fh.write("\n")
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, final)
+        try:
+            path.unlink()
+        except OSError:
+            pass  # a concurrent reader may have quarantined it first
+        self.quarantined += 1
+
+    def quarantine_bundles(self) -> List[Path]:
+        """Bundle files written so far (evidence, never served)."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(self.quarantine_dir.glob("*.quarantine.json"))
+
+    # -- core -----------------------------------------------------------
+    def get(
+        self, key: str, config_digest: Optional[str] = None
+    ) -> Optional[PartitionTiming]:
+        """Verified load, or ``None`` (missing, damaged, or stale).
+
+        Damage and staleness quarantine the entry and read as a miss —
+        the caller recomputes, so corruption can cost time but never
+        correctness.
+        """
+        path = self.entry_path(key)
+        self.loads += 1
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.load_misses += 1
+            return None
+        try:
+            record = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path, key, "unparseable JSON")
+            return None
+        if not isinstance(record, dict):
+            self._quarantine(path, key, "record is not an object")
+            return None
+        if record.get("schema") != SHARED_CACHE_SCHEMA:
+            self._quarantine(
+                path, key,
+                f"schema mismatch (stored {record.get('schema')!r})",
+            )
+            return None
+        if record.get("crc") != _record_crc(record):
+            self._quarantine(
+                path, key,
+                f"checksum mismatch (stored {record.get('crc')!r})",
+            )
+            return None
+        if record.get("key") != key:
+            self._quarantine(
+                path, key,
+                f"key mismatch (stored {record.get('key')!r})",
+            )
+            return None
+        raw_fields = record.get("timing")
+        stored_digest = record.get("config_digest", "")
+        if (
+            not isinstance(raw_fields, list)
+            or len(raw_fields) != 5
+            or not all(
+                isinstance(f, (int, float)) and not isinstance(f, bool)
+                for f in raw_fields
+            )
+        ):
+            self._quarantine(path, key, "bad timing payload")
+            return None
+        # Hashed over the list exactly as persisted (int vs float spelling
+        # matters to JSON), before any normalisation.
+        if record.get("payload_sha") != _payload_sha(
+            key, stored_digest, raw_fields
+        ):
+            self._quarantine(path, key, "payload checksum mismatch")
+            return None
+        fields = [float(f) for f in raw_fields]
+        if config_digest is not None and stored_digest != config_digest:
+            # Valid bytes from an incompatible configuration: stale.
+            self.stale += 1
+            self._quarantine(
+                path, key,
+                f"stale config digest (stored {stored_digest[:16]}..., "
+                f"expected {config_digest[:16]}...)",
+            )
+            return None
+        return PartitionTiming(
+            compute_cycles=fields[0],
+            store_cycles=fields[1],
+            switch_cycles=fields[2],
+            num_edges=int(fields[3]),
+            num_sets=int(fields[4]),
+        )
+
+    def put(
+        self, key: str, timing: PartitionTiming, config_digest: str = ""
+    ) -> bool:
+        """Publish an entry atomically; returns True when it was written.
+
+        First-write-wins: an existing key is left untouched (the values
+        are interchangeable — both sides computed the same pure
+        function) and the call counts as a ``write_conflict``.  Two
+        racers that both pass the existence check both ``os.replace``
+        atomically; last-replace-wins is then equally safe because the
+        encoded bytes are identical for identical inputs.
+        """
+        if not _is_key(key):
+            raise UserInputError(
+                f"shared-cache keys are 64-hex sha256 digests, got {key!r}"
+            )
+        final = self.entry_path(key)
+        if final.exists():
+            self.write_conflicts += 1
+            return False
+        tmp = final.with_name(
+            final.name + f".tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        )
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(encode_entry(key, timing, config_digest))
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            if final.exists():
+                # Lost the race after staging: first write wins.
+                self.write_conflicts += 1
+                return False
+            os.replace(tmp, final)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        self.writes += 1
+        return True
+
+    # -- maintenance ----------------------------------------------------
+    def verify(self, config_digest: Optional[str] = None) -> dict:
+        """Scrub every entry: quarantine damage, drop orphaned staging.
+
+        Leftover ``.tmp-`` files are what a kill -9 mid-sync leaves
+        behind — in-flight entries that were never published.  They are
+        removed here (and ignored everywhere else), which is exactly the
+        "loses at most in-flight entries" contract.
+        """
+        before = self.quarantined
+        swept_tmp = 0
+        for path in sorted(self.root.iterdir()):
+            if ".tmp-" in path.name and path.is_file():
+                try:
+                    path.unlink()
+                    swept_tmp += 1
+                except OSError:
+                    pass
+                continue
+            if not path.name.endswith(".json") or not path.is_file():
+                continue
+            stem = path.name[: -len(".json")]
+            if not _is_key(stem):
+                self._quarantine(
+                    path, stem[:_KEY_HEX_LEN],
+                    "foreign file in store (not a sha256 key)",
+                )
+                continue
+            self.get(stem, config_digest)
+        return {
+            "entries": len(self),
+            "quarantined": self.quarantined - before,
+            "swept_tmp": swept_tmp,
+        }
+
+    def warm(self, cache, limit: Optional[int] = None) -> int:
+        """Adopt verified entries into an in-process L1 (warm start).
+
+        Deterministic (sorted key order) and bounded by ``limit`` (the
+        L1 capacity by default).  Damaged entries quarantine exactly as
+        on a read-through; returns the number adopted.
+        """
+        bound = limit if limit is not None else cache.max_entries
+        adopted = 0
+        for key in self.keys():
+            if adopted >= bound:
+                break
+            timing = self.get(key)
+            if timing is None:
+                continue
+            if not cache.contains(key):
+                cache.put(key, timing)
+                adopted += 1
+        return adopted
+
+    # -- reporting ------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "root": str(self.root),
+            "entries": len(self),
+            "loads": self.loads,
+            "load_misses": self.load_misses,
+            "writes": self.writes,
+            "write_conflicts": self.write_conflicts,
+            "quarantined": self.quarantined,
+            "stale": self.stale,
+        }
+
+
+def entry_paths(root: Union[str, Path]) -> Dict[str, Path]:
+    """``key -> entry file`` map of a store directory (chaos targeting)."""
+    store = SharedTimingStore(root)
+    return {key: store.entry_path(key) for key in store.keys()}

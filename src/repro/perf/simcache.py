@@ -69,6 +69,17 @@ def config_digest_prefix(kind: str, config, params) -> bytes:
     return repr((kind, config, params)).encode()
 
 
+def config_digest(prefix: bytes) -> str:
+    """SHA-256 hexdigest of a :func:`config_digest_prefix`.
+
+    This is the tag a two-tier cache stores alongside each persisted
+    entry: a shared-store entry whose recorded digest differs from the
+    requester's is *stale* (written by an incompatible configuration or
+    software revision) and is quarantined instead of served.
+    """
+    return hashlib.sha256(prefix).hexdigest()
+
+
 def timing_key(
     prefix: bytes,
     edge_bytes: int,
@@ -94,12 +105,21 @@ def timing_key(
 
 
 class SimulationCache:
-    """Bounded LRU of ``key -> PartitionTiming`` with usage counters."""
+    """Bounded LRU of ``key -> PartitionTiming`` with usage counters.
+
+    Optionally **two-tier**: attach a
+    :class:`~repro.perf.sharedcache.SharedTimingStore` (tier 2, shared
+    on disk across processes) and L1 misses read through to it while L1
+    inserts write through.  Tier-2 hits are promoted into L1 and
+    counted separately; a damaged or stale tier-2 entry is quarantined
+    by the store and reads as a plain miss here.
+    """
 
     def __init__(
         self,
         max_entries: int = DEFAULT_CACHE_ENTRIES,
         enabled: bool = True,
+        shared=None,
     ):
         if max_entries < 1:
             raise UserInputError(
@@ -107,37 +127,71 @@ class SimulationCache:
             )
         self.max_entries = int(max_entries)
         self.enabled = bool(enabled)
+        #: Tier-2 :class:`~repro.perf.sharedcache.SharedTimingStore`
+        #: (``None`` = single-tier, the default).
+        self.shared = shared
         self._entries: "OrderedDict[str, PartitionTiming]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.bypasses = 0
+        self.tier2_hits = 0
+        self.tier2_misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     # -- core ----------------------------------------------------------
-    def get(self, key: str) -> Optional[PartitionTiming]:
-        """Cached timing for ``key``, or ``None`` (counted as a miss)."""
+    def get(
+        self, key: str, config_digest: Optional[str] = None
+    ) -> Optional[PartitionTiming]:
+        """Cached timing for ``key``, or ``None`` (counted as a miss).
+
+        ``config_digest`` is forwarded to the tier-2 staleness check
+        when a shared store is attached (an entry persisted under a
+        different configuration digest is quarantined, never served).
+        """
         if not self.enabled:
             return None
         timing = self._entries.get(key)
-        if timing is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return timing
+        if timing is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return timing
+        if self.shared is not None:
+            timing = self.shared.get(key, config_digest)
+            if timing is not None:
+                self.tier2_hits += 1
+                self._insert(key, timing)
+                return timing
+            self.tier2_misses += 1
+        self.misses += 1
+        return None
 
-    def put(self, key: str, timing: PartitionTiming) -> None:
-        """Insert/refresh an entry, evicting least-recently-used ones."""
-        if not self.enabled:
-            return
+    def _insert(self, key: str, timing: PartitionTiming) -> None:
         self._entries[key] = timing
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+
+    def put(
+        self,
+        key: str,
+        timing: PartitionTiming,
+        config_digest: str = "",
+    ) -> None:
+        """Insert/refresh an entry, evicting least-recently-used ones.
+
+        With a shared store attached the entry is also written through
+        (crash-safe, first-write-wins), tagged with ``config_digest``
+        for the staleness rule.
+        """
+        if not self.enabled:
+            return
+        self._insert(key, timing)
+        if self.shared is not None:
+            self.shared.put(key, timing, config_digest)
 
     def contains(self, key: str) -> bool:
         """Presence probe that counts as neither hit nor miss.
@@ -153,12 +207,18 @@ class SimulationCache:
         self.bypasses += 1
 
     def clear(self) -> None:
-        """Drop all entries and reset every counter."""
+        """Drop all L1 entries and reset every counter.
+
+        The shared tier (if attached) keeps its files — it is durable
+        state owned by every process sharing it, not this one.
+        """
         self._entries.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.bypasses = 0
+        self.tier2_hits = 0
+        self.tier2_misses = 0
 
     # -- bulk transfer (worker -> parent merges) -----------------------
     def entries(self) -> Dict[str, PartitionTiming]:
@@ -183,13 +243,13 @@ class SimulationCache:
     # -- reporting -----------------------------------------------------
     @property
     def hit_rate(self) -> float:
-        """Hits over lookups (0.0 before any lookup)."""
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
+        """Hits (either tier) over lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.tier2_hits + self.misses
+        return (self.hits + self.tier2_hits) / lookups if lookups else 0.0
 
     def stats(self) -> dict:
         """Counter snapshot for CLI/report surfaces."""
-        return {
+        stats = {
             "enabled": self.enabled,
             "entries": len(self._entries),
             "max_entries": self.max_entries,
@@ -198,7 +258,12 @@ class SimulationCache:
             "hit_rate": self.hit_rate,
             "evictions": self.evictions,
             "bypasses": self.bypasses,
+            "tier2_hits": self.tier2_hits,
+            "tier2_misses": self.tier2_misses,
         }
+        if self.shared is not None:
+            stats["shared"] = self.shared.stats()
+        return stats
 
     # -- persistence ---------------------------------------------------
     def save(self, path: Union[str, Path]) -> Path:
@@ -278,19 +343,36 @@ def get_cache() -> SimulationCache:
     return _GLOBAL
 
 
+#: Sentinel: "leave the shared tier as it is" (``None`` means detach).
+_KEEP_SHARED = object()
+
+
 def configure_cache(
     enabled: Optional[bool] = None,
     max_entries: Optional[int] = None,
+    shared_dir=_KEEP_SHARED,
 ) -> SimulationCache:
     """Reconfigure the global cache in place; returns it.
 
     Shrinking ``max_entries`` evicts down to the new bound immediately.
+    ``shared_dir`` attaches (a path) or detaches (``None``) the tier-2
+    :class:`~repro.perf.sharedcache.SharedTimingStore`; omit it to
+    leave the current attachment untouched.
     """
     cache = _GLOBAL
     if enabled is not None:
         cache.enabled = bool(enabled)
         if not cache.enabled:
             cache._entries.clear()
+    if shared_dir is not _KEEP_SHARED:
+        if shared_dir is None:
+            cache.shared = None
+        else:
+            from repro.perf.sharedcache import SharedTimingStore
+
+            current = cache.shared
+            if current is None or str(current.root) != str(shared_dir):
+                cache.shared = SharedTimingStore(shared_dir)
     if max_entries is not None:
         if max_entries < 1:
             raise UserInputError(

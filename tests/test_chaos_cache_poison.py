@@ -1,0 +1,102 @@
+"""The cache-poison chaos cell: corruption is contained, never served.
+
+One end-to-end cell run carries all the oracles (module-scoped — the
+cell runs the workload four times); the unit tests around it pin the
+config validation and serialization surface.
+"""
+
+import pytest
+
+from repro.chaos.cache_poison import (
+    CachePoisonConfig,
+    CachePoisonResult,
+    run_cache_poison,
+)
+from repro.errors import UserInputError
+from repro.perf.simcache import get_cache
+
+#: Smaller than the defaults but still exercising every damage kind:
+#: 2 apps x 2 graphs publish enough entries for 1 flip + 1 torn +
+#: 1 stale victim.
+CELL = CachePoisonConfig(
+    graphs=2, vertices=96, edges=256, max_iterations=3,
+    bit_flips=1, torn_writes=1, stale_entries=1,
+)
+
+
+@pytest.fixture(scope="module")
+def outcome(tmp_path_factory):
+    return run_cache_poison(CELL, tmp_path_factory.mktemp("poison"))
+
+
+class TestConfig:
+    def test_rejects_empty_apps(self):
+        with pytest.raises(UserInputError):
+            CachePoisonConfig(apps=())
+
+    def test_rejects_zero_damage(self):
+        with pytest.raises(UserInputError):
+            CachePoisonConfig(bit_flips=0, torn_writes=0, stale_entries=0)
+
+    def test_rejects_negative_damage(self):
+        with pytest.raises(UserInputError):
+            CachePoisonConfig(torn_writes=-1)
+
+    def test_round_trips_through_dict(self):
+        assert CachePoisonConfig.from_dict(CELL.to_dict()) == CELL
+
+
+class TestOracles:
+    def test_cell_passes(self, outcome):
+        assert outcome.passed, outcome.to_dict()
+
+    def test_digests_bit_identical_across_all_phases(self, outcome):
+        assert outcome.reference_digest
+        assert outcome.seeded_digest == outcome.reference_digest
+        assert outcome.warm_digest == outcome.reference_digest
+        assert outcome.poisoned_digest == outcome.reference_digest
+
+    def test_warm_run_actually_served_from_tier2(self, outcome):
+        assert outcome.entries_seeded > 0
+        assert outcome.tier2_hits_warm > 0
+
+    def test_every_victim_quarantined_never_served(self, outcome):
+        assert len(outcome.poisoned_keys) == 3
+        assert set(outcome.poisoned_keys) <= set(outcome.quarantined_keys)
+        assert outcome.stale_served == 0
+
+    def test_kill9_leftover_swept_and_junk_quarantined(self, outcome):
+        assert outcome.swept_tmp >= 1
+        assert outcome.scrub_quarantined >= 1
+
+    def test_global_cache_state_restored(self, outcome):
+        # The cell attaches/detaches a shared tier; the process-global
+        # cache must come back single-tier and empty.
+        cache = get_cache()
+        assert cache.shared is None
+        assert len(cache) == 0
+
+    def test_result_serializes_with_verdict(self, outcome):
+        data = outcome.to_dict()
+        assert data["passed"] is True
+        assert data["digests_equal"] is True
+        assert data["all_victims_quarantined"] is True
+        assert len(data["poison_log"]) >= 3
+
+
+class TestResultVerdict:
+    def test_fails_on_digest_divergence(self):
+        result = CachePoisonResult(
+            config=CELL, reference_digest="a", seeded_digest="a",
+            warm_digest="a", poisoned_digest="b",
+        )
+        assert not result.digests_equal and not result.passed
+
+    def test_fails_on_unquarantined_victim(self):
+        result = CachePoisonResult(
+            config=CELL, reference_digest="a", seeded_digest="a",
+            warm_digest="a", poisoned_digest="a", entries_seeded=4,
+            tier2_hits_warm=2, poisoned_keys=["k1", "k2"],
+            quarantined_keys=["k1"], swept_tmp=1, scrub_quarantined=1,
+        )
+        assert not result.all_victims_quarantined and not result.passed

@@ -1,0 +1,279 @@
+"""The shared on-disk timing store (tier 2) and its tiering contract.
+
+The load-bearing properties: published entries are immutable and
+first-write-wins under any number of concurrent writers; damaged or
+stale entries are quarantined and read as misses (corruption costs
+time, never correctness); keys are injective over their inputs so the
+two tiers can never alias different computations; and a kill -9
+mid-sync loses at most the in-flight entry (orphaned staging files are
+swept, published bytes are never torn).
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.timing import PartitionTiming
+from repro.errors import UserInputError
+from repro.faults.plan import STORAGE_FAULT_TARGETS, StorageFault
+from repro.fleet.journal import apply_storage_fault
+from repro.perf import PerfConfig, SharedTimingStore, configure_cache, get_cache
+from repro.perf.sharedcache import (
+    CACHE_QUARANTINE_SCHEMA,
+    SHARED_CACHE_SCHEMA,
+    encode_entry,
+    entry_paths,
+)
+from repro.perf.simcache import SimulationCache, timing_key
+
+
+@pytest.fixture(autouse=True)
+def restore_global_cache():
+    """Tests that touch the process-global cache leave it single-tier."""
+    yield
+    configure_cache(enabled=True, shared_dir=None)
+    get_cache().clear()
+
+
+def _timing(n: int = 1) -> PartitionTiming:
+    return PartitionTiming(
+        compute_cycles=float(n), store_cycles=2.0, switch_cycles=3.0,
+        num_edges=n, num_sets=1,
+    )
+
+
+def _key(n: int = 0) -> str:
+    return format(n, "x").rjust(64, "0")
+
+
+class TestRoundTrip:
+    def test_put_get_round_trip(self, tmp_path):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        assert store.put(_key(1), _timing(7), "cfg") is True
+        assert store.get(_key(1), "cfg") == _timing(7)
+        assert store.writes == 1 and store.quarantined == 0
+
+    def test_get_missing_is_a_plain_miss(self, tmp_path):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        assert store.get(_key(2)) is None
+        assert store.load_misses == 1 and store.quarantined == 0
+
+    def test_entry_file_is_canonical_encoding(self, tmp_path):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        store.put(_key(3), _timing(3), "cfg")
+        raw = store.entry_path(_key(3)).read_text()
+        assert raw == encode_entry(_key(3), _timing(3), "cfg")
+        record = json.loads(raw)
+        assert record["schema"] == SHARED_CACHE_SCHEMA
+
+    def test_non_hex_key_is_rejected(self, tmp_path):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        with pytest.raises(UserInputError):
+            store.put("not-a-key", _timing())
+
+    def test_entry_paths_maps_published_keys(self, tmp_path):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        store.put(_key(4), _timing(4))
+        assert entry_paths(tmp_path) == {_key(4): store.entry_path(_key(4))}
+
+
+class TestFirstWriteWins:
+    def test_second_put_is_a_conflict_not_a_replace(self, tmp_path):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        assert store.put(_key(1), _timing(1)) is True
+        before = store.entry_path(_key(1)).read_bytes()
+        assert store.put(_key(1), _timing(999)) is False
+        assert store.entry_path(_key(1)).read_bytes() == before
+        assert store.write_conflicts == 1
+        assert store.get(_key(1)) == _timing(1)
+
+    def test_concurrent_writers_publish_intact_entries(self, tmp_path):
+        keys = [_key(n) for n in range(6)]
+        with ProcessPoolExecutor(max_workers=3) as pool:
+            written = list(pool.map(
+                _writer_process, [(str(tmp_path), keys)] * 3
+            ))
+        store = SharedTimingStore(tmp_path, fsync=False)
+        assert sorted(store.keys()) == keys
+        # Every published file holds exactly the canonical bytes of the
+        # one value all racers computed — no torn or interleaved writes.
+        for n, key in enumerate(keys):
+            assert store.entry_path(key).read_text() == encode_entry(
+                key, _timing(n), "cfg"
+            )
+            assert store.get(key, "cfg") == _timing(n)
+        assert sum(written) >= len(keys)  # each key written at least once
+        assert not list(tmp_path.glob("*.tmp-*"))
+
+
+class TestDamageTolerance:
+    @pytest.mark.parametrize("kind", ["bit-flip", "torn-write"])
+    def test_storage_fault_quarantines_never_serves(self, tmp_path, kind):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        store.put(_key(1), _timing(1), "cfg")
+        note = apply_storage_fault(
+            store.entry_path(_key(1)),
+            StorageFault(kind=kind, target="shared-cache"),
+        )
+        assert note
+        assert store.get(_key(1), "cfg") is None
+        assert store.quarantined == 1
+        bundles = store.quarantine_bundles()
+        assert [b.name for b in bundles] == [f"{_key(1)}.quarantine.json"]
+        bundle = json.loads(bundles[0].read_text())
+        assert bundle["schema"] == CACHE_QUARANTINE_SCHEMA
+        assert bundle["key"] == _key(1)
+        # The entry is gone from the serving path; a re-put recovers it.
+        assert store.get(_key(1), "cfg") is None
+        assert store.put(_key(1), _timing(1), "cfg") is True
+        assert store.get(_key(1), "cfg") == _timing(1)
+
+    def test_stale_config_digest_quarantines(self, tmp_path):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        store.put(_key(2), _timing(2), "old-config")
+        assert store.get(_key(2), "new-config") is None
+        assert store.stale == 1 and store.quarantined == 1
+
+    def test_wrong_key_in_valid_record_quarantines(self, tmp_path):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        store.entry_path(_key(3)).write_text(
+            encode_entry(_key(4), _timing(), "cfg")
+        )
+        assert store.get(_key(3), "cfg") is None
+        assert store.quarantined == 1
+
+    def test_verify_sweeps_kill9_leftovers_and_junk(self, tmp_path):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        store.put(_key(1), _timing(1), "cfg")
+        orphan = tmp_path / (_key(9) + ".json.tmp-12345-deadbeef")
+        orphan.write_text('{"schema":"regraph-simcache/v1","key":"tor')
+        junk = tmp_path / "README.json"
+        junk.write_text("hello\n")
+        scrub = store.verify("cfg")
+        assert scrub == {"entries": 1, "quarantined": 1, "swept_tmp": 1}
+        assert not orphan.exists() and not junk.exists()
+        assert store.get(_key(1), "cfg") == _timing(1)
+
+
+class TestTwoTier:
+    def test_l1_miss_reads_through_and_promotes(self, tmp_path):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        store.put(_key(1), _timing(1), "cfg")
+        cache = SimulationCache(max_entries=8, shared=store)
+        assert cache.get(_key(1), "cfg") == _timing(1)
+        assert cache.tier2_hits == 1 and cache.misses == 0
+        # Promoted: the second lookup is a pure L1 hit.
+        assert cache.get(_key(1), "cfg") == _timing(1)
+        assert cache.hits == 1 and cache.tier2_hits == 1
+
+    def test_put_writes_through(self, tmp_path):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        cache = SimulationCache(max_entries=8, shared=store)
+        cache.put(_key(2), _timing(2), "cfg")
+        assert store.get(_key(2), "cfg") == _timing(2)
+
+    def test_clear_keeps_shared_files(self, tmp_path):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        cache = SimulationCache(max_entries=8, shared=store)
+        cache.put(_key(3), _timing(3), "cfg")
+        cache.clear()
+        assert len(cache) == 0 and len(store) == 1
+
+    def test_warm_start_adopts_verified_entries(self, tmp_path):
+        store = SharedTimingStore(tmp_path, fsync=False)
+        for n in range(4):
+            store.put(_key(n), _timing(n), "cfg")
+        apply_storage_fault(
+            store.entry_path(_key(0)),
+            StorageFault(kind="bit-flip", target="shared-cache"),
+        )
+        cache = SimulationCache(max_entries=8)
+        assert store.warm(cache) == 3  # the damaged one quarantines
+        assert store.quarantined == 1
+        for n in range(1, 4):
+            assert cache.contains(_key(n))
+
+    def test_perf_config_attaches_the_shared_tier(self, tmp_path):
+        perf = PerfConfig(shared_cache_dir=str(tmp_path / "sc"))
+        perf.apply()
+        cache = get_cache()
+        assert cache.shared is not None
+        assert cache.shared.root == tmp_path / "sc"
+        assert perf.to_dict()["shared_cache_dir"] == str(tmp_path / "sc")
+        assert PerfConfig.from_dict(perf.to_dict()) == perf
+
+    def test_shared_cache_is_a_storage_fault_target(self):
+        assert "shared-cache" in STORAGE_FAULT_TARGETS
+
+
+FINITE = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        compute=FINITE, store_c=FINITE, switch=FINITE,
+        edges=st.integers(min_value=0, max_value=2**40),
+        sets=st.integers(min_value=0, max_value=2**20),
+        digest=st.text(
+            alphabet="0123456789abcdef", min_size=0, max_size=64
+        ),
+    )
+    def test_round_trip_is_bit_exact(
+        self, tmp_path_factory, compute, store_c, switch, edges, sets,
+        digest,
+    ):
+        timing = PartitionTiming(
+            compute_cycles=compute, store_cycles=store_c,
+            switch_cycles=switch, num_edges=edges, num_sets=sets,
+        )
+        store = SharedTimingStore(
+            tmp_path_factory.mktemp("shared"), fsync=False
+        )
+        assert store.put(_key(1), timing, digest)
+        loaded = store.get(_key(1), digest)
+        assert loaded == timing
+        assert store.quarantined == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.tuples(
+            st.binary(min_size=0, max_size=8),
+            st.integers(min_value=1, max_value=64),
+            st.lists(st.integers(0, 255), min_size=0, max_size=8),
+        ),
+        b=st.tuples(
+            st.binary(min_size=0, max_size=8),
+            st.integers(min_value=1, max_value=64),
+            st.lists(st.integers(0, 255), min_size=0, max_size=8),
+        ),
+    )
+    def test_cross_tier_keys_are_injective(self, a, b):
+        """Same key <=> same (prefix, edge width, edge content).
+
+        Both tiers address by this key, so injectivity is what makes a
+        tier-2 hit interchangeable with recomputation.
+        """
+        def key(t):
+            prefix, edge_bytes, values = t
+            return timing_key(
+                prefix, edge_bytes,
+                (np.asarray(values, dtype=np.int64),),
+            )
+
+        assert (key(a) == key(b)) == (a == b)
+
+
+def _writer_process(job):
+    """Racer: publish every key into the same store directory."""
+    root, keys = job
+    store = SharedTimingStore(root, fsync=False)
+    written = 0
+    for n, key in enumerate(keys):
+        if store.put(key, _timing(n), "cfg"):
+            written += 1
+    return written
