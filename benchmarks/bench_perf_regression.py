@@ -292,6 +292,137 @@ def run_compiled_bench(reps, min_speedup):
     }, failed
 
 
+def run_functional_bench(reps, min_speedup):
+    """Cache-miss convergence bench for the compiled functional pass.
+
+    Per app: one preprocessed plan, then full convergence runs (timing
+    + functional, the cache disabled so every task is a genuine miss)
+    through the interpreted per-task walk vs the compiled batched
+    engine.  Preprocessing is excluded — it is identical on both paths
+    and would mask the functional-pass ratio.  Bit-identity of cycles
+    and final properties is asserted at every point; the median overall
+    speedup is gated when asked (skipped on single-CPU machines, the
+    same leniency the parallel gate applies).
+
+    Returns ``(report_section, failed)``.
+    """
+    import statistics as stats
+
+    from repro.apps.bfs import BreadthFirstSearch
+    from repro.apps.closeness import ClosenessCentrality
+    from repro.apps.pagerank import PageRank
+    from repro.apps.sssp import SingleSourceShortestPaths
+    from repro.apps.wcc import WeaklyConnectedComponents, symmetrized
+    from repro.check.runner import with_random_weights
+    from repro.compiled import configure_compiled, functional_engine
+    from repro.core.framework import ReGraph
+    from repro.core.system import SystemSimulator
+    from repro.graph.generators import rmat_graph
+    from repro.perf import configure_cache
+
+    graph = rmat_graph(12, 16, seed=3)
+    framework = ReGraph("U280")
+    pre = framework.preprocess(graph)
+    weighted_pre = framework.preprocess(with_random_weights(graph, seed=5))
+    sym_pre = framework.preprocess(symmetrized(graph))
+    root = pre.to_internal_vertex(0)
+
+    cases = {
+        "pagerank": (pre, lambda: PageRank(pre.graph)),
+        "bfs": (pre, lambda: BreadthFirstSearch(pre.graph, root=root)),
+        "closeness": (
+            pre, lambda: ClosenessCentrality(pre.graph, root=root)
+        ),
+        "sssp": (
+            weighted_pre,
+            lambda: SingleSourceShortestPaths(
+                weighted_pre.graph,
+                root=weighted_pre.to_internal_vertex(0),
+            ),
+        ),
+        "wcc": (sym_pre, lambda: WeaklyConnectedComponents(sym_pre.graph)),
+    }
+
+    configure_cache(enabled=False)
+    # Charge structure lowering separately, once (it is reused across
+    # every iteration, app and rep sharing the plan).
+    configure_compiled(True)
+    for case_pre in {id(p): p for p, _ in cases.values()}.values():
+        case_pre.plan.__dict__.pop("_functional_engine", None)
+    start = time.perf_counter()
+    for case_pre in {id(p): p for p, _ in cases.values()}.values():
+        functional_engine(case_pre.plan)
+    lower_seconds = time.perf_counter() - start
+
+    failed = False
+    apps_report = {}
+    speedups = []
+    for app, (case_pre, make_app) in cases.items():
+        times = {"compiled": [], "interpreted": []}
+        outcomes = {}
+        for _ in range(reps):
+            for compiled in (True, False):
+                configure_compiled(compiled)
+                sim = SystemSimulator(
+                    case_pre.plan, framework.platform, framework.channel
+                )
+                start = time.perf_counter()
+                run = sim.run(make_app(), max_iterations=30)
+                key = "compiled" if compiled else "interpreted"
+                times[key].append(time.perf_counter() - start)
+                outcome = {
+                    "iterations": run.iterations,
+                    "total_cycles": run.total_cycles,
+                    "props": hashlib.sha256(run.props.tobytes()).hexdigest(),
+                }
+                if key in outcomes and outcomes[key] != outcome:
+                    print(f"FAIL: {app} {key} run not deterministic")
+                    failed = True
+                outcomes[key] = outcome
+        if outcomes["compiled"] != outcomes["interpreted"]:
+            print(f"FAIL: {app} compiled functional outcome differs from "
+                  f"interpreted (bit-identity broken)")
+            failed = True
+        interp = stats.median(times["interpreted"])
+        compiled_median = stats.median(times["compiled"])
+        speedup = interp / max(compiled_median, 1e-9)
+        speedups.append(speedup)
+        apps_report[app] = {
+            "interpreted_median_seconds": interp,
+            "compiled_median_seconds": compiled_median,
+            "speedup": speedup,
+            "iterations": outcomes["compiled"]["iterations"],
+            "outcome_identical": (
+                outcomes["compiled"] == outcomes["interpreted"]
+            ),
+        }
+        print(f"  {app:>18}: interpreted {interp * 1e3:.1f} ms, "
+              f"compiled {compiled_median * 1e3:.1f} ms -> "
+              f"{speedup:.1f}x functional convergence")
+    configure_cache(enabled=True)
+    configure_compiled(True)
+
+    median_speedup = stats.median(speedups)
+    print(f"  functional pass: {median_speedup:.1f}x median speedup "
+          f"(+{lower_seconds * 1e3:.1f} ms one-time lowering)")
+    if min_speedup is not None:
+        if (os.cpu_count() or 1) < 2:
+            print(f"  (skipping {min_speedup}x functional gate: "
+                  f"single-CPU machine)")
+        elif median_speedup < min_speedup:
+            print(f"FAIL: functional-pass speedup {median_speedup:.2f}x < "
+                  f"required {min_speedup}x")
+            failed = True
+
+    return {
+        "graph": {"kind": "rmat", "scale": 12, "edge_factor": 16, "seed": 3},
+        "reps": reps,
+        "lower_seconds": lower_seconds,
+        "median_speedup": median_speedup,
+        "apps": apps_report,
+    }, failed
+
+
 def _run_app(framework, app, graph):
     """Name-dispatched app run (the chaos campaign's mapping)."""
     if app == "pagerank":
@@ -357,7 +488,14 @@ def main(argv=None):
                         help="repetitions per bench; the median is kept")
     parser.add_argument("--seed", type=int, default=1,
                         help="recorded in the report for provenance")
-    parser.add_argument("--out", default="BENCH_perf.json")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "results", "BENCH_perf.json",
+        ),
+        help="report path (default benchmarks/results/BENCH_perf.json)",
+    )
     parser.add_argument("--baseline", default=None,
                         help="earlier BENCH_perf.json to diff against")
     parser.add_argument("--min-speedup", type=float, default=None,
@@ -370,6 +508,10 @@ def main(argv=None):
                         help="fail if the compiled sweep beats the "
                              "interpreted sweep by less than this factor "
                              "(implies the compiled bench)")
+    parser.add_argument("--min-functional-speedup", type=float, default=None,
+                        help="fail if the compiled functional pass beats "
+                             "the interpreted walk on the convergence "
+                             "sweep by less than this factor")
     args = parser.parse_args(argv)
 
     from repro.perf import PerfConfig
@@ -383,16 +525,26 @@ def main(argv=None):
     for bench in benches.values():
         bench["normalized"] = bench["median_seconds"] / calibration
 
+    functional, functional_failed = run_functional_bench(
+        args.reps, args.min_functional_speedup
+    )
+
     report = {
         "schema": BENCH_SCHEMA,
         "jobs": args.jobs,
         "seed": args.seed,
         "calibration_seconds": calibration,
         "benches": benches,
+        "functional": functional,
     }
-    failed = False
+    failed = functional_failed
     if args.baseline:
-        failed = compare_to_baseline(report, args.baseline, args.min_speedup)
+        failed = compare_to_baseline(
+            report, args.baseline, args.min_speedup
+        ) or failed
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
     print(f"report written to {args.out}")

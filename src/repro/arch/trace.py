@@ -93,8 +93,26 @@ def trace_plan(
     plan: SchedulingPlan,
     channel: Optional[HbmChannelModel] = None,
 ) -> ExecutionTrace:
-    """Simulate one iteration of a plan and record every task's window."""
+    """One iteration of a plan with every task's busy window recorded.
+
+    Fault-free traces are synthesized from the compiled engine's node
+    timings when the compiled core is enabled
+    (:mod:`repro.compiled.trace` — bit-identical events, no
+    re-simulation); channels carrying a live fault site always take the
+    interpreted walk, whose timings legitimately depend on injector
+    state the compiled memo must not capture.
+    """
     channel = channel or HbmChannelModel()
+    if channel.fault_site is None:
+        from repro.compiled import compiled_enabled
+
+        if compiled_enabled():
+            from repro.compiled.trace import synthesize_trace
+
+            return synthesize_trace(plan, channel)
+    from repro.compiled.evaluate import _STATS
+
+    _STATS["traces_interpreted"] += 1
     config = plan.accelerator.pipeline
     little = LittlePipelineSim(config, channel)
     big = BigPipelineSim(config, channel)

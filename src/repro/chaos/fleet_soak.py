@@ -333,6 +333,7 @@ def run_fleet_soak(
         result.perf = {
             "workers": perf.workers,
             "prewarmed_specs": prewarmed,
+            "placement": dict(runtime.placement.probe_stats),
             **get_cache().stats(),
         }
     if journal is not None or store is not None:

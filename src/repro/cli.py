@@ -145,6 +145,17 @@ def _print_cache_stats() -> None:
               f"({cstats['nodes_lowered']} nodes) compiled, "
               f"{cstats['evaluations']} batched evaluations, "
               f"{cstats['memo_hits']} memo hits")
+    routed = (
+        cstats["functional_iterations"] + cstats["functional_fallbacks"]
+        + cstats["traces_synthesized"] + cstats["traces_interpreted"]
+    )
+    if routed:
+        print(f"compiled routing: "
+              f"{cstats['functional_iterations']} functional iterations "
+              f"compiled ({cstats['functional_batches']} batches) / "
+              f"{cstats['functional_fallbacks']} interpreted, "
+              f"{cstats['traces_synthesized']} traces synthesized / "
+              f"{cstats['traces_interpreted']} interpreted")
 
 
 def _load_graph(args):
@@ -953,6 +964,13 @@ def _print_perf_stats(perf: dict) -> None:
     if perf.get("bypasses", 0):
         line += f", {perf['bypasses']} fault bypasses"
     print(line)
+    placement = perf.get("placement")
+    if placement and placement.get("probes", 0):
+        print(f"placement probes: {placement['probes']} what-if probes, "
+              f"{placement['evaluator_builds']} evaluators built, "
+              f"{placement['incremental_refreshes']} incremental "
+              f"refreshes ({placement['nodes_reevaluated']} nodes), "
+              f"{placement['full_evaluations']} full evaluations")
     shared = perf.get("shared")
     if shared:
         print(f"shared cache [{shared.get('root', '?')}]: "

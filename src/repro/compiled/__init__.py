@@ -12,12 +12,19 @@ harness in ``tests/test_compiled_equivalence.py`` is the contract — and
 populate the same content-addressed
 :class:`~repro.perf.simcache.SimulationCache` entries.
 
+The same split covers the functional pass
+(:mod:`repro.compiled.functional`: per-plan gather/scatter structure,
+batched UDF evaluation over whole partition groups) and trace
+generation (:mod:`repro.compiled.trace`: ExecutionTrace events
+synthesized from compiled node timings instead of a re-simulation).
+
 The process-global switch (:func:`configure_compiled`, normally set via
 :attr:`repro.perf.config.PerfConfig.compiled` / the ``--no-compiled``
 CLI flag) gates whether :class:`~repro.core.system.SystemSimulator`
-routes its fault-free timing passes through the compiled engine; runs
-with an active timing fault always take the interpreted path, whose
-per-task injector hooks the faults need.
+routes its fault-free timing/functional/trace passes through the
+compiled engines; runs with an active timing (or functional) fault
+always take the interpreted path, whose per-task injector hooks the
+faults need.
 """
 
 from repro.compiled.evaluate import (
@@ -27,9 +34,16 @@ from repro.compiled.evaluate import (
     plan_engine,
     reset_compiled_stats,
 )
+from repro.compiled.functional import (
+    FunctionalEngine,
+    FunctionalPlan,
+    functional_engine,
+    lower_functional_plan,
+)
 from repro.compiled.incremental import IncrementalEvaluator
 from repro.compiled.lower import CompiledPlan, compile_plan
 from repro.compiled.spec import CompiledSpec
+from repro.compiled.trace import synthesize_trace
 
 _ENABLED = True
 
@@ -50,12 +64,17 @@ __all__ = [
     "CompiledEngine",
     "CompiledPlan",
     "CompiledSpec",
+    "FunctionalEngine",
+    "FunctionalPlan",
     "IncrementalEvaluator",
     "compile_plan",
     "compiled_enabled",
     "compiled_stats",
     "configure_compiled",
     "evaluate_plan",
+    "functional_engine",
+    "lower_functional_plan",
     "plan_engine",
     "reset_compiled_stats",
+    "synthesize_trace",
 ]

@@ -60,6 +60,15 @@ _STATS = {
     "evaluations": 0,
     "nodes_evaluated": 0,
     "memo_hits": 0,
+    # Functional-pass routing (repro.compiled.functional / core.system):
+    "functional_plans": 0,
+    "functional_nodes": 0,
+    "functional_iterations": 0,
+    "functional_batches": 0,
+    "functional_fallbacks": 0,
+    # Trace synthesis (repro.compiled.trace / arch.trace):
+    "traces_synthesized": 0,
+    "traces_interpreted": 0,
 }
 
 

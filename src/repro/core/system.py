@@ -25,6 +25,7 @@ from repro.arch.big_pipeline import BigPipelineSim
 from repro.arch.little_pipeline import LittlePipelineSim
 from repro.arch.platform import FpgaPlatform
 from repro.arch.resources import report as resource_report
+from repro.arch.trace import trace_plan
 from repro.arch.writer import WriterSim
 from repro.hbm.channel import HbmChannelModel
 from repro.sched.plan import SchedulingPlan
@@ -223,7 +224,53 @@ class SystemSimulator:
         )
 
     def _functional_pass(self, app, props: np.ndarray) -> np.ndarray:
-        """Run every task's UDFs and merge accumulations globally."""
+        """Run every task's UDFs and merge accumulations globally.
+
+        Fault-free passes route through the compiled functional engine
+        when it is enabled — batched UDF calls over the plan's lowered
+        gather/scatter structure, bit-identical to the interpreted walk
+        (``tests/test_compiled_functional.py`` is the contract).
+        Passes with an *active* functional fault (an open bit-flip
+        window) always take the interpreted walk, whose per-buffer
+        ``filter_buffer`` hook owns the fault RNG; an inactive injector
+        is safe to skip — its hooks draw no randomness and corrupt
+        nothing while ``functional_faults_active()`` is False.
+        """
+        injector = self.injector
+        faulty = (
+            injector is not None and injector.functional_faults_active()
+        )
+        if not faulty:
+            from repro.compiled import compiled_enabled
+
+            if compiled_enabled():
+                return self._compiled_functional(app, props)
+        from repro.compiled.functional import note_functional_fallback
+
+        note_functional_fallback()
+        return self._interpreted_functional(app, props)
+
+    def _compiled_functional(self, app, props: np.ndarray) -> np.ndarray:
+        """One functional pass through the compiled engine.
+
+        The engine lowers the plan's gather/scatter structure on first
+        use (attached to the plan object, shared across simulators and
+        iterations) and evaluates the whole iteration with batched
+        scatter/gather_at calls.  The injector bookkeeping mirrors the
+        interpreted walk's net effect: ``pass_kind`` flips to
+        "functional" and the pipeline context ends cleared.
+        """
+        from repro.compiled.functional import functional_engine
+
+        injector = self.injector
+        if injector is not None:
+            injector.pass_kind = "functional"
+            injector.exit_pipeline()
+        acc = functional_engine(self.plan).accumulate(app, props)
+        return self._apply.run(app, props, acc)
+
+    def _interpreted_functional(self, app, props: np.ndarray) -> np.ndarray:
+        """The per-task interpreted walk (fault oracle and fallback)."""
         injector = self.injector
         if injector is not None:
             injector.pass_kind = "functional"
@@ -253,10 +300,10 @@ class SystemSimulator:
 
     def iteration_trace(self):
         """Task-level :class:`~repro.arch.trace.ExecutionTrace` of one
-        iteration, simulated with this simulator's channel model — the
-        record the conformance checker audits."""
-        from repro.arch.trace import trace_plan
-
+        iteration under this simulator's channel model — the record the
+        conformance checker audits.  Synthesized from compiled node
+        timings on fault-free channels; see
+        :func:`repro.arch.trace.trace_plan` for the routing rule."""
         return trace_plan(self.plan, self.channel)
 
     def functional_iteration(self, app, props: np.ndarray) -> np.ndarray:

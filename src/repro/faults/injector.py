@@ -106,6 +106,22 @@ class FaultInjector:
             return True
         return self.spike_victim() is not None
 
+    def functional_faults_active(self) -> bool:
+        """True while any fault can perturb the functional pass.
+
+        Only bit-flips touch functional results, and ``filter_buffer``
+        draws injector randomness exactly for flips whose window is
+        open (``probability > 0`` and onset reached).  While this is
+        False the interpreted functional walk draws nothing and mutates
+        nothing, so the compiled functional engine is free to replace
+        it — the same rule ``timing_faults_active()`` provides for the
+        compiled timing pass.
+        """
+        return any(
+            f.probability > 0 and self.now >= f.onset_cycle
+            for f in self.plan.bit_flips
+        )
+
     def spike_victim(self) -> Optional[Tuple[str, int]]:
         """The pipeline hit by a currently-active latency spike, if any."""
         for f in self.plan.latency_spikes:

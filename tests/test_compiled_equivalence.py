@@ -251,14 +251,20 @@ class TestPartitionTimingEquivalence:
 class TestCacheComposition:
     def test_compiled_run_populates_interpreted_cache_keys(self):
         # The compiled timing pass seeds the content-addressed entries
-        # the functional pass looks up, so a functional run's per-task
-        # lookups all hit.
+        # under the interpreted memo's exact keys.  A fully-compiled run
+        # no longer performs per-task lookups at all (the functional
+        # pass is compiled too), so the consumer here is an interpreted
+        # run over the same graph: its per-task ``_timing`` lookups must
+        # hit the compiled-published entries.
         graph = family_graph("rmat")
         framework = make_framework()
         assert compiled_enabled()
         framework.run_pagerank(graph, max_iterations=5)
         stats = get_cache().stats()
         assert stats["entries"] > 0
+        configure_compiled(False)
+        framework.run_pagerank(graph, max_iterations=2)
+        stats = get_cache().stats()
         assert stats["hits"] > 0
         assert stats["hit_rate"] > 0.5
 
